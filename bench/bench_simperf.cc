@@ -1,0 +1,97 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the infrastructure itself:
+ * simulator throughput (simulated instructions per wall second),
+ * assembler speed, and the SwapRAM/block-cache build passes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/placement.hh"
+#include "harness/runner.hh"
+#include "blockcache/builder.hh"
+#include "masm/assembler.hh"
+#include "masm/parser.hh"
+#include "sim/machine.hh"
+#include "swapram/builder.hh"
+#include "workloads/workload.hh"
+
+using namespace swapram;
+
+namespace {
+
+std::string
+crcSource()
+{
+    static const std::string source =
+        harness::startupSource(0xFF80) + workloads::makeCrc().source +
+        workloads::libSource();
+    return source;
+}
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    auto assembled =
+        masm::assemble(masm::parse(crcSource()), masm::LayoutSpec{});
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::Machine machine;
+        machine.load(assembled.image, 0xFF80);
+        auto result = machine.run();
+        benchmark::DoNotOptimize(result.done);
+        instructions += machine.stats().instructions;
+    }
+    state.counters["sim_instr_per_s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    auto program = masm::parse(crcSource());
+    for (auto _ : state) {
+        auto result = masm::assemble(program, masm::LayoutSpec{});
+        benchmark::DoNotOptimize(result.image.entry);
+    }
+}
+
+void
+BM_Parse(benchmark::State &state)
+{
+    std::string source = crcSource();
+    for (auto _ : state) {
+        auto program = masm::parse(source);
+        benchmark::DoNotOptimize(program.stmts.size());
+    }
+}
+
+void
+BM_SwapRamBuild(benchmark::State &state)
+{
+    auto program = masm::parse(crcSource());
+    for (auto _ : state) {
+        auto info = cache::build(program, masm::LayoutSpec{}, {});
+        benchmark::DoNotOptimize(info.reloc_count);
+    }
+}
+
+void
+BM_BlockCacheBuild(benchmark::State &state)
+{
+    auto program = masm::parse(crcSource());
+    for (auto _ : state) {
+        auto info = bb::build(program, masm::LayoutSpec{}, {});
+        benchmark::DoNotOptimize(info.n_blocks);
+    }
+}
+
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parse)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Assemble)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SwapRamBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BlockCacheBuild)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deployment-exploration tool (the paper open-sources SwapRAM "to
+ * enable developers to explore SwapRAM for deployed systems"): sweep
+ * cache sizes, compare replacement policies, and try a blacklist for
+ * any workload from the registry.
+ *
+ * Usage: explorer [workload] [--policy stack|queue]
+ *                 [--blacklist f1,f2,...]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "support/strings.hh"
+#include "workloads/workload.hh"
+
+using namespace swapram;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = "fft";
+    cache::Policy policy = cache::Policy::CircularQueue;
+    std::vector<std::string> blacklist;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--policy" && i + 1 < argc) {
+            policy = std::string(argv[++i]) == "stack"
+                         ? cache::Policy::Stack
+                         : cache::Policy::CircularQueue;
+        } else if (arg == "--blacklist" && i + 1 < argc) {
+            blacklist = support::split(argv[++i], ',');
+        } else {
+            name = arg;
+        }
+    }
+    const auto *w = workloads::find(name);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+        return 1;
+    }
+
+    auto base = harness::run(*w, harness::System::Baseline);
+    std::printf("%s baseline: %llu cycles, %.2f uJ\n\n",
+                w->display.c_str(),
+                static_cast<unsigned long long>(
+                    base.stats.totalCycles()),
+                base.energy_pj / 1e6);
+
+    harness::Table table({"cache B", "cycles", "speedup", "energy uJ",
+                          "FRAM accesses", "SRAM instr %"});
+    for (std::uint16_t size :
+         {128, 256, 512, 1024, 1536, 2048, 3072, 4096}) {
+        harness::RunSpec spec;
+        spec.workload = w;
+        spec.system = harness::System::SwapRam;
+        spec.swap.cache_base = 0x2000;
+        spec.swap.cache_end = static_cast<std::uint16_t>(0x2000 + size);
+        spec.swap.policy = policy;
+        spec.swap.blacklist = blacklist;
+        auto m = harness::runOne(spec);
+        if (!m.done || m.checksum != w->expected) {
+            std::fprintf(stderr, "run failed at cache %u\n", size);
+            return 1;
+        }
+        double sram_pct =
+            100.0 *
+            static_cast<double>(
+                m.stats.instr_by_owner[int(sim::CodeOwner::AppSram)]) /
+            static_cast<double>(m.stats.instructions);
+        table.addRow(
+            {std::to_string(size),
+             harness::withCommas(m.stats.totalCycles()),
+             support::fixed(static_cast<double>(
+                                base.stats.totalCycles()) /
+                                static_cast<double>(
+                                    m.stats.totalCycles()),
+                            2),
+             support::fixed(m.energy_pj / 1e6, 2),
+             harness::withCommas(m.stats.framAccesses()),
+             support::fixed(sram_pct, 1)});
+    }
+    std::printf("%s", table.text().c_str());
+    std::printf("\npolicy: %s%s\n",
+                policy == cache::Policy::Stack ? "stack"
+                                               : "circular queue",
+                blacklist.empty() ? "" : ", with blacklist");
+    return 0;
+}

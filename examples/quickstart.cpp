@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: run one benchmark under the baseline, SwapRAM, and the
+ * block-cache port, and print the headline metrics side by side.
+ *
+ * Usage: quickstart [workload]   (default: crc)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace swapram;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "crc";
+    const workloads::Workload *w = workloads::find(name);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload '%s'; try:", name.c_str());
+        for (const auto &each : workloads::all())
+            std::fprintf(stderr, " %s", each.name.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+
+    std::printf("workload: %s — %s (expected checksum 0x%04X)\n\n",
+                w->display.c_str(), w->description.c_str(), w->expected);
+    std::printf("%-10s %10s %12s %12s %12s %10s %8s\n", "system",
+                "fram-acc", "base-cycles", "stall-cyc", "total-cyc",
+                "energy", "checksum");
+
+    for (auto system : {harness::System::Baseline,
+                        harness::System::SwapRam,
+                        harness::System::BlockCache}) {
+        auto m = harness::run(*w, system);
+        if (!m.fits) {
+            std::printf("%-10s DNF (%s)\n",
+                        harness::systemName(system).c_str(),
+                        m.fit_note.c_str());
+            continue;
+        }
+        std::printf("%-10s %10llu %12llu %12llu %12llu %10.0f   0x%04X%s\n",
+                    harness::systemName(system).c_str(),
+                    static_cast<unsigned long long>(
+                        m.stats.framAccesses()),
+                    static_cast<unsigned long long>(m.stats.base_cycles),
+                    static_cast<unsigned long long>(m.stats.stall_cycles),
+                    static_cast<unsigned long long>(
+                        m.stats.totalCycles()),
+                    m.energy_pj / 1e6,
+                    m.checksum,
+                    m.checksum == w->expected ? "" : "  MISMATCH!");
+    }
+    std::printf("\n(energy in microjoules, 24 MHz, unified-memory "
+                "placement)\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Domain example: a reactive node with a hard-real-time tick ISR.
+ *
+ * The paper's blacklist interface (§3.1) exists for "functions with
+ * strict timing requirements": an interrupt service routine must run
+ * with deterministic latency, so it is pinned to FRAM (never cached,
+ * never relocated) while the foreground signal-processing loop still
+ * executes from SRAM under SwapRAM.
+ *
+ * The example runs the firmware with a periodic timer, compares tick
+ * counts and foreground results against an interrupt-free run, and
+ * shows the owner breakdown: ISR instructions from FRAM, foreground
+ * from SRAM.
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "masm/parser.hh"
+#include "sim/machine.hh"
+#include "support/platform.hh"
+#include "swapram/builder.hh"
+#include "workloads/workload.hh"
+
+using namespace swapram;
+
+namespace {
+
+const char *kFirmware = R"(
+        .text
+        .func main
+        PUSH R10
+        PUSH R9
+        MOV #tick_isr, &0xFFF0
+        EINT
+        CLR R9
+        MOV #400, R10
+fg_loop:
+        MOV R9, R12
+        CALL #filter_step
+        MOV R12, R9
+        DEC R10
+        JNZ fg_loop
+        DINT
+        MOV R9, R12
+        MOV R12, &bench_result
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+; A small IIR-ish filter step: y += (x - y) >> 2, plus scrambling.
+        .func filter_step
+        MOV &sensor_latest, R13
+        SUB R12, R13
+        RRA R13
+        RRA R13
+        ADD R13, R12
+        XOR #0x0041, R12
+        RET
+        .endfunc
+
+; Hard-real-time tick: samples the "sensor" and counts. Blacklisted:
+; always runs from FRAM with fixed latency.
+        .func tick_isr
+        PUSH R15
+        MOV &sensor_raw, R15
+        RLA R15
+        ADC R15
+        ADD #0x3D, R15
+        MOV R15, &sensor_raw
+        AND #0x03FF, R15
+        MOV R15, &sensor_latest
+        ADD #1, &tick_count
+        POP R15
+        RETI
+        .endfunc
+
+        .data
+        .align 2
+sensor_raw:    .word 0x1234
+sensor_latest: .word 0
+tick_count:    .word 0
+bench_result:  .word 0
+)";
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Reactive node: hard-real-time tick ISR (blacklisted) "
+                "+ SwapRAM foreground\n\n");
+
+    auto plan = harness::makePlacement(harness::Placement::Unified);
+    std::string source =
+        harness::startupSource(plan.stack_top) + kFirmware;
+    cache::Options opt;
+    opt.blacklist = {"tick_isr"};
+    auto info =
+        cache::build(masm::parse(source), plan.layout, opt);
+
+    for (std::uint64_t period : {0ull, 400ull}) {
+        sim::MachineConfig cfg;
+        cfg.timer_period_cycles = period;
+        sim::Machine machine(cfg);
+        machine.load(info.assembled.image, plan.stack_top);
+        machine.addOwnerRange(info.handler_addr, info.handler_end,
+                              sim::CodeOwner::Handler);
+        machine.addOwnerRange(info.memcpy_addr, info.memcpy_end,
+                              sim::CodeOwner::Memcpy);
+        auto result = machine.run();
+        if (!result.done) {
+            std::fprintf(stderr, "firmware did not finish\n");
+            return 1;
+        }
+        auto ticks =
+            machine.peek16(info.assembled.symbol("tick_count"));
+        const auto &st = machine.stats();
+        std::printf("timer %s: %u ticks serviced, %llu cycles, "
+                    "result 0x%04X\n",
+                    period ? "every 400 cycles" : "off        ", ticks,
+                    static_cast<unsigned long long>(st.totalCycles()),
+                    machine.peek16(
+                        info.assembled.symbol("bench_result")));
+        std::printf("  instr: app-sram %llu, app-fram %llu (ISR + "
+                    "startup), handler %llu, memcpy %llu\n",
+                    static_cast<unsigned long long>(
+                        st.instr_by_owner[int(sim::CodeOwner::AppSram)]),
+                    static_cast<unsigned long long>(
+                        st.instr_by_owner[int(sim::CodeOwner::AppFram)]),
+                    static_cast<unsigned long long>(
+                        st.instr_by_owner[int(sim::CodeOwner::Handler)]),
+                    static_cast<unsigned long long>(
+                        st.instr_by_owner[int(
+                            sim::CodeOwner::Memcpy)]));
+    }
+    std::printf(
+        "\nThe ISR is pinned to FRAM by the blacklist (deterministic "
+        "entry latency:\n6-cycle vectoring + fixed FRAM timing), while "
+        "the filter loop runs cached\nfrom SRAM — the use case §3.1's "
+        "blacklist interface exists for.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+#include "blockcache/blocks.hh"
+
+#include "masm/assembler.hh"
+#include "support/logging.hh"
+
+namespace swapram::bb {
+
+using masm::OperKind;
+
+Cfi
+classifyInstr(const masm::AsmInstr &instr)
+{
+    Cfi out;
+    switch (isa::opFormat(instr.op)) {
+      case isa::OpFormat::Jump:
+        out.op = instr.op;
+        out.target = &instr.jump_target;
+        out.kind = instr.op == isa::Op::Jmp ? CfiKind::Jump
+                                            : CfiKind::CondJump;
+        return out;
+      case isa::OpFormat::SingleOperand:
+        if (instr.op == isa::Op::Call) {
+            if (instr.dst->kind == OperKind::Immediate &&
+                instr.dst->expr.isSymbol()) {
+                out.kind = CfiKind::Call;
+                out.target = &instr.dst->expr;
+                return out;
+            }
+            out.kind = CfiKind::Unsupported;
+            return out;
+        }
+        return out;
+      case isa::OpFormat::DoubleOperand: {
+        // Any write to PC is a branch.
+        if (instr.dst->kind == OperKind::Register &&
+            instr.dst->reg == isa::Reg::PC) {
+            if (instr.op == isa::Op::Mov &&
+                instr.src->kind == OperKind::IndirectInc &&
+                instr.src->reg == isa::Reg::SP) {
+                out.kind = CfiKind::Ret; // RET
+                return out;
+            }
+            if (instr.op == isa::Op::Mov &&
+                instr.src->kind == OperKind::Immediate &&
+                instr.src->expr.isSymbol()) {
+                out.kind = CfiKind::Jump; // BR #label
+                out.target = &instr.src->expr;
+                return out;
+            }
+            out.kind = CfiKind::Unsupported;
+            return out;
+        }
+        return out;
+      }
+    }
+    support::panic("classifyInstr: bad format");
+}
+
+std::uint16_t
+transformedCost(const Cfi &cfi, const masm::AsmInstr &instr)
+{
+    switch (cfi.kind) {
+      case CfiKind::None:
+        return masm::instrSize(instr);
+      case CfiKind::Jump:
+        return 4; // CALL #stub
+      case CfiKind::CondJump:
+        return 10; // J!cc skip + CALL + skip: CALL
+      case CfiKind::Call:
+        return 8; // PUSH #vret + CALL #stub
+      case CfiKind::Ret:
+        return 4; // BR #__bb_ret
+      case CfiKind::Unsupported:
+        support::fatal("block cache: computed branch is unsupported");
+    }
+    support::panic("transformedCost: bad kind");
+}
+
+bool
+consumesFlags(const masm::AsmInstr &instr)
+{
+    using isa::Op;
+    switch (instr.op) {
+      case Op::Addc:
+      case Op::Subc:
+      case Op::Dadd:
+      case Op::Rrc:
+        return true;
+      default:
+        break;
+    }
+    return isa::opFormat(instr.op) == isa::OpFormat::Jump &&
+           instr.op != Op::Jmp;
+}
+
+std::optional<isa::Op>
+invertCond(isa::Op op)
+{
+    using isa::Op;
+    switch (op) {
+      case Op::Jne: return Op::Jeq;
+      case Op::Jeq: return Op::Jne;
+      case Op::Jnc: return Op::Jc;
+      case Op::Jc: return Op::Jnc;
+      case Op::Jge: return Op::Jl;
+      case Op::Jl: return Op::Jge;
+      default: return std::nullopt;
+    }
+}
+
+} // namespace swapram::bb

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Control-flow classification helpers for the block-cache pass.
+ */
+
+#ifndef SWAPRAM_BLOCKCACHE_BLOCKS_HH
+#define SWAPRAM_BLOCKCACHE_BLOCKS_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "masm/ast.hh"
+
+namespace swapram::bb {
+
+/** How an instruction affects control flow. */
+enum class CfiKind : std::uint8_t {
+    None,     ///< straight-line instruction
+    Jump,     ///< JMP label or BR #label
+    CondJump, ///< conditional jump
+    Call,     ///< CALL #label
+    Ret,      ///< MOV @SP+, PC
+    Unsupported, ///< computed branch (no static target)
+};
+
+/** Classification result; target points into the instruction. */
+struct Cfi {
+    CfiKind kind = CfiKind::None;
+    isa::Op op = isa::Op::Jmp;      ///< original opcode (CondJump)
+    const masm::Expr *target = nullptr;
+};
+
+/** Classify @p instr. */
+Cfi classifyInstr(const masm::AsmInstr &instr);
+
+/** Bytes the transformed form of this atom occupies in a block. */
+std::uint16_t transformedCost(const Cfi &cfi, const masm::AsmInstr &instr);
+
+/** Inverse condition, or nullopt for JN (which has none). */
+std::optional<isa::Op> invertCond(isa::Op op);
+
+/**
+ * True if the instruction reads status flags (ADDC/SUBC/DADD/RRC and
+ * conditional jumps). The runtime clobbers flags, so a block boundary
+ * must never be placed immediately before such an instruction.
+ */
+bool consumesFlags(const masm::AsmInstr &instr);
+
+} // namespace swapram::bb
+
+#endif // SWAPRAM_BLOCKCACHE_BLOCKS_HH

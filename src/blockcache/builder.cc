@@ -1,0 +1,52 @@
+#include "blockcache/builder.hh"
+
+#include "blockcache/pass.hh"
+#include "blockcache/runtime_gen.hh"
+#include "masm/parser.hh"
+#include "support/logging.hh"
+
+namespace swapram::bb {
+
+BuildInfo
+build(const masm::Program &app, const masm::LayoutSpec &layout,
+      const Options &options)
+{
+    BuildInfo info;
+
+    TransformResult transformed = transform(app, options);
+    info.n_blocks = static_cast<int>(transformed.blocks.size());
+    info.n_stubs = static_cast<int>(transformed.stub_target.size());
+
+    masm::Program runtime =
+        masm::parse(generateRuntimeAsm(transformed, options));
+    masm::Program final_program = transformed.program;
+    final_program.append(runtime);
+
+    info.assembled = masm::assemble(final_program, layout);
+
+    const auto &miss = info.assembled.function("__bb_miss");
+    const auto &ret = info.assembled.function("__bb_ret");
+    const auto &stubs = info.assembled.function("__bb_stubs");
+
+    // The runtime (miss + ret + stubs) is contiguous; attribute all of
+    // it to Handler, with the copy loop carved out as Memcpy.
+    info.runtime_addr = miss.addr;
+    info.runtime_end =
+        static_cast<std::uint16_t>(stubs.addr + stubs.size);
+    info.memcpy_addr = info.assembled.symbol("__bb_copy_loop");
+    info.memcpy_end = info.assembled.symbol("__bb_chain");
+
+    info.runtime_bytes = miss.size + ret.size;
+    std::uint32_t stub_bytes = stubs.size;
+    const int e = hashEntries(options);
+    std::uint32_t table_bytes =
+        10 + 10 // cells + save area
+        + 2 * 2 * static_cast<std::uint32_t>(info.n_blocks) // baddr+bsize
+        + 2 * 2 * static_cast<std::uint32_t>(e);            // hash
+    info.metadata_bytes = stub_bytes + table_bytes;
+    info.app_text_bytes = info.assembled.image.text.size -
+                          info.runtime_bytes - stub_bytes;
+    return info;
+}
+
+} // namespace swapram::bb

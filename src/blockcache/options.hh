@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Options for the basic-block software cache baseline (Miller &
+ * Agarwal [33], as ported in the paper's §4): fixed-size SRAM slots, a
+ * djb2 hash table at 0.5 load factor kept in FRAM, block chaining, and
+ * flush-when-full.
+ */
+
+#ifndef SWAPRAM_BLOCKCACHE_OPTIONS_HH
+#define SWAPRAM_BLOCKCACHE_OPTIONS_HH
+
+#include <cstdint>
+
+#include "support/platform.hh"
+
+namespace swapram::bb {
+
+/** Options for one block-cache build. */
+struct Options {
+    /** First byte of the SRAM slot region. */
+    std::uint16_t cache_base = platform::kSramBase;
+    /** One past the last byte of the slot region. */
+    std::uint16_t cache_end =
+        static_cast<std::uint16_t>(platform::kSramEnd);
+    /** Fixed slot size in bytes; transformed blocks are split to fit. */
+    std::uint16_t slot_bytes = 64;
+
+    std::uint16_t
+    slotCount() const
+    {
+        return static_cast<std::uint16_t>(
+            (cache_end - cache_base) / slot_bytes);
+    }
+};
+
+} // namespace swapram::bb
+
+#endif // SWAPRAM_BLOCKCACHE_OPTIONS_HH

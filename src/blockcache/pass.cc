@@ -1,0 +1,330 @@
+#include "blockcache/pass.hh"
+
+#include <unordered_map>
+
+#include "blockcache/blocks.hh"
+#include "masm/assembler.hh"
+#include "support/logging.hh"
+
+namespace swapram::bb {
+
+using masm::AsmOperand;
+using masm::Directive;
+using masm::Expr;
+using masm::OperKind;
+using masm::Program;
+using masm::Statement;
+using support::fatal;
+
+namespace {
+
+/** A block during formation: statement indices plus the terminator. */
+struct FormBlock {
+    std::vector<std::string> labels; ///< original labels at block start
+    std::vector<size_t> body;        ///< indices of plain statements
+    Cfi term;                        ///< None kind == fallthrough
+    size_t term_stmt = SIZE_MAX;
+};
+
+struct FuncBlocks {
+    std::string name;
+    size_t func_stmt = 0;
+    size_t endfunc_stmt = 0;
+    std::vector<FormBlock> blocks;
+};
+
+} // namespace
+
+TransformResult
+transform(const Program &program, const Options &options)
+{
+    const std::uint16_t slot = options.slot_bytes;
+    if (slot < 16)
+        fatal("block cache: slot size too small");
+
+    // ---- Pass 1: form blocks ----
+    std::vector<FuncBlocks> funcs;
+    for (const masm::FuncRange &fr : masm::findFunctions(program)) {
+        FuncBlocks fb;
+        fb.name = fr.name;
+        fb.func_stmt = fr.func_stmt;
+        fb.endfunc_stmt = fr.endfunc_stmt;
+
+        FormBlock cur;
+        std::uint16_t cur_size = 0;
+        bool cur_used = false;
+        auto close = [&](const Cfi &term, size_t term_stmt) {
+            cur.term = term;
+            cur.term_stmt = term_stmt;
+            fb.blocks.push_back(std::move(cur));
+            cur = FormBlock{};
+            cur_size = 0;
+            cur_used = false;
+        };
+        auto atom_cost = [&](size_t stmt_idx) {
+            const Statement &a = program.stmts[stmt_idx];
+            return transformedCost(classifyInstr(a.instr), a.instr);
+        };
+        // Split before @p incoming. The runtime destroys flags, so the
+        // new block must not start with a flag consumer: trailing
+        // producer atoms are carried over into the new block.
+        auto split_before = [&](const Statement &incoming) {
+            std::vector<size_t> carry;
+            const Statement *boundary = &incoming;
+            while (!cur.body.empty() && consumesFlags(boundary->instr)) {
+                carry.insert(carry.begin(), cur.body.back());
+                cur.body.pop_back();
+                boundary = &program.stmts[carry.front()];
+            }
+            if (cur.body.empty() && consumesFlags(boundary->instr))
+                fatal("block cache: cannot split flag-dependent "
+                      "sequence in ", fb.name);
+            close(Cfi{}, SIZE_MAX);
+            for (size_t idx : carry) {
+                cur.body.push_back(idx);
+                cur_size = static_cast<std::uint16_t>(cur_size +
+                                                      atom_cost(idx));
+                cur_used = true;
+            }
+        };
+
+        for (size_t i = fr.func_stmt + 1; i < fr.endfunc_stmt; ++i) {
+            const Statement &s = program.stmts[i];
+            switch (s.kind) {
+              case Statement::Kind::Label:
+                if (cur_used)
+                    close(Cfi{}, SIZE_MAX); // fallthrough into the label
+                cur.labels.push_back(s.label);
+                break;
+              case Statement::Kind::Instr: {
+                Cfi cfi = classifyInstr(s.instr);
+                std::uint16_t cost = transformedCost(cfi, s.instr);
+                if (cfi.kind == CfiKind::None) {
+                    if (cur_size + cost + 4 > slot) {
+                        if (!cur_used)
+                            fatal("block cache: slot too small for one "
+                                  "instruction in ", fb.name);
+                        split_before(s);
+                    }
+                    cur.body.push_back(i);
+                    cur_size = static_cast<std::uint16_t>(cur_size + cost);
+                    cur_used = true;
+                } else {
+                    if (cur_size + cost > slot) {
+                        if (!cur_used)
+                            fatal("block cache: slot too small for CFI in ",
+                                  fb.name);
+                        split_before(s);
+                    }
+                    cur_used = true;
+                    close(cfi, i);
+                }
+                break;
+              }
+              case Statement::Kind::Directive:
+                fatal("block cache: directive inside .func ", fb.name,
+                      " (line ", s.line, ") is unsupported");
+            }
+        }
+        // Verify the size invariant held through carried splits, and
+        // that no block *starts* with a flag consumer: every block is
+        // entered through the runtime, which destroys flags (e.g. two
+        // consecutive conditional jumps off one compare are illegal).
+        for (const FormBlock &blk : fb.blocks) {
+            std::uint32_t total = 4; // worst-case fallthrough terminator
+            for (size_t idx : blk.body)
+                total += atom_cost(idx);
+            if (blk.term_stmt != SIZE_MAX)
+                total += atom_cost(blk.term_stmt) - 4;
+            if (total > slot)
+                fatal("block cache: block exceeds slot in ", fb.name);
+            size_t first = blk.body.empty() ? blk.term_stmt
+                                            : blk.body.front();
+            if (first != SIZE_MAX &&
+                consumesFlags(program.stmts[first].instr)) {
+                fatal("block cache: block in ", fb.name, " (line ",
+                      program.stmts[first].line,
+                      ") begins with a flag-consuming instruction; "
+                      "flags do not survive block boundaries");
+            }
+        }
+        if (cur_used || !cur.labels.empty())
+            fatal("block cache: function ", fb.name,
+                  " falls off its end without a terminator");
+        if (fb.blocks.empty())
+            fatal("block cache: empty function ", fb.name);
+        funcs.push_back(std::move(fb));
+    }
+
+    // Assign global block ids and map labels (and function names) to
+    // the block that starts with them.
+    std::unordered_map<std::string, int> label_block;
+    std::vector<std::pair<int, int>> gid_to_fj; // gid -> (func, j)
+    {
+        int gid = 0;
+        for (size_t f = 0; f < funcs.size(); ++f) {
+            for (size_t j = 0; j < funcs[f].blocks.size(); ++j) {
+                if (j == 0)
+                    label_block[funcs[f].name] = gid;
+                for (const std::string &l : funcs[f].blocks[j].labels)
+                    label_block[l] = gid;
+                gid_to_fj.push_back(
+                    {static_cast<int>(f), static_cast<int>(j)});
+                ++gid;
+            }
+        }
+    }
+
+    auto block_of = [&](const Expr &target, int line) {
+        if (!target.isSymbol())
+            fatal("block cache: non-symbol branch target at line ", line);
+        auto it = label_block.find(target.symbol());
+        if (it == label_block.end())
+            fatal("block cache: branch target '", target.symbol(),
+                  "' is not a block (line ", line, ")");
+        return it->second;
+    };
+
+    // ---- Pass 2: emit ----
+    TransformResult out;
+    auto stub = [&](int target_gid) {
+        out.stub_target.push_back(target_gid);
+        return static_cast<int>(out.stub_target.size()) - 1;
+    };
+    auto call_stub_stmt = [&](int target_gid, int line) {
+        int k = stub(target_gid);
+        return Statement::makeInstr(
+            masm::callImm(Expr::sym("__bb_e" + std::to_string(k))), line);
+    };
+    auto absolutized = [&](const Statement &s) {
+        Statement copy = s;
+        auto fix = [](std::optional<AsmOperand> &op) {
+            if (op && op->kind == OperKind::SymbolicMem) {
+                op->kind = OperKind::Absolute;
+                op->reg = isa::Reg::SR;
+            }
+        };
+        fix(copy.instr.src);
+        fix(copy.instr.dst);
+        return copy;
+    };
+
+    int skip_counter = 0;
+    size_t next_func = 0;
+    size_t i = 0;
+    int gid_base = 0;
+    while (i < program.stmts.size()) {
+        const Statement &s = program.stmts[i];
+        if (next_func < funcs.size() && i == funcs[next_func].func_stmt) {
+            const FuncBlocks &fb = funcs[next_func];
+            out.program.stmts.push_back(s); // the .func directive
+            const int nblocks = static_cast<int>(fb.blocks.size());
+            for (int j = 0; j < nblocks; ++j) {
+                const FormBlock &blk = fb.blocks[j];
+                int gid = gid_base + j;
+                std::string blabel = "__bbk_" + std::to_string(gid);
+                out.program.stmts.push_back(Statement::makeLabel(blabel));
+                for (const std::string &l : blk.labels)
+                    out.program.stmts.push_back(Statement::makeLabel(l));
+                for (size_t bi : blk.body)
+                    out.program.stmts.push_back(
+                        absolutized(program.stmts[bi]));
+
+                const int line =
+                    blk.term_stmt == SIZE_MAX
+                        ? 0
+                        : program.stmts[blk.term_stmt].line;
+                auto require_next = [&]() {
+                    if (j + 1 >= nblocks)
+                        fatal("block cache: no successor block in ",
+                              fb.name);
+                    return gid + 1;
+                };
+                switch (blk.term.kind) {
+                  case CfiKind::None: // fallthrough
+                    out.program.stmts.push_back(
+                        call_stub_stmt(require_next(), line));
+                    break;
+                  case CfiKind::Jump:
+                    out.program.stmts.push_back(call_stub_stmt(
+                        block_of(*blk.term.target, line), line));
+                    break;
+                  case CfiKind::CondJump: {
+                    ++out.cond_sites;
+                    int taken = block_of(*blk.term.target, line);
+                    int fall = require_next();
+                    if (auto inv = invertCond(blk.term.op)) {
+                        std::string skip =
+                            "__bbs_" + std::to_string(skip_counter++);
+                        out.program.stmts.push_back(Statement::makeInstr(
+                            masm::jump(*inv, Expr::sym(skip)), line));
+                        out.program.stmts.push_back(
+                            call_stub_stmt(taken, line));
+                        out.program.stmts.push_back(
+                            Statement::makeLabel(skip));
+                        out.program.stmts.push_back(
+                            call_stub_stmt(fall, line));
+                    } else { // JN
+                        std::string take =
+                            "__bbs_" + std::to_string(skip_counter++);
+                        out.program.stmts.push_back(Statement::makeInstr(
+                            masm::jump(isa::Op::Jn, Expr::sym(take)),
+                            line));
+                        out.program.stmts.push_back(
+                            call_stub_stmt(fall, line));
+                        out.program.stmts.push_back(
+                            Statement::makeLabel(take));
+                        out.program.stmts.push_back(
+                            call_stub_stmt(taken, line));
+                    }
+                    break;
+                  }
+                  case CfiKind::Call: {
+                    ++out.call_sites;
+                    int vret_gid = require_next();
+                    out.program.stmts.push_back(Statement::makeInstr(
+                        [&] {
+                            masm::AsmInstr push;
+                            push.op = isa::Op::Push;
+                            push.dst = AsmOperand::imm(Expr::sym(
+                                "__bbk_" + std::to_string(vret_gid)));
+                            return push;
+                        }(),
+                        line));
+                    out.program.stmts.push_back(call_stub_stmt(
+                        block_of(*blk.term.target, line), line));
+                    break;
+                  }
+                  case CfiKind::Ret:
+                    ++out.ret_sites;
+                    out.program.stmts.push_back(Statement::makeInstr(
+                        masm::brImm(Expr::sym("__bb_ret")), line));
+                    break;
+                  case CfiKind::Unsupported:
+                    fatal("block cache: unsupported CFI in ", fb.name);
+                }
+
+                BlockInfo info;
+                info.label = blabel;
+                info.size_expr =
+                    j + 1 < nblocks
+                        ? "__bbk_" + std::to_string(gid + 1) + " - " +
+                              blabel
+                        : "__end_" + fb.name + " - " + blabel;
+                out.blocks.push_back(std::move(info));
+            }
+            gid_base += nblocks;
+            out.program.stmts.push_back(
+                program.stmts[fb.endfunc_stmt]); // .endfunc
+            i = fb.endfunc_stmt + 1;
+            ++next_func;
+            continue;
+        }
+        out.program.stmts.push_back(s);
+        ++i;
+    }
+
+    return out;
+}
+
+} // namespace swapram::bb

@@ -1,0 +1,218 @@
+#include "blockcache/runtime_gen.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace swapram::bb {
+
+int
+hashEntries(const Options &options)
+{
+    int want = 2 * options.slotCount();
+    int e = 8;
+    while (e < want)
+        e <<= 1;
+    return e;
+}
+
+std::string
+generateRuntimeAsm(const TransformResult &transformed,
+                   const Options &options)
+{
+    std::ostringstream os;
+    const int n_blocks = static_cast<int>(transformed.blocks.size());
+    const int n_stubs = static_cast<int>(transformed.stub_target.size());
+    const int e = hashEntries(options);
+    const unsigned cbase = options.cache_base;
+    const unsigned cend = options.cache_end;
+    const unsigned slot = options.slot_bytes;
+
+    os << "; ---- block-cache generated runtime (" << n_blocks
+       << " blocks, " << n_stubs << " CFI stubs, " << e
+       << " hash entries) ----\n";
+
+    // ---- Metadata (FRAM) ----
+    os << "        .const\n        .align 2\n";
+    os << "__bb_target: .word 0\n"
+          "__bb_key:    .word 0\n"
+          "__bb_site:   .word 0\n"
+          "__bb_slot:   .word 0\n"
+          "__bb_next:   .word " << cbase << "\n"
+          "__bb_save:   .space 10\n";
+    os << "__bb_baddr:\n";
+    for (const BlockInfo &b : transformed.blocks)
+        os << "        .word " << b.label << "\n";
+    os << "__bb_bsize:\n";
+    for (const BlockInfo &b : transformed.blocks)
+        os << "        .word " << b.size_expr << "\n";
+    os << "__bb_hkey:\n        .space " << 2 * e << "\n"
+          "__bb_hkey_end:\n"
+          "__bb_hval:\n        .space " << 2 * e << "\n";
+
+    // ---- Runtime code ----
+    os << "        .text\n";
+    os << "        .func __bb_miss\n"
+          "        MOV R11, &__bb_save\n"
+          "        MOV R12, &__bb_save+2\n"
+          "        MOV R13, &__bb_save+4\n"
+          "        MOV R14, &__bb_save+6\n"
+          "        MOV R15, &__bb_save+8\n"
+          "        POP R14\n"           // stub-call return address
+          "        SUB #4, R14\n"       // the CALL site itself
+          "        MOV R14, &__bb_site\n"
+          "        MOV &__bb_target, R15\n"
+          "        MOV __bb_baddr(R15), R12\n"
+          "        MOV R12, &__bb_key\n"
+          "__bb_find:\n"
+          // djb2 over the two key bytes, masked to a byte offset.
+          "        MOV &__bb_key, R12\n"
+          "        MOV #5381, R13\n"
+          "        MOV R13, R11\n"
+          "        RLA R11\n        RLA R11\n        RLA R11\n"
+          "        RLA R11\n        RLA R11\n"
+          "        ADD R11, R13\n"
+          "        MOV.B R12, R11\n"
+          "        ADD R11, R13\n"
+          "        MOV R13, R11\n"
+          "        RLA R11\n        RLA R11\n        RLA R11\n"
+          "        RLA R11\n        RLA R11\n"
+          "        ADD R11, R13\n"
+          "        MOV R12, R11\n"
+          "        SWPB R11\n"
+          "        MOV.B R11, R11\n"
+          "        ADD R11, R13\n"
+          "        AND #" << (e - 1) << ", R13\n"
+          "        RLA R13\n"
+          "__bb_probe:\n"
+          "        MOV __bb_hkey(R13), R11\n"
+          "        TST R11\n"
+          "        JZ __bb_insert\n"
+          "        CMP R12, R11\n"
+          "        JEQ __bb_hit\n"
+          "        INCD R13\n"
+          "        AND #" << (2 * e - 1) << ", R13\n"
+          "        JMP __bb_probe\n"
+          "__bb_hit:\n"
+          "        MOV __bb_hval(R13), R11\n"
+          "        MOV R11, &__bb_slot\n"
+          "        JMP __bb_chain\n"
+          "__bb_insert:\n"
+          "        MOV &__bb_next, R11\n"
+          "        CMP #" << (cend - slot + 1) << ", R11\n"
+          "        JLO __bb_have\n"
+          // Flush: clear the hash keys and restart allocation.
+          "        MOV #__bb_hkey, R11\n"
+          "__bb_flush_loop:\n"
+          "        CMP #__bb_hkey_end, R11\n"
+          "        JHS __bb_flush_done\n"
+          "        CLR 0(R11)\n"
+          "        INCD R11\n"
+          "        JMP __bb_flush_loop\n"
+          "__bb_flush_done:\n"
+          "        MOV #" << cbase << ", R11\n"
+          "        MOV R11, &__bb_next\n"
+          // The flush freed the slot the calling copy lives in; a chain
+          // write could land inside the block about to be copied there.
+          // Suppress chaining for this miss.
+          "        CLR &__bb_site\n"
+          "        JMP __bb_find\n"
+          "__bb_have:\n"
+          "        MOV R11, &__bb_slot\n"
+          "        MOV R12, __bb_hkey(R13)\n"
+          "        MOV R11, __bb_hval(R13)\n"
+          "        MOV R11, R13\n"
+          "        ADD #" << slot << ", R13\n"
+          "        MOV R13, &__bb_next\n"
+          // Copy the block into its slot (R12 already holds the NVM
+          // address == key).
+          "        MOV &__bb_target, R15\n"
+          "        MOV __bb_bsize(R15), R14\n"
+          "__bb_copy_loop:\n"
+          "        TST R14\n"
+          "        JZ __bb_chain\n"
+          "        MOV @R12+, 0(R11)\n"
+          "        INCD R11\n"
+          "        DECD R14\n"
+          "        JMP __bb_copy_loop\n"
+          "__bb_chain:\n"
+          // Chain: rewrite the CALL site into BR #slot when the site
+          // executes from a cached copy (flush discards all chains with
+          // the copies, so no undo bookkeeping is needed).
+          "        MOV &__bb_site, R14\n"
+          "        CMP #" << cbase << ", R14\n"
+          "        JLO __bb_go\n"
+          "        CMP #" << cend << ", R14\n"
+          "        JHS __bb_go\n"
+          "        MOV #0x4030, 0(R14)\n" // MOV #imm, PC
+          "        MOV &__bb_slot, R15\n"
+          "        MOV R15, 2(R14)\n"
+          "__bb_go:\n"
+          "        MOV &__bb_slot, R15\n"
+          "        MOV R15, &__bb_target\n"
+          "__bb_exit:\n"
+          "        MOV &__bb_save, R11\n"
+          "        MOV &__bb_save+2, R12\n"
+          "        MOV &__bb_save+4, R13\n"
+          "        MOV &__bb_save+6, R14\n"
+          "        MOV &__bb_save+8, R15\n"
+          "        BR &__bb_target\n"
+          "        .endfunc\n";
+
+    // Return translation: pop the virtual (NVM) return address, find
+    // its block by binary search, then reuse the lookup path.
+    os << "        .func __bb_ret\n"
+          "        MOV R11, &__bb_save\n"
+          "        MOV R12, &__bb_save+2\n"
+          "        MOV R13, &__bb_save+4\n"
+          "        MOV R14, &__bb_save+6\n"
+          "        MOV R15, &__bb_save+8\n"
+          "        POP R12\n"
+          "        MOV R12, &__bb_key\n"
+          "        CLR R11\n"
+          "        MOV R11, &__bb_site\n" // returns never chain
+          "        CLR R13\n"             // lo (byte index)
+          "        MOV #" << (2 * n_blocks) << ", R14\n" // hi (excl)
+          "__bb_bs_loop:\n"
+          "        CMP R14, R13\n"
+          "        JHS __bb_bs_fail\n"
+          "        MOV R13, R15\n"
+          "        ADD R14, R15\n"
+          "        CLRC\n"
+          "        RRC R15\n"
+          "        BIC #1, R15\n"
+          "        CMP __bb_baddr(R15), R12\n"
+          "        JEQ __bb_bs_found\n"
+          "        JLO __bb_bs_less\n"
+          "        MOV R15, R13\n"
+          "        INCD R13\n"
+          "        JMP __bb_bs_loop\n"
+          "__bb_bs_less:\n"
+          "        MOV R15, R14\n"
+          "        JMP __bb_bs_loop\n"
+          "__bb_bs_found:\n"
+          "        MOV R15, &__bb_target\n"
+          "        JMP __bb_find\n"
+          "__bb_bs_fail:\n"
+          // Return into untransformed code: branch to the raw address.
+          "        MOV &__bb_key, R15\n"
+          "        MOV R15, &__bb_target\n"
+          "        JMP __bb_exit\n"
+          "        .endfunc\n";
+
+    // ---- Per-CFI entry stubs (the paper's "jump table", §5.2) ----
+    os << "        .func __bb_stubs\n";
+    for (int k = 0; k < n_stubs; ++k) {
+        os << "__bb_e" << k << ":\n"
+           << "        MOV #" << 2 * transformed.stub_target[k]
+           << ", &__bb_target\n"
+           << "        JMP __bb_miss\n";
+    }
+    if (n_stubs == 0)
+        os << "        RET\n";
+    os << "        .endfunc\n";
+
+    return os.str();
+}
+
+} // namespace swapram::bb

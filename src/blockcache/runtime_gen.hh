@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Block-cache runtime generator: the miss handler with djb2 hash
+ * lookup, slot allocation with flush-when-full, block copy, chaining,
+ * and the return-address translation handler — plus the per-CFI entry
+ * stubs and the block metadata tables (all FRAM-resident, per §4).
+ */
+
+#ifndef SWAPRAM_BLOCKCACHE_RUNTIME_GEN_HH
+#define SWAPRAM_BLOCKCACHE_RUNTIME_GEN_HH
+
+#include <string>
+
+#include "blockcache/options.hh"
+#include "blockcache/pass.hh"
+
+namespace swapram::bb {
+
+/** Hash-table entry count: power of two >= 2 x slot count (0.5 load
+ *  factor relative to the maximum resident blocks). */
+int hashEntries(const Options &options);
+
+/** Generate the runtime + stubs + tables assembly. */
+std::string generateRuntimeAsm(const TransformResult &transformed,
+                               const Options &options);
+
+} // namespace swapram::bb
+
+#endif // SWAPRAM_BLOCKCACHE_RUNTIME_GEN_HH

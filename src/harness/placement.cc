@@ -1,0 +1,63 @@
+#include "harness/placement.hh"
+
+#include "support/logging.hh"
+#include "support/platform.hh"
+
+namespace swapram::harness {
+
+namespace plat = swapram::platform;
+
+std::string
+placementName(Placement placement)
+{
+    switch (placement) {
+      case Placement::Unified: return "unified";
+      case Placement::Standard: return "standard";
+      case Placement::SramCode: return "sram-code";
+      case Placement::SramAll: return "sram-all";
+      case Placement::Split: return "split";
+    }
+    support::panic("placementName: bad placement");
+}
+
+PlacementPlan
+makePlacement(Placement placement)
+{
+    PlacementPlan plan;
+    switch (placement) {
+      case Placement::Unified:
+        // text, const, data, bss chain in FRAM; stack below the vectors.
+        plan.layout.text_base = plat::kFramBase;
+        plan.stack_top = plat::kVectorsBase;
+        plan.stack_in_sram = false;
+        break;
+      case Placement::Standard:
+        plan.layout.text_base = plat::kFramBase;
+        plan.layout.data_base = plat::kSramBase;
+        plan.stack_top = static_cast<std::uint16_t>(plat::kSramEnd);
+        plan.stack_in_sram = true;
+        break;
+      case Placement::SramCode:
+        plan.layout.text_base = plat::kSramBase;
+        plan.layout.const_base = plat::kFramBase;
+        plan.stack_top = plat::kVectorsBase;
+        plan.stack_in_sram = false;
+        break;
+      case Placement::SramAll:
+        plan.layout.text_base = plat::kSramBase;
+        plan.stack_top = static_cast<std::uint16_t>(plat::kSramEnd);
+        plan.stack_in_sram = true;
+        break;
+      case Placement::Split:
+        // Like Standard; the runner carves the cache from SRAM above
+        // the data + stack region.
+        plan.layout.text_base = plat::kFramBase;
+        plan.layout.data_base = plat::kSramBase;
+        plan.stack_top = static_cast<std::uint16_t>(plat::kSramEnd);
+        plan.stack_in_sram = true;
+        break;
+    }
+    return plan;
+}
+
+} // namespace swapram::harness

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory placements used across the paper's experiments:
+ *
+ *  - Unified  : code + data + stack in FRAM, SRAM free (the NVRAM
+ *               unified-memory model, §2.2; main SwapRAM target).
+ *  - Standard : code in FRAM, data + stack in SRAM (the conventional
+ *               configuration, Figures 1/10 baselines).
+ *  - SramCode : code in SRAM, data + stack in FRAM (Figure 1).
+ *  - SramAll  : everything in SRAM (Figure 1's upper bound).
+ *  - Split    : data + stack in low SRAM, remaining SRAM reserved for
+ *               the SwapRAM cache (§5.5, Figure 10).
+ */
+
+#ifndef SWAPRAM_HARNESS_PLACEMENT_HH
+#define SWAPRAM_HARNESS_PLACEMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "masm/assembler.hh"
+
+namespace swapram::harness {
+
+/** Where code, data, and the stack live. */
+enum class Placement {
+    Unified,
+    Standard,
+    SramCode,
+    SramAll,
+    Split,
+};
+
+/** Printable name ("unified", ...). */
+std::string placementName(Placement placement);
+
+/** Concrete section layout for one placement. */
+struct PlacementPlan {
+    masm::LayoutSpec layout;
+    std::uint16_t stack_top = 0;
+    bool stack_in_sram = false;
+};
+
+/**
+ * Build the layout for @p placement.
+ *
+ * For Split, the data/stack region starts at the SRAM base and the
+ * cache occupies the rest; the runner computes the boundary once the
+ * data size is known and passes it via stack_top (this function sets a
+ * provisional top; see runner.cc).
+ */
+PlacementPlan makePlacement(Placement placement);
+
+} // namespace swapram::harness
+
+#endif // SWAPRAM_HARNESS_PLACEMENT_HH

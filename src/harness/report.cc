@@ -1,0 +1,102 @@
+#include "harness/report.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace swapram::harness {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        support::panic("Table: row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::text() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out += "  ";
+            std::string cell = row[c];
+            if (c == 0) {
+                cell.resize(width[c], ' ');
+                out += cell;
+            } else {
+                out += std::string(width[c] - cell.size(), ' ') + cell;
+            }
+        }
+        out += "\n";
+        return out;
+    };
+    std::string out = emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    out += std::string(total, '-') + "\n";
+    for (const auto &row : rows_)
+        out += emit_row(row);
+    return out;
+}
+
+std::string
+percentDelta(double value, double reference)
+{
+    if (reference == 0)
+        return "n/a";
+    double pct = (value / reference - 1.0) * 100.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+    return buf;
+}
+
+std::string
+withCommas(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out += ',';
+        out += *it;
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+double
+geoMean(const std::vector<double> &ratios)
+{
+    if (ratios.empty())
+        return 1.0;
+    double log_sum = 0;
+    for (double r : ratios)
+        log_sum += std::log(r);
+    return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
+
+std::string
+geoMeanDelta(const std::vector<double> &ratios)
+{
+    return percentDelta(geoMean(ratios), 1.0);
+}
+
+} // namespace swapram::harness

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table/series formatting shared by the bench binaries: fixed-width
+ * columns, percent deltas, geometric means — matching the way the
+ * paper reports Table 2 and Figures 7-10.
+ */
+
+#ifndef SWAPRAM_HARNESS_REPORT_HH
+#define SWAPRAM_HARNESS_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swapram::harness {
+
+/** A simple fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add one row (cells are printed right-aligned except the first). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column widths fitted to the content. */
+    std::string text() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "+12%" / "-65%" style percent delta of value vs reference. */
+std::string percentDelta(double value, double reference);
+
+/** Format a count with thousands separators. */
+std::string withCommas(std::uint64_t value);
+
+/** Geometric mean of ratios (each > 0). */
+double geoMean(const std::vector<double> &ratios);
+
+/** Geometric-mean delta string for value/reference ratio lists. */
+std::string geoMeanDelta(const std::vector<double> &ratios);
+
+} // namespace swapram::harness
+
+#endif // SWAPRAM_HARNESS_REPORT_HH

@@ -1,0 +1,269 @@
+#include "harness/runner.hh"
+
+#include <sstream>
+
+#include "blockcache/builder.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+#include "masm/parser.hh"
+#include "sim/machine.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/platform.hh"
+#include "swapram/builder.hh"
+
+namespace swapram::harness {
+
+namespace plat = swapram::platform;
+
+std::string
+systemName(System system)
+{
+    switch (system) {
+      case System::Baseline: return "baseline";
+      case System::SwapRam: return "swapram";
+      case System::BlockCache: return "block";
+    }
+    support::panic("systemName: bad system");
+}
+
+std::string
+startupSource(std::uint16_t stack_top, int repeats)
+{
+    std::ostringstream os;
+    os << "        .text\n"
+          "        .func __start\n"
+          "        MOV #" << stack_top << ", SP\n";
+    if (repeats <= 1) {
+        os << "        CALL #main\n";
+    } else {
+        os << "        MOV #" << repeats << ", R10\n"
+              "__start_loop:\n"
+              "        CALL #main\n"
+              "        DEC R10\n"
+              "        JNZ __start_loop\n";
+    }
+    os << "        MOV.B #1, &__DONE\n"
+          "__start_spin:\n"
+          "        JMP __start_spin\n"
+          "        .endfunc\n";
+    return os.str();
+}
+
+namespace {
+
+/** Region a section base falls in, for fit checks. */
+bool
+inSram(std::uint16_t base)
+{
+    return base >= plat::kSramBase && base < plat::kSramEnd;
+}
+
+/** Check that a section fits in its region; append a note if not. */
+void
+checkSection(const char *name, const masm::Range &range,
+             std::string &note)
+{
+    if (range.size == 0)
+        return;
+    if (inSram(range.base)) {
+        if (range.end() > plat::kSramEnd) {
+            note += support::cat(name, " overflows SRAM (",
+                                 range.end() - plat::kSramBase,
+                                 " bytes); ");
+        }
+    } else {
+        if (range.end() > plat::kVectorsBase) {
+            note += support::cat(name, " overflows FRAM (ends at ",
+                                 support::hex16(static_cast<std::uint16_t>(
+                                     range.end() & 0xFFFF)),
+                                 "); ");
+        }
+    }
+}
+
+} // namespace
+
+Metrics
+runOne(const RunSpec &spec)
+{
+    if (!spec.workload)
+        support::fatal("runOne: no workload");
+    Metrics m;
+
+    PlacementPlan plan = makePlacement(spec.placement);
+
+    std::string source =
+        startupSource(plan.stack_top, spec.main_repeats) +
+        spec.workload->source;
+    if (spec.include_lib)
+        source += workloads::libSource();
+    masm::Program program = masm::parse(source);
+
+    // For the Split placement, size the data region first with a
+    // baseline assembly, then carve the cache from the SRAM left over.
+    cache::Options swap = spec.swap;
+    bb::Options block = spec.block;
+    std::uint16_t stack_top = plan.stack_top;
+    if (spec.placement == Placement::Split) {
+        masm::AssembleResult probe = masm::assemble(program, plan.layout);
+        std::uint32_t bss_end = probe.image.bss.end();
+        std::uint32_t top = (bss_end + spec.workload->stack_bytes + 1) &
+                            ~1u;
+        if (top >= plat::kSramEnd) {
+            m.fits = false;
+            m.fit_note = "data+stack exceed SRAM";
+            return m;
+        }
+        stack_top = static_cast<std::uint16_t>(top);
+        swap.cache_base = stack_top;
+        swap.cache_end = static_cast<std::uint16_t>(plat::kSramEnd);
+        block.cache_base = stack_top;
+        block.cache_end = static_cast<std::uint16_t>(plat::kSramEnd);
+    }
+
+    // Build under the selected system.
+    masm::AssembleResult assembled;
+    std::uint16_t handler_base = 0, handler_end = 0;
+    std::uint16_t memcpy_base = 0, memcpy_end = 0;
+    switch (spec.system) {
+      case System::Baseline: {
+        assembled = masm::assemble(program, plan.layout);
+        m.app_text_bytes = assembled.image.text.size;
+        break;
+      }
+      case System::SwapRam: {
+        cache::BuildInfo info = cache::build(program, plan.layout, swap);
+        assembled = std::move(info.assembled);
+        m.app_text_bytes = info.app_text_bytes;
+        m.runtime_bytes = info.runtime_text_bytes;
+        m.metadata_bytes = info.metadata_bytes;
+        m.handler_bytes = info.handler_bytes;
+        m.n_funcs = info.funcs.count();
+        m.reloc_count = info.reloc_count;
+        handler_base = info.handler_addr;
+        handler_end = info.handler_end;
+        memcpy_base = info.memcpy_addr;
+        memcpy_end = info.memcpy_end;
+        break;
+      }
+      case System::BlockCache: {
+        bb::BuildInfo info = bb::build(program, plan.layout, block);
+        assembled = std::move(info.assembled);
+        m.app_text_bytes = info.app_text_bytes;
+        m.runtime_bytes = info.runtime_bytes;
+        m.metadata_bytes = info.metadata_bytes;
+        m.n_funcs = info.n_blocks;
+        handler_base = info.runtime_addr;
+        handler_end = info.runtime_end;
+        memcpy_base = info.memcpy_addr;
+        memcpy_end = info.memcpy_end;
+        break;
+      }
+    }
+
+    const masm::Image &image = assembled.image;
+    m.text_bytes = image.text.size;
+    m.const_bytes = image.cnst.size;
+    m.data_bytes = image.data.size;
+    m.bss_bytes = image.bss.size;
+    m.ram_bytes =
+        image.data.size + image.bss.size + spec.workload->stack_bytes;
+
+    // Fit checks (the paper's DNF criterion).
+    std::string note;
+    checkSection("text", image.text, note);
+    checkSection("const", image.cnst, note);
+    checkSection("data", image.data, note);
+    checkSection("bss", image.bss, note);
+    // Stack headroom.
+    if (plan.stack_in_sram && spec.placement != Placement::Split) {
+        std::uint32_t data_top = std::max(image.data.end(),
+                                          image.bss.end());
+        std::uint32_t limit = stack_top - spec.workload->stack_bytes;
+        if (inSram(image.data.base) && data_top > limit)
+            note += "no room for stack in SRAM; ";
+    } else if (!plan.stack_in_sram) {
+        std::uint32_t data_top = std::max(image.data.end(),
+                                          image.bss.end());
+        if (!inSram(image.data.base) &&
+            data_top > static_cast<std::uint32_t>(
+                           stack_top - spec.workload->stack_bytes)) {
+            note += "no room for stack in FRAM; ";
+        }
+    }
+    if (!note.empty()) {
+        m.fits = false;
+        m.fit_note = note;
+        return m;
+    }
+
+    // Execute.
+    sim::MachineConfig config;
+    config.clock_hz = spec.clock_hz;
+    config.max_cycles = spec.max_cycles;
+    sim::Machine machine(config);
+    machine.load(image, stack_top);
+    if (handler_end > handler_base) {
+        machine.addOwnerRange(handler_base, handler_end,
+                              sim::CodeOwner::Handler);
+    }
+    if (memcpy_end > memcpy_base) {
+        machine.addOwnerRange(memcpy_base, memcpy_end,
+                              sim::CodeOwner::Memcpy);
+    }
+    sim::RunResult result;
+    if (spec.trace_hook && spec.trace_limit) {
+        std::uint64_t traced = 0;
+        while (!machine.mmio().done() &&
+               machine.stats().totalCycles() < config.max_cycles) {
+            if (traced < spec.trace_limit) {
+                std::uint16_t pc = machine.cpu().pc();
+                std::uint16_t words[3] = {
+                    machine.peek16(pc),
+                    machine.peek16(static_cast<std::uint16_t>(pc + 2)),
+                    machine.peek16(static_cast<std::uint16_t>(pc + 4)),
+                };
+                auto decoded = isa::decodeAt(words, pc);
+                spec.trace_hook(pc, isa::disasm(decoded.instr));
+                ++traced;
+            }
+            machine.step();
+        }
+        result = {machine.mmio().done(), machine.mmio().exitCode()};
+    } else {
+        result = machine.run();
+    }
+    m.done = result.done;
+    m.console = machine.mmio().console();
+    m.stats = machine.stats();
+    m.seconds = sim::EnergyModel::seconds(m.stats, spec.clock_hz);
+    m.energy_pj = sim::EnergyModel{}.totalPj(m.stats, spec.clock_hz);
+    if (auto it = assembled.symbols.find("bench_result");
+        it != assembled.symbols.end()) {
+        m.checksum = machine.peek16(it->second);
+    }
+
+    // Snapshot .data + .bss for cross-system program-flow validation.
+    for (std::uint32_t a = image.data.base; a < image.data.end(); ++a)
+        m.data_snapshot.push_back(
+            machine.peek8(static_cast<std::uint16_t>(a)));
+    for (std::uint32_t a = image.bss.base; a < image.bss.end(); ++a)
+        m.data_snapshot.push_back(
+            machine.peek8(static_cast<std::uint16_t>(a)));
+    return m;
+}
+
+Metrics
+run(const workloads::Workload &workload, System system,
+    Placement placement, std::uint32_t clock_hz)
+{
+    RunSpec spec;
+    spec.workload = &workload;
+    spec.system = system;
+    spec.placement = placement;
+    spec.clock_hz = clock_hz;
+    return runOne(spec);
+}
+
+} // namespace swapram::harness

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment runner: assemble a workload under a system (baseline /
+ * SwapRAM / block cache) and placement, execute it, and collect every
+ * metric the paper's tables and figures report.
+ */
+
+#ifndef SWAPRAM_HARNESS_RUNNER_HH
+#define SWAPRAM_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "blockcache/options.hh"
+#include "harness/placement.hh"
+#include "sim/config.hh"
+#include "sim/energy.hh"
+#include "sim/stats.hh"
+#include "swapram/options.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::harness {
+
+/** Execution system under test. */
+enum class System { Baseline, SwapRam, BlockCache };
+
+/** Printable name ("baseline", "swapram", "block"). */
+std::string systemName(System system);
+
+/** One experiment configuration. */
+struct RunSpec {
+    const workloads::Workload *workload = nullptr;
+    System system = System::Baseline;
+    Placement placement = Placement::Unified;
+    std::uint32_t clock_hz = 24'000'000;
+    cache::Options swap;  ///< cache_base/end adjusted for Split
+    bb::Options block;    ///< block-cache parameters
+    bool include_lib = true;
+    std::uint64_t max_cycles = 600'000'000ull;
+
+    /**
+     * How many times the startup stub calls main() (the paper runs
+     * each benchmark 10 times so steady-state behaviour — after
+     * SwapRAM populates the cache — dominates the measurement, §4).
+     */
+    int main_repeats = 1;
+
+    /** Optional instruction trace: called with (pc, disassembly) for
+     *  the first trace_limit instructions (tooling/debugging). */
+    std::function<void(std::uint16_t, const std::string &)> trace_hook;
+    std::uint64_t trace_limit = 0;
+};
+
+/** Everything measured from one run (or a DNF marker). */
+struct Metrics {
+    bool fits = true;          ///< false = paper's "DNF"
+    std::string fit_note;      ///< why it did not fit
+    bool done = false;         ///< program ran to completion
+    std::uint16_t checksum = 0;
+    sim::Stats stats;
+    double energy_pj = 0;
+    double seconds = 0;
+
+    // Static sizes (Figure 7 / Table 1).
+    std::uint32_t text_bytes = 0;
+    std::uint32_t const_bytes = 0;
+    std::uint32_t data_bytes = 0;
+    std::uint32_t bss_bytes = 0;
+    std::uint32_t app_text_bytes = 0; ///< transformed application code
+    std::uint32_t runtime_bytes = 0;  ///< cache runtime code
+    std::uint32_t metadata_bytes = 0; ///< cache metadata (FRAM)
+    std::uint32_t handler_bytes = 0;  ///< SwapRAM miss handler (§5.2)
+    int n_funcs = 0;
+    int reloc_count = 0;
+
+    /** RAM usage in the Table-1 sense: data + bss + stack. */
+    std::uint32_t ram_bytes = 0;
+
+    /** Final .data+.bss contents for cross-system §5.1 validation. */
+    std::vector<std::uint8_t> data_snapshot;
+
+    /** Everything the program wrote to the console UART (§5.1 compares
+     *  printed benchmark output across systems). */
+    std::string console;
+
+    std::uint32_t
+    totalNvmBytes() const
+    {
+        return app_text_bytes + runtime_bytes + metadata_bytes +
+               const_bytes;
+    }
+};
+
+/** Startup stub: sets SP, calls main @p repeats times, signals
+ *  completion. */
+std::string startupSource(std::uint16_t stack_top, int repeats = 1);
+
+/** Run one experiment. */
+Metrics runOne(const RunSpec &spec);
+
+/** Shorthand: run @p workload under @p system in a placement/clock. */
+Metrics run(const workloads::Workload &workload, System system,
+            Placement placement = Placement::Unified,
+            std::uint32_t clock_hz = 24'000'000);
+
+} // namespace swapram::harness
+
+#endif // SWAPRAM_HARNESS_RUNNER_HH

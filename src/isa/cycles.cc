@@ -1,0 +1,113 @@
+#include "isa/cycles.hh"
+
+#include "isa/encode.hh"
+#include "support/logging.hh"
+
+namespace swapram::isa {
+
+namespace {
+
+/** Addressing-mode cost class of a source operand. */
+enum class SrcClass {
+    Register, ///< Rn and constant-generator immediates
+    IndirectLike, ///< @Rn, @Rn+, #N (extension word)
+    MemIndexed, ///< X(Rn), ADDR, &ADDR
+};
+
+SrcClass
+srcClass(const Operand &op, bool byte_op)
+{
+    switch (op.mode) {
+      case Mode::Register:
+        return SrcClass::Register;
+      case Mode::Immediate:
+        if (op.via_cg || (!op.force_ext && cgEligible(op.value, byte_op)))
+            return SrcClass::Register;
+        return SrcClass::IndirectLike;
+      case Mode::Indirect:
+      case Mode::IndirectInc:
+        return SrcClass::IndirectLike;
+      case Mode::Indexed:
+      case Mode::Symbolic:
+      case Mode::Absolute:
+        return SrcClass::MemIndexed;
+    }
+    support::panic("srcClass: bad mode");
+}
+
+bool
+dstIsMemory(const Operand &op)
+{
+    return op.mode != Mode::Register;
+}
+
+} // namespace
+
+std::uint32_t
+baseCycles(const Instr &instr)
+{
+    switch (opFormat(instr.op)) {
+      case OpFormat::Jump:
+        return 2;
+      case OpFormat::SingleOperand: {
+        if (instr.op == Op::Reti)
+            return 5;
+        const Operand &dst = instr.dst;
+        SrcClass cls = srcClass(dst, instr.byte);
+        switch (instr.op) {
+          case Op::Rrc:
+          case Op::Rra:
+          case Op::Swpb:
+          case Op::Sxt:
+            if (cls == SrcClass::Register)
+                return 1;
+            if (cls == SrcClass::IndirectLike)
+                return 3;
+            return 4;
+          case Op::Push:
+            if (cls == SrcClass::Register)
+                return 3;
+            if (dst.mode == Mode::IndirectInc)
+                return 5;
+            if (cls == SrcClass::IndirectLike)
+                return 4;
+            return 5;
+          case Op::Call:
+            if (cls == SrcClass::Register)
+                return 4;
+            if (dst.mode == Mode::Indirect)
+                return 4;
+            if (dst.mode == Mode::Absolute)
+                return 6;
+            return 5;
+          default:
+            support::panic("baseCycles: bad format-II op");
+        }
+      }
+      case OpFormat::DoubleOperand: {
+        const bool dst_mem = dstIsMemory(instr.dst);
+        const bool dst_pc =
+            !dst_mem && instr.dst.reg == Reg::PC;
+        std::uint32_t base;
+        switch (srcClass(instr.src, instr.byte)) {
+          case SrcClass::Register:
+            base = dst_mem ? 4 : 1;
+            break;
+          case SrcClass::IndirectLike:
+            base = dst_mem ? 5 : 2;
+            break;
+          case SrcClass::MemIndexed:
+            base = dst_mem ? 6 : 3;
+            break;
+          default:
+            support::panic("baseCycles: bad src class");
+        }
+        if (dst_pc)
+            base += 1;
+        return base;
+      }
+    }
+    support::panic("baseCycles: bad format");
+}
+
+} // namespace swapram::isa

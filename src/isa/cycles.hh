@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Per-instruction base cycle counts for the classic MSP430 CPU
+ * (SLAU144-style tables). "Base" means zero-wait-state memory; FRAM
+ * wait-state and cache-contention stalls are added by the bus model.
+ */
+
+#ifndef SWAPRAM_ISA_CYCLES_HH
+#define SWAPRAM_ISA_CYCLES_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace swapram::isa {
+
+/** Base (unstalled) CPU cycles to execute @p instr. */
+std::uint32_t baseCycles(const Instr &instr);
+
+} // namespace swapram::isa
+
+#endif // SWAPRAM_ISA_CYCLES_HH

@@ -1,0 +1,174 @@
+#include "isa/decode.hh"
+
+#include "support/logging.hh"
+
+namespace swapram::isa {
+
+namespace {
+
+enum class Fmt { One, Two, Jump };
+
+Fmt
+classify(std::uint16_t w0)
+{
+    std::uint16_t top = w0 >> 12;
+    if (top >= 0x4)
+        return Fmt::One;
+    if ((w0 & 0xE000) == 0x2000)
+        return Fmt::Jump;
+    if (top == 0x1 && ((w0 >> 10) & 0x3) == 0) {
+        if (((w0 >> 7) & 0x7) <= 6)
+            return Fmt::Two;
+    }
+    support::fatal("decode: invalid instruction word ", w0);
+}
+
+bool
+srcHasExt(std::uint8_t as, std::uint8_t reg)
+{
+    if (as == 1)
+        return reg != 3; // As=01 on CG2 is the +1 constant
+    if (as == 3)
+        return reg == 0; // @PC+ is #immediate
+    return false;
+}
+
+Operand
+decodeSrc(std::uint8_t as, std::uint8_t reg, std::uint16_t ext,
+          std::uint16_t ext_addr)
+{
+    switch (as) {
+      case 0:
+        if (reg == 3)
+            return {Mode::Immediate, Reg::CG2, 0, true, false};
+        return Operand::makeReg(regFromIndex(reg));
+      case 1:
+        if (reg == 0) {
+            return Operand::makeSymbolic(
+                static_cast<std::uint16_t>(ext + ext_addr));
+        }
+        if (reg == 2)
+            return Operand::makeAbs(ext);
+        if (reg == 3)
+            return {Mode::Immediate, Reg::CG2, 1, true, false};
+        return Operand::makeIndexed(regFromIndex(reg), ext);
+      case 2:
+        if (reg == 2)
+            return {Mode::Immediate, Reg::SR, 4, true, false};
+        if (reg == 3)
+            return {Mode::Immediate, Reg::CG2, 2, true, false};
+        return Operand::makeIndirect(regFromIndex(reg), false);
+      case 3:
+        if (reg == 0)
+            return {Mode::Immediate, Reg::PC, ext, false, true};
+        if (reg == 2)
+            return {Mode::Immediate, Reg::SR, 8, true, false};
+        if (reg == 3)
+            return {Mode::Immediate, Reg::CG2, 0xFFFF, true, false};
+        return Operand::makeIndirect(regFromIndex(reg), true);
+    }
+    support::panic("decodeSrc: bad As");
+}
+
+} // namespace
+
+Shape
+decodeShape(std::uint16_t w0)
+{
+    switch (classify(w0)) {
+      case Fmt::Jump:
+        return {0, 0};
+      case Fmt::Two: {
+        std::uint8_t sub = (w0 >> 7) & 0x7;
+        if (sub == 6) // RETI
+            return {0, 0};
+        std::uint8_t as = (w0 >> 4) & 0x3;
+        std::uint8_t reg = w0 & 0xF;
+        return {0, srcHasExt(as, reg) ? std::uint8_t(1) : std::uint8_t(0)};
+      }
+      case Fmt::One: {
+        std::uint8_t as = (w0 >> 4) & 0x3;
+        std::uint8_t sreg = (w0 >> 8) & 0xF;
+        std::uint8_t ad = (w0 >> 7) & 0x1;
+        Shape shape;
+        shape.src_ext = srcHasExt(as, sreg) ? 1 : 0;
+        shape.dst_ext = ad ? 1 : 0;
+        return shape;
+      }
+    }
+    support::panic("decodeShape: unreachable");
+}
+
+Instr
+decodeWords(std::uint16_t w0, std::uint16_t ext_src, std::uint16_t ext_dst,
+            std::uint16_t addr)
+{
+    Instr instr;
+    switch (classify(w0)) {
+      case Fmt::Jump: {
+        std::uint8_t cond = (w0 >> 10) & 0x7;
+        instr.op = jumpFromCondition(cond);
+        std::int16_t offset = static_cast<std::int16_t>(
+            static_cast<std::uint16_t>(w0 << 6)) >> 6; // sign-extend 10 bits
+        instr.jump_target =
+            static_cast<std::uint16_t>(addr + 2 + 2 * offset);
+        return instr;
+      }
+      case Fmt::Two: {
+        std::uint8_t sub = (w0 >> 7) & 0x7;
+        instr.op = static_cast<Op>(0x10 + sub);
+        instr.byte = (w0 & 0x0040) != 0;
+        if (instr.op == Op::Reti)
+            return instr;
+        std::uint8_t as = (w0 >> 4) & 0x3;
+        std::uint8_t reg = w0 & 0xF;
+        instr.dst = decodeSrc(as, reg, ext_dst,
+                              static_cast<std::uint16_t>(addr + 2));
+        return instr;
+      }
+      case Fmt::One: {
+        instr.op = static_cast<Op>(w0 >> 12);
+        instr.byte = (w0 & 0x0040) != 0;
+        std::uint8_t as = (w0 >> 4) & 0x3;
+        std::uint8_t sreg = (w0 >> 8) & 0xF;
+        std::uint8_t ad = (w0 >> 7) & 0x1;
+        std::uint8_t dreg = w0 & 0xF;
+        Shape shape = decodeShape(w0);
+        std::uint16_t src_ext_addr = static_cast<std::uint16_t>(addr + 2);
+        std::uint16_t dst_ext_addr = static_cast<std::uint16_t>(
+            addr + 2 + (shape.src_ext ? 2 : 0));
+        instr.src = decodeSrc(as, sreg, ext_src, src_ext_addr);
+        if (ad == 0) {
+            instr.dst = Operand::makeReg(regFromIndex(dreg));
+        } else if (dreg == 0) {
+            instr.dst = Operand::makeSymbolic(
+                static_cast<std::uint16_t>(ext_dst + dst_ext_addr));
+        } else if (dreg == 2) {
+            instr.dst = Operand::makeAbs(ext_dst);
+        } else {
+            instr.dst = Operand::makeIndexed(regFromIndex(dreg), ext_dst);
+        }
+        return instr;
+      }
+    }
+    support::panic("decodeWords: unreachable");
+}
+
+Decoded
+decodeAt(const std::uint16_t *words, std::uint16_t addr)
+{
+    Shape shape = decodeShape(words[0]);
+    std::uint16_t ext_src = 0;
+    std::uint16_t ext_dst = 0;
+    int next = 1;
+    if (shape.src_ext)
+        ext_src = words[next++];
+    if (shape.dst_ext)
+        ext_dst = words[next++];
+    Decoded out;
+    out.instr = decodeWords(words[0], ext_src, ext_dst, addr);
+    out.size_bytes = static_cast<std::uint16_t>(2 * next);
+    return out;
+}
+
+} // namespace swapram::isa

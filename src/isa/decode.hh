@@ -1,0 +1,54 @@
+/**
+ * @file
+ * MSP430 instruction decoder.
+ *
+ * The CPU model first decodes the shape of the leading word (how many
+ * extension words follow), fetches them through the bus so every fetch is
+ * accounted, then calls decodeWords().
+ */
+
+#ifndef SWAPRAM_ISA_DECODE_HH
+#define SWAPRAM_ISA_DECODE_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace swapram::isa {
+
+/** Extension-word requirements of an instruction's leading word. */
+struct Shape {
+    std::uint8_t src_ext = 0; ///< 0 or 1 extension words for the source
+    std::uint8_t dst_ext = 0; ///< 0 or 1 extension words for the dest
+    std::uint8_t
+    totalExt() const
+    {
+        return static_cast<std::uint8_t>(src_ext + dst_ext);
+    }
+};
+
+/** Shape of the instruction whose first word is @p w0. fatal()s on an
+ *  invalid opcode. */
+Shape decodeShape(std::uint16_t w0);
+
+/**
+ * Decode a full instruction.
+ *
+ * @param w0 leading instruction word
+ * @param ext_src source extension word (ignored if the shape has none)
+ * @param ext_dst destination extension word (ignored if none)
+ * @param addr byte address of @p w0 (for Symbolic and jump targets)
+ */
+Instr decodeWords(std::uint16_t w0, std::uint16_t ext_src,
+                  std::uint16_t ext_dst, std::uint16_t addr);
+
+/** Convenience for tests/disassembly: decode from a word buffer. */
+struct Decoded {
+    Instr instr;
+    std::uint16_t size_bytes;
+};
+Decoded decodeAt(const std::uint16_t *words, std::uint16_t addr);
+
+} // namespace swapram::isa
+
+#endif // SWAPRAM_ISA_DECODE_HH

@@ -1,0 +1,51 @@
+#include "isa/disasm.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace swapram::isa {
+
+std::string
+operandText(const Operand &op)
+{
+    using support::hex16;
+    switch (op.mode) {
+      case Mode::Register:
+        return regName(op.reg);
+      case Mode::Indexed:
+        return hex16(op.value) + "(" + regName(op.reg) + ")";
+      case Mode::Symbolic:
+        return hex16(op.value);
+      case Mode::Absolute:
+        return "&" + hex16(op.value);
+      case Mode::Indirect:
+        return "@" + regName(op.reg);
+      case Mode::IndirectInc:
+        return "@" + regName(op.reg) + "+";
+      case Mode::Immediate:
+        return "#" + hex16(op.value);
+    }
+    support::panic("operandText: bad mode");
+}
+
+std::string
+disasm(const Instr &instr)
+{
+    std::string text = opMnemonic(instr.op);
+    if (instr.byte)
+        text += ".B";
+    switch (opFormat(instr.op)) {
+      case OpFormat::Jump:
+        return text + " " + support::hex16(instr.jump_target);
+      case OpFormat::SingleOperand:
+        if (instr.op == Op::Reti)
+            return text;
+        return text + " " + operandText(instr.dst);
+      case OpFormat::DoubleOperand:
+        return text + " " + operandText(instr.src) + ", " +
+               operandText(instr.dst);
+    }
+    support::panic("disasm: bad format");
+}
+
+} // namespace swapram::isa

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * MSP430 disassembler (text form compatible with the masm parser).
+ */
+
+#ifndef SWAPRAM_ISA_DISASM_HH
+#define SWAPRAM_ISA_DISASM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace swapram::isa {
+
+/** Render one operand in assembler syntax. */
+std::string operandText(const Operand &op);
+
+/** Render @p instr in assembler syntax (jump targets as 0xXXXX). */
+std::string disasm(const Instr &instr);
+
+} // namespace swapram::isa
+
+#endif // SWAPRAM_ISA_DISASM_HH

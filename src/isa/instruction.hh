@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Numeric (post-assembly) MSP430 instruction representation shared by the
+ * encoder, decoder, CPU model, and disassembler.
+ */
+
+#ifndef SWAPRAM_ISA_INSTRUCTION_HH
+#define SWAPRAM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace swapram::isa {
+
+/** Addressing mode of one operand. */
+enum class Mode : std::uint8_t {
+    Register,    ///< Rn
+    Indexed,     ///< X(Rn)
+    Symbolic,    ///< ADDR — PC-relative X(PC); `value` holds the absolute EA
+    Absolute,    ///< &ADDR
+    Indirect,    ///< @Rn (source only)
+    IndirectInc, ///< @Rn+ (source only)
+    Immediate,   ///< #N (source only)
+};
+
+/** True if the mode needs an extension word (unless the constant
+ *  generator covers an immediate). */
+constexpr bool
+modeNeedsExtWord(Mode mode)
+{
+    return mode == Mode::Indexed || mode == Mode::Symbolic ||
+           mode == Mode::Absolute || mode == Mode::Immediate;
+}
+
+/**
+ * One operand. `value` is the index (Indexed), absolute effective address
+ * (Symbolic/Absolute), or immediate (Immediate); unused otherwise.
+ */
+struct Operand {
+    Mode mode = Mode::Register;
+    Reg reg = Reg::PC;
+    std::uint16_t value = 0;
+    /**
+     * Immediates only: encode via the constant generator (no extension
+     * word). The encoder sets this automatically for eligible literal
+     * values unless `force_ext` is set by the assembler (symbolic
+     * immediates must keep a stable size across passes).
+     */
+    bool via_cg = false;
+    bool force_ext = false;
+
+    static Operand
+    makeReg(Reg r)
+    {
+        return {Mode::Register, r, 0, false, false};
+    }
+
+    static Operand
+    makeImm(std::uint16_t v, bool force_ext_word = false)
+    {
+        return {Mode::Immediate, Reg::PC, v, false, force_ext_word};
+    }
+
+    static Operand
+    makeAbs(std::uint16_t addr)
+    {
+        return {Mode::Absolute, Reg::SR, addr, false, false};
+    }
+
+    static Operand
+    makeIndexed(Reg r, std::uint16_t index)
+    {
+        return {Mode::Indexed, r, index, false, false};
+    }
+
+    static Operand
+    makeSymbolic(std::uint16_t addr)
+    {
+        return {Mode::Symbolic, Reg::PC, addr, false, false};
+    }
+
+    static Operand
+    makeIndirect(Reg r, bool post_increment)
+    {
+        return {post_increment ? Mode::IndirectInc : Mode::Indirect, r, 0,
+                false, false};
+    }
+};
+
+/**
+ * A decoded/encodable instruction.
+ *
+ * Format I uses `src` and `dst`; format II uses `dst` only (RETI uses
+ * neither); jumps use `jump_target` (absolute byte address of the
+ * destination).
+ */
+struct Instr {
+    Op op = Op::Mov;
+    bool byte = false;
+    Operand src{};
+    Operand dst{};
+    std::uint16_t jump_target = 0;
+};
+
+} // namespace swapram::isa
+
+#endif // SWAPRAM_ISA_INSTRUCTION_HH

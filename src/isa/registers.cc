@@ -1,0 +1,40 @@
+#include "isa/registers.hh"
+
+#include "support/strings.hh"
+
+namespace swapram::isa {
+
+std::string
+regName(Reg r)
+{
+    switch (r) {
+      case Reg::PC: return "PC";
+      case Reg::SP: return "SP";
+      case Reg::SR: return "SR";
+      default:
+        return "R" + std::to_string(regIndex(r));
+    }
+}
+
+std::optional<Reg>
+parseReg(std::string_view name)
+{
+    std::string upper = support::toUpper(name);
+    if (upper == "PC") return Reg::PC;
+    if (upper == "SP") return Reg::SP;
+    if (upper == "SR") return Reg::SR;
+    if (upper == "CG2") return Reg::CG2;
+    if (upper.size() >= 2 && upper[0] == 'R') {
+        int index = 0;
+        for (size_t i = 1; i < upper.size(); ++i) {
+            if (upper[i] < '0' || upper[i] > '9')
+                return std::nullopt;
+            index = index * 10 + (upper[i] - '0');
+        }
+        if (index >= 0 && index < kNumRegs)
+            return regFromIndex(static_cast<std::uint8_t>(index));
+    }
+    return std::nullopt;
+}
+
+} // namespace swapram::isa

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * MSP430 register file names and helpers.
+ *
+ * The MSP430 has sixteen 16-bit registers. R0..R3 are special:
+ * R0 = PC (program counter), R1 = SP (stack pointer), R2 = SR (status
+ * register, doubles as constant generator CG1), R3 = CG2 (constant
+ * generator only).
+ */
+
+#ifndef SWAPRAM_ISA_REGISTERS_HH
+#define SWAPRAM_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace swapram::isa {
+
+/** Register index, 0..15. */
+enum class Reg : std::uint8_t {
+    PC = 0,
+    SP = 1,
+    SR = 2,
+    CG2 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+};
+
+/** Number of architectural registers. */
+inline constexpr int kNumRegs = 16;
+
+/** Numeric index of a register. */
+constexpr std::uint8_t
+regIndex(Reg r)
+{
+    return static_cast<std::uint8_t>(r);
+}
+
+/** Register from a numeric index (0..15). */
+constexpr Reg
+regFromIndex(std::uint8_t index)
+{
+    return static_cast<Reg>(index & 0xF);
+}
+
+/** Canonical assembly name ("PC", "SP", "SR", "R3".."R15"). */
+std::string regName(Reg r);
+
+/** Parse a register name (case-insensitive; accepts R0..R15 aliases). */
+std::optional<Reg> parseReg(std::string_view name);
+
+/** Status-register flag bits. */
+namespace sr {
+inline constexpr std::uint16_t kC = 0x0001;   ///< carry
+inline constexpr std::uint16_t kZ = 0x0002;   ///< zero
+inline constexpr std::uint16_t kN = 0x0004;   ///< negative
+inline constexpr std::uint16_t kGie = 0x0008; ///< global interrupt enable
+inline constexpr std::uint16_t kV = 0x0100;   ///< overflow
+} // namespace sr
+
+} // namespace swapram::isa
+
+#endif // SWAPRAM_ISA_REGISTERS_HH

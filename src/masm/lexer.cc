@@ -1,0 +1,176 @@
+#include "masm/lexer.hh"
+
+#include <cctype>
+
+#include "support/logging.hh"
+
+namespace swapram::masm {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$' || c == '.';
+}
+
+bool
+identCont(char c)
+{
+    return identStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+char
+unescape(char c, int line)
+{
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        support::fatal("line ", line, ": bad escape \\", c);
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+lexLine(const std::string &text, int line)
+{
+    std::vector<Token> tokens;
+    size_t i = 0;
+    const size_t n = text.size();
+    while (i < n) {
+        char c = text[i];
+        if (c == ';')
+            break; // comment to end of line
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        Token tok;
+        tok.column = static_cast<int>(i);
+        if (identStart(c)) {
+            size_t start = i;
+            while (i < n && identCont(text[i]))
+                ++i;
+            tok.kind = TokKind::Ident;
+            tok.text = text.substr(start, i - start);
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            std::int64_t value = 0;
+            if (c == '0' && i + 1 < n &&
+                (text[i + 1] == 'x' || text[i + 1] == 'X')) {
+                i += 2;
+                if (i >= n || !std::isxdigit(static_cast<unsigned char>(
+                                  text[i]))) {
+                    support::fatal("line ", line, ": bad hex literal");
+                }
+                while (i < n &&
+                       std::isxdigit(static_cast<unsigned char>(text[i]))) {
+                    char d = text[i];
+                    int digit = std::isdigit(
+                                    static_cast<unsigned char>(d))
+                                    ? d - '0'
+                                    : (std::tolower(d) - 'a' + 10);
+                    value = value * 16 + digit;
+                    ++i;
+                }
+            } else if (c == '0' && i + 1 < n &&
+                       (text[i + 1] == 'b' || text[i + 1] == 'B')) {
+                i += 2;
+                if (i >= n || (text[i] != '0' && text[i] != '1'))
+                    support::fatal("line ", line, ": bad binary literal");
+                while (i < n && (text[i] == '0' || text[i] == '1')) {
+                    value = value * 2 + (text[i] - '0');
+                    ++i;
+                }
+            } else {
+                while (i < n &&
+                       std::isdigit(static_cast<unsigned char>(text[i]))) {
+                    value = value * 10 + (text[i] - '0');
+                    ++i;
+                }
+            }
+            if (i < n && identCont(text[i])) {
+                support::fatal("line ", line, ": bad number near '",
+                               text.substr(start, i - start + 1), "'");
+            }
+            tok.kind = TokKind::Number;
+            tok.number = value;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (c == '\'') {
+            ++i;
+            if (i >= n)
+                support::fatal("line ", line, ": unterminated char literal");
+            char value = text[i];
+            if (value == '\\') {
+                ++i;
+                if (i >= n)
+                    support::fatal("line ", line, ": bad char literal");
+                value = unescape(text[i], line);
+            }
+            ++i;
+            if (i >= n || text[i] != '\'')
+                support::fatal("line ", line, ": unterminated char literal");
+            ++i;
+            tok.kind = TokKind::Number;
+            tok.number = static_cast<unsigned char>(value);
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (c == '"') {
+            ++i;
+            std::string payload;
+            while (i < n && text[i] != '"') {
+                if (text[i] == '\\') {
+                    ++i;
+                    if (i >= n)
+                        support::fatal("line ", line, ": bad escape");
+                    payload += unescape(text[i], line);
+                } else {
+                    payload += text[i];
+                }
+                ++i;
+            }
+            if (i >= n)
+                support::fatal("line ", line, ": unterminated string");
+            ++i;
+            tok.kind = TokKind::String;
+            tok.text = std::move(payload);
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        // Punctuation, two-char shifts first.
+        if ((c == '<' || c == '>') && i + 1 < n && text[i + 1] == c) {
+            tok.kind = TokKind::Punct;
+            tok.text = std::string(2, c);
+            i += 2;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        static const std::string kSingle = ":,#&@+-*/()|";
+        if (kSingle.find(c) != std::string::npos) {
+            tok.kind = TokKind::Punct;
+            tok.text = std::string(1, c);
+            ++i;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        support::fatal("line ", line, ": unexpected character '", c, "'");
+    }
+    tokens.push_back(Token{TokKind::End, "", 0, static_cast<int>(n)});
+    return tokens;
+}
+
+} // namespace swapram::masm

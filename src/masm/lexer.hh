@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Line-oriented tokenizer for the assembler.
+ */
+
+#ifndef SWAPRAM_MASM_LEXER_HH
+#define SWAPRAM_MASM_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swapram::masm {
+
+/** Token kinds produced by the lexer. */
+enum class TokKind : std::uint8_t {
+    Ident,  ///< identifier or mnemonic (may contain '.', '_', '$')
+    Number, ///< integer literal (decimal, 0x..., 0b..., 'c')
+    String, ///< double-quoted string (unescaped payload in text)
+    Punct,  ///< punctuation, possibly two chars ("<<", ">>")
+    End,    ///< end of line
+};
+
+/** One token. */
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;        ///< identifier/punct text
+    std::int64_t number = 0; ///< value for Number
+    int column = 0;          ///< 0-based start column
+
+    bool isPunct(const char *p) const
+    {
+        return kind == TokKind::Punct && text == p;
+    }
+};
+
+/**
+ * Tokenize one source line. Comments (';' to end of line) are stripped.
+ * fatal()s on malformed literals, mentioning @p line for diagnostics.
+ */
+std::vector<Token> lexLine(const std::string &text, int line);
+
+} // namespace swapram::masm
+
+#endif // SWAPRAM_MASM_LEXER_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Parser: assembler source text -> Program AST.
+ *
+ * Accepts a gcc-flavoured MSP430 syntax: optional `label:` prefixes,
+ * core and emulated mnemonics with optional .B/.W suffix, and the
+ * directives listed in masm/ast.hh. Emulated instructions (RET, BR, POP,
+ * CLR, INC, ...) are expanded into core instructions here, exactly as the
+ * MSP430 assembler defines them.
+ */
+
+#ifndef SWAPRAM_MASM_PARSER_HH
+#define SWAPRAM_MASM_PARSER_HH
+
+#include <string>
+
+#include "masm/ast.hh"
+
+namespace swapram::masm {
+
+/** Parse @p source into a Program. fatal()s with line diagnostics. */
+Program parse(const std::string &source);
+
+} // namespace swapram::masm
+
+#endif // SWAPRAM_MASM_PARSER_HH

@@ -1,0 +1,36 @@
+#include "masm/printer.hh"
+
+#include "support/strings.hh"
+
+namespace swapram::masm {
+
+std::string
+listing(const AssembleResult &result)
+{
+    std::string out;
+    for (size_t i = 0; i < result.relaxed.stmts.size(); ++i) {
+        out += support::hex16(result.stmt_addr[i]);
+        out += "  ";
+        out += result.relaxed.stmts[i].text();
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+sectionSummary(const Image &image)
+{
+    auto line = [](const char *name, const Range &r) {
+        return std::string(name) + " " + support::hex16(r.base) + ".." +
+               support::hex16(static_cast<std::uint16_t>(r.end())) + " (" +
+               std::to_string(r.size) + " bytes)\n";
+    };
+    std::string out;
+    out += line(".text ", image.text);
+    out += line(".const", image.cnst);
+    out += line(".data ", image.data);
+    out += line(".bss  ", image.bss);
+    return out;
+}
+
+} // namespace swapram::masm

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Human-readable listings of assembled programs (address + source text),
+ * used by examples and debugging dumps of transformed code.
+ */
+
+#ifndef SWAPRAM_MASM_PRINTER_HH
+#define SWAPRAM_MASM_PRINTER_HH
+
+#include <string>
+
+#include "masm/assembler.hh"
+
+namespace swapram::masm {
+
+/** Render "ADDR  statement" lines for the whole assembled program. */
+std::string listing(const AssembleResult &result);
+
+/** Summarize section placement ("text 0x8000..0x9234 (4660 bytes)"...). */
+std::string sectionSummary(const Image &image);
+
+} // namespace swapram::masm
+
+#endif // SWAPRAM_MASM_PRINTER_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary re-import: reconstruct instrumentable assembly from an
+ * assembled image — the equivalent of the paper's §4 "Library
+ * Instrumentation" flow (objdump + a script that regenerates
+ * gcc-parsable assembly for precompiled library functions so SwapRAM
+ * can cache them).
+ *
+ * Disassembly recovers exactly the information SwapRAM needs:
+ * intra-function branch destinations (turned back into labels) and
+ * function boundaries; call targets are resolved back to function
+ * names through the symbol table so the instrumentation pass can
+ * redirect them.
+ */
+
+#ifndef SWAPRAM_MASM_REIMPORT_HH
+#define SWAPRAM_MASM_REIMPORT_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "masm/assembler.hh"
+#include "masm/ast.hh"
+
+namespace swapram::masm {
+
+/**
+ * Disassemble the function at [info.addr, info.addr+info.size) from
+ * the image bytes back into a `.func` region.
+ *
+ * @param image      the assembled image holding the code bytes
+ * @param info       the function's extent
+ * @param func_names addr -> name map used to re-symbolize CALL targets
+ *                   (typically built from AssembleResult::functions)
+ * @return statements: .func name ... .endfunc, with `L_<addr>` labels
+ *         for every intra-function branch target.
+ */
+Program reimportFunction(
+    const Image &image, const FunctionInfo &info,
+    const std::unordered_map<std::uint16_t, std::string> &func_names);
+
+/** Re-import every function of an assembled program. */
+Program reimportAllFunctions(const AssembleResult &assembled);
+
+} // namespace swapram::masm
+
+#endif // SWAPRAM_MASM_REIMPORT_HH

@@ -1,0 +1,160 @@
+#include "sim/bus.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace swapram::sim {
+
+Bus::Bus(Memory &memory, Mmio &mmio, Stats &stats,
+         const MachineConfig &config)
+    : memory_(memory), mmio_(mmio), stats_(stats), config_(config)
+{
+}
+
+void
+Bus::beginInstruction()
+{
+    fram_accesses_this_instr_ = 0;
+}
+
+void
+Bus::account(std::uint16_t addr, AccessKind kind, bool byte)
+{
+    (void)byte;
+    RegionKind region = regionOf(addr);
+    AccessCounts *counts = nullptr;
+    switch (region) {
+      case RegionKind::Sram: counts = &stats_.sram; break;
+      case RegionKind::Fram: counts = &stats_.fram; break;
+      case RegionKind::Mmio: counts = &stats_.mmio; break;
+      case RegionKind::Unmapped:
+        support::fatal("access to unmapped address ",
+                       support::hex16(addr));
+    }
+    switch (kind) {
+      case AccessKind::Fetch: ++counts->fetch; break;
+      case AccessKind::Read: ++counts->read; break;
+      case AccessKind::Write: ++counts->write; break;
+    }
+
+    if (region != RegionKind::Mmio) {
+        bool code = addr >= code_base_ &&
+                    static_cast<std::uint32_t>(addr) < code_end_;
+        if (code)
+            ++stats_.code_space_accesses;
+        else
+            ++stats_.data_space_accesses;
+    }
+
+    if (region == RegionKind::Fram) {
+        std::uint32_t ws = config_.effectiveWaitStates();
+        // Contention (paper §2.2/§5.4): one instruction dispatching
+        // multiple accesses to *distant* FRAM addresses bottlenecks at
+        // the cache controller regardless of clock frequency: the
+        // second and later FRAM accesses of an instruction contend if
+        // they touch a different 8-byte line than the previous one.
+        // An access stalls for max(wait states, contention) — a miss's
+        // wait states already serialize it against the earlier access.
+        std::uint32_t line = addr >> 3;
+        bool contends =
+            fram_accesses_this_instr_ > 0 && line != last_fram_line_;
+        last_fram_line_ = line;
+        ++fram_accesses_this_instr_;
+        std::uint32_t contention =
+            contends ? config_.contention_stall : 0;
+
+        if (kind == AccessKind::Write) {
+            // Writes go to the FRAM array directly (write-through
+            // controller); they pay the wait states but do not disturb
+            // the read cache's tag state.
+            stats_.stall_cycles += std::max(ws, contention);
+        } else if (config_.hw_cache_enabled) {
+            if (hw_cache_.access(addr)) {
+                ++stats_.fram_cache_hits;
+                stats_.stall_cycles += contention;
+            } else {
+                ++stats_.fram_cache_misses;
+                stats_.stall_cycles += std::max(ws, contention);
+            }
+        } else {
+            ++stats_.fram_cache_misses;
+            stats_.stall_cycles += std::max(ws, contention);
+        }
+    }
+}
+
+std::uint16_t
+Bus::read16(std::uint16_t addr, AccessKind kind)
+{
+    if (addr & 1)
+        support::fatal("unaligned word read at ", support::hex16(addr));
+    account(addr, kind, false);
+    std::uint16_t value;
+    if (regionOf(addr) == RegionKind::Mmio) {
+        std::uint64_t cycles =
+            stats_.stall_cycles +
+            (base_cycles_probe_ ? *base_cycles_probe_ : 0);
+        value = mmio_.read(addr, cycles);
+    } else {
+        value = memory_.read16(addr);
+    }
+    if (trace_)
+        trace_({addr, value, kind, false});
+    return value;
+}
+
+std::uint8_t
+Bus::read8(std::uint16_t addr, AccessKind kind)
+{
+    account(addr, kind, true);
+    std::uint8_t value;
+    if (regionOf(addr) == RegionKind::Mmio) {
+        std::uint64_t cycles =
+            stats_.stall_cycles +
+            (base_cycles_probe_ ? *base_cycles_probe_ : 0);
+        value = static_cast<std::uint8_t>(mmio_.read(addr, cycles));
+    } else {
+        value = memory_.read8(addr);
+    }
+    if (trace_)
+        trace_({addr, value, AccessKind::Read, true});
+    return value;
+}
+
+void
+Bus::write16(std::uint16_t addr, std::uint16_t value)
+{
+    if (addr & 1)
+        support::fatal("unaligned word write at ", support::hex16(addr));
+    account(addr, AccessKind::Write, false);
+    if (regionOf(addr) == RegionKind::Mmio) {
+        std::uint64_t cycles =
+            stats_.stall_cycles +
+            (base_cycles_probe_ ? *base_cycles_probe_ : 0);
+        mmio_.write(addr, value, cycles);
+    } else {
+        memory_.write16(addr, value);
+    }
+    if (trace_)
+        trace_({addr, value, AccessKind::Write, false});
+}
+
+void
+Bus::write8(std::uint16_t addr, std::uint8_t value)
+{
+    account(addr, AccessKind::Write, true);
+    if (regionOf(addr) == RegionKind::Mmio) {
+        std::uint64_t cycles =
+            stats_.stall_cycles +
+            (base_cycles_probe_ ? *base_cycles_probe_ : 0);
+        mmio_.write(addr, value, cycles);
+    } else {
+        memory_.write8(addr, value);
+    }
+    if (trace_)
+        trace_({addr, value, AccessKind::Write, true});
+}
+
+} // namespace swapram::sim

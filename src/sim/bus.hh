@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Memory bus: routes every CPU access to the flat memory / MMIO devices,
+ * charges FRAM wait-state and contention stalls, and maintains all
+ * access statistics (region counts, code/data-space classification,
+ * hardware-cache hits/misses).
+ */
+
+#ifndef SWAPRAM_SIM_BUS_HH
+#define SWAPRAM_SIM_BUS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/config.hh"
+#include "sim/hw_cache.hh"
+#include "sim/memory.hh"
+#include "sim/mmio.hh"
+#include "sim/stats.hh"
+
+namespace swapram::sim {
+
+/** Kind of one bus access. */
+enum class AccessKind : std::uint8_t { Fetch, Read, Write };
+
+/** One observed access (trace hook payload). */
+struct AccessEvent {
+    std::uint16_t addr;
+    std::uint16_t value;
+    AccessKind kind;
+    bool byte;
+};
+
+/** The CPU's window onto memory. */
+class Bus
+{
+  public:
+    Bus(Memory &memory, Mmio &mmio, Stats &stats,
+        const MachineConfig &config);
+
+    /** Reset per-instruction state (contention tracking). */
+    void beginInstruction();
+
+    std::uint16_t read16(std::uint16_t addr, AccessKind kind);
+    std::uint8_t read8(std::uint16_t addr, AccessKind kind);
+    void write16(std::uint16_t addr, std::uint16_t value);
+    void write8(std::uint16_t addr, std::uint8_t value);
+
+    /** Code-space range used for Table 1's code/data classification. */
+    void
+    setCodeRange(std::uint16_t base, std::uint32_t end)
+    {
+        code_base_ = base;
+        code_end_ = end;
+    }
+
+    /** Total cycles as seen by the bus's stall accounting plus the
+     *  externally supplied base-cycle count (set by the CPU). */
+    void setCycleProbe(const std::uint64_t *base_cycles)
+    {
+        base_cycles_probe_ = base_cycles;
+    }
+
+    /** Optional per-access trace hook (testing/debugging). */
+    void setTraceHook(std::function<void(const AccessEvent &)> hook)
+    {
+        trace_ = std::move(hook);
+    }
+
+    HwCache &hwCache() { return hw_cache_; }
+
+  private:
+    void account(std::uint16_t addr, AccessKind kind, bool byte);
+
+    Memory &memory_;
+    Mmio &mmio_;
+    Stats &stats_;
+    const MachineConfig &config_;
+    HwCache hw_cache_;
+
+    std::uint16_t code_base_ = 0;
+    std::uint32_t code_end_ = 0;
+    std::uint32_t fram_accesses_this_instr_ = 0;
+    std::uint32_t last_fram_line_ = 0;
+    const std::uint64_t *base_cycles_probe_ = nullptr;
+    std::function<void(const AccessEvent &)> trace_;
+};
+
+} // namespace swapram::sim
+
+#endif // SWAPRAM_SIM_BUS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Machine configuration: clock frequency, FRAM wait states, hardware
+ * cache enable, and run limits.
+ */
+
+#ifndef SWAPRAM_SIM_CONFIG_HH
+#define SWAPRAM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "support/platform.hh"
+
+namespace swapram::sim {
+
+/** Configuration of one Machine instance. */
+struct MachineConfig {
+    /** CPU clock (MCLK). The paper evaluates 8 MHz and 24 MHz. */
+    std::uint32_t clock_hz = 24'000'000;
+
+    /**
+     * Stall cycles per FRAM access that misses the hardware cache.
+     * Defaults from the clock: 0 at or below FRAM's 8 MHz limit,
+     * 3 above it (the paper's §5.4 figure for 24 MHz).
+     */
+    std::optional<std::uint32_t> fram_wait_states;
+
+    /**
+     * Extra stall applied to the second and later FRAM cache misses
+     * issued by a single instruction, modelling the cache-contention
+     * bottleneck the paper observes even at 8 MHz (Figure 1: "a single
+     * instruction execution can dispatch multiple simultaneous accesses
+     * to distant addresses in FRAM, bottlenecking memory accesses at
+     * the cache").
+     */
+    std::uint32_t contention_stall = 2;
+
+    /** Model the 2-way/4-line hardware read cache (always present on
+     *  the real device; disable only for experiments). */
+    bool hw_cache_enabled = true;
+
+    /** Abort the run after this many total cycles. */
+    std::uint64_t max_cycles = 4'000'000'000ull;
+
+    /**
+     * Periodic timer interrupt, in cycles (0 = disabled). When due and
+     * GIE is set, the CPU vectors through platform::kTimerVector
+     * (push PC, push SR, clear SR, 6 cycles) — the standard MSP430
+     * sequence. Programs enable it with EINT and must install the ISR
+     * address at the vector.
+     */
+    std::uint64_t timer_period_cycles = 0;
+
+    /** Effective wait states given the clock. */
+    std::uint32_t
+    effectiveWaitStates() const
+    {
+        if (fram_wait_states)
+            return *fram_wait_states;
+        return clock_hz <= platform::kFramMaxHz
+                   ? 0
+                   : platform::kFramWaitStates24MHz;
+    }
+};
+
+} // namespace swapram::sim
+
+#endif // SWAPRAM_SIM_CONFIG_HH

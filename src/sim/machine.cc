@@ -1,0 +1,72 @@
+#include "sim/machine.hh"
+
+#include "support/logging.hh"
+
+namespace swapram::sim {
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), bus_(memory_, mmio_, stats_, config_), cpu_(bus_)
+{
+    bus_.setCycleProbe(&stats_.base_cycles);
+}
+
+void
+Machine::load(const masm::Image &image, std::uint16_t stack_top)
+{
+    memory_.loadImage(image);
+    bus_.setCodeRange(image.text.base, image.text.end());
+    cpu_.reset(image.entry, stack_top);
+}
+
+void
+Machine::addOwnerRange(std::uint16_t base, std::uint32_t end,
+                       CodeOwner owner)
+{
+    owner_ranges_.push_back({base, end, owner});
+}
+
+CodeOwner
+Machine::classifyPc(std::uint16_t pc) const
+{
+    // Later registrations win: scan in reverse.
+    for (auto it = owner_ranges_.rbegin(); it != owner_ranges_.rend();
+         ++it) {
+        if (pc >= it->base && static_cast<std::uint32_t>(pc) < it->end)
+            return it->owner;
+    }
+    return regionOf(pc) == RegionKind::Sram ? CodeOwner::AppSram
+                                            : CodeOwner::AppFram;
+}
+
+void
+Machine::step()
+{
+    if (config_.timer_period_cycles) {
+        std::uint64_t now = stats_.totalCycles();
+        if (now >= timer_next_fire_)
+            timer_pending_ = true;
+        if (timer_pending_ && cpu_.interruptsEnabled()) {
+            timer_pending_ = false;
+            while (timer_next_fire_ <= now)
+                timer_next_fire_ += config_.timer_period_cycles;
+            cpu_.interrupt(platform::kTimerVector, stats_);
+            return; // interrupt entry consumes this step
+        }
+    }
+    ++stats_.instr_by_owner[static_cast<int>(classifyPc(cpu_.pc()))];
+    cpu_.step(stats_);
+}
+
+RunResult
+Machine::run()
+{
+    while (!mmio_.done()) {
+        if (stats_.totalCycles() >= config_.max_cycles) {
+            return {false, 0};
+        }
+        step();
+    }
+    return {true, mmio_.exitCode()};
+}
+
+} // namespace swapram::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Machine: composes memory, bus, MMIO, and CPU; loads an assembled
+ * image; runs to completion; attributes instructions to code owners
+ * (application FRAM/SRAM, miss handler, memcpy) for Figure 8.
+ */
+
+#ifndef SWAPRAM_SIM_MACHINE_HH
+#define SWAPRAM_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "masm/assembler.hh"
+#include "sim/bus.hh"
+#include "sim/config.hh"
+#include "sim/cpu.hh"
+#include "sim/memory.hh"
+#include "sim/mmio.hh"
+#include "sim/stats.hh"
+
+namespace swapram::sim {
+
+/** Outcome of Machine::run(). */
+struct RunResult {
+    bool done = false;          ///< program wrote __DONE
+    std::uint8_t exit_code = 0; ///< low byte of the __DONE write
+};
+
+/** A loaded, runnable system instance. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = {});
+
+    /** Load an assembled image; sets PC to the entry point and SP to
+     *  @p stack_top. */
+    void load(const masm::Image &image, std::uint16_t stack_top);
+
+    /**
+     * Attribute instructions fetched from [base, end) to @p owner
+     * (e.g. the SwapRAM miss handler's range). Later registrations win
+     * on overlap.
+     */
+    void addOwnerRange(std::uint16_t base, std::uint32_t end,
+                       CodeOwner owner);
+
+    /** Run until the program signals completion or max_cycles pass. */
+    RunResult run();
+
+    /** Execute exactly one instruction (testing). */
+    void step();
+
+    const Stats &stats() const { return stats_; }
+    const Mmio &mmio() const { return mmio_; }
+    Cpu &cpu() { return cpu_; }
+    Memory &memory() { return memory_; }
+    Bus &bus() { return bus_; }
+    const MachineConfig &config() const { return config_; }
+
+    /** Convenience memory peek for result checking. */
+    std::uint16_t peek16(std::uint16_t addr) const
+    {
+        return memory_.read16(addr);
+    }
+    std::uint8_t peek8(std::uint16_t addr) const
+    {
+        return memory_.read8(addr);
+    }
+
+  private:
+    CodeOwner classifyPc(std::uint16_t pc) const;
+
+    MachineConfig config_;
+    Memory memory_;
+    Mmio mmio_;
+    Stats stats_;
+    Bus bus_;
+    Cpu cpu_;
+
+    std::uint64_t timer_next_fire_ = 0;
+    bool timer_pending_ = false;
+
+    struct OwnerRange {
+        std::uint16_t base;
+        std::uint32_t end;
+        CodeOwner owner;
+    };
+    std::vector<OwnerRange> owner_ranges_;
+};
+
+} // namespace swapram::sim
+
+#endif // SWAPRAM_SIM_MACHINE_HH

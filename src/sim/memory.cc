@@ -1,0 +1,36 @@
+#include "sim/memory.hh"
+
+#include "support/platform.hh"
+
+namespace swapram::sim {
+
+namespace plat = swapram::platform;
+
+RegionKind
+regionOf(std::uint16_t addr)
+{
+    if (addr >= plat::kFramBase)
+        return RegionKind::Fram;
+    if (addr >= plat::kSramBase && addr < plat::kSramEnd)
+        return RegionKind::Sram;
+    if (addr >= plat::kMmioBase && addr < plat::kMmioEnd)
+        return RegionKind::Mmio;
+    return RegionKind::Unmapped;
+}
+
+Memory::Memory() : bytes_(0x10000, 0)
+{
+}
+
+void
+Memory::loadImage(const masm::Image &image)
+{
+    for (const masm::Chunk &chunk : image.chunks) {
+        for (size_t i = 0; i < chunk.bytes.size(); ++i) {
+            bytes_[static_cast<std::uint16_t>(chunk.base + i)] =
+                chunk.bytes[i];
+        }
+    }
+}
+
+} // namespace swapram::sim

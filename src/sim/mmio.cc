@@ -1,0 +1,47 @@
+#include "sim/mmio.hh"
+
+#include "support/platform.hh"
+
+namespace swapram::sim {
+
+namespace plat = swapram::platform;
+
+void
+Mmio::write(std::uint16_t addr, std::uint16_t value,
+            std::uint64_t cycles_now)
+{
+    switch (addr & ~1) {
+      case plat::kMmioConsole:
+        console_ += static_cast<char>(value & 0xFF);
+        break;
+      case plat::kMmioDone:
+        done_ = true;
+        exit_code_ = static_cast<std::uint8_t>(value & 0xFF);
+        break;
+      case plat::kMmioPin:
+        ++pin_toggles_;
+        break;
+      case plat::kMmioCycleLo:
+      case plat::kMmioCycleHi:
+        latched_cycles_ = cycles_now;
+        break;
+      default:
+        break; // writes to unassigned MMIO are ignored
+    }
+}
+
+std::uint16_t
+Mmio::read(std::uint16_t addr, std::uint64_t cycles_now)
+{
+    switch (addr & ~1) {
+      case plat::kMmioCycleLo:
+        latched_cycles_ = cycles_now;
+        return static_cast<std::uint16_t>(latched_cycles_ & 0xFFFF);
+      case plat::kMmioCycleHi:
+        return static_cast<std::uint16_t>((latched_cycles_ >> 16) & 0xFFFF);
+      default:
+        return 0;
+    }
+}
+
+} // namespace swapram::sim

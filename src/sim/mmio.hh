@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Memory-mapped test devices: console byte output, run-termination
+ * register, pin-toggle marker, and a latched cycle counter.
+ */
+
+#ifndef SWAPRAM_SIM_MMIO_HH
+#define SWAPRAM_SIM_MMIO_HH
+
+#include <cstdint>
+#include <string>
+
+namespace swapram::sim {
+
+/** State of the harness MMIO devices. */
+class Mmio
+{
+  public:
+    /** Handle a write of @p value to MMIO @p addr.
+     *  @param cycles_now total cycles, for the cycle-counter latch. */
+    void write(std::uint16_t addr, std::uint16_t value,
+               std::uint64_t cycles_now);
+
+    /** Handle a read from MMIO @p addr. */
+    std::uint16_t read(std::uint16_t addr, std::uint64_t cycles_now);
+
+    bool done() const { return done_; }
+    std::uint8_t exitCode() const { return exit_code_; }
+    const std::string &console() const { return console_; }
+    std::uint64_t pinToggles() const { return pin_toggles_; }
+
+  private:
+    bool done_ = false;
+    std::uint8_t exit_code_ = 0;
+    std::string console_;
+    std::uint64_t pin_toggles_ = 0;
+    std::uint64_t latched_cycles_ = 0;
+};
+
+} // namespace swapram::sim
+
+#endif // SWAPRAM_SIM_MMIO_HH

@@ -1,0 +1,19 @@
+#include "sim/stats.hh"
+
+#include "support/logging.hh"
+
+namespace swapram::sim {
+
+std::string
+ownerName(CodeOwner owner)
+{
+    switch (owner) {
+      case CodeOwner::AppFram: return "app-fram";
+      case CodeOwner::AppSram: return "app-sram";
+      case CodeOwner::Handler: return "handler";
+      case CodeOwner::Memcpy: return "memcpy";
+    }
+    support::panic("ownerName: bad owner");
+}
+
+} // namespace swapram::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Execution statistics collected by the machine model: instruction and
+ * cycle counts, per-region access counts, hardware-cache behaviour, and
+ * the classifications the paper's evaluation is built on (code vs data
+ * space accesses for Table 1; instruction attribution by code owner for
+ * Figure 8; FRAM accesses and unstalled cycles for Table 2).
+ */
+
+#ifndef SWAPRAM_SIM_STATS_HH
+#define SWAPRAM_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace swapram::sim {
+
+/** Who "owns" the code an instruction was fetched from (Figure 8). */
+enum class CodeOwner : std::uint8_t {
+    AppFram = 0, ///< application code executing from FRAM
+    AppSram = 1, ///< application code executing from SRAM (cached)
+    Handler = 2, ///< cache-runtime code (miss handler, entry stubs)
+    Memcpy = 3,  ///< the runtime's copy loop
+};
+inline constexpr int kNumOwners = 4;
+
+/** Human-readable owner name. */
+std::string ownerName(CodeOwner owner);
+
+/** Fetch/read/write counters for one memory region. */
+struct AccessCounts {
+    std::uint64_t fetch = 0;
+    std::uint64_t read = 0;
+    std::uint64_t write = 0;
+
+    std::uint64_t total() const { return fetch + read + write; }
+};
+
+/** All counters for one run. */
+struct Stats {
+    std::uint64_t instructions = 0;
+    /** Unstalled CPU cycles (Table 2's "CPU Cycles"). */
+    std::uint64_t base_cycles = 0;
+    /** FRAM wait-state and contention stalls. */
+    std::uint64_t stall_cycles = 0;
+
+    AccessCounts sram, fram, mmio;
+    std::uint64_t fram_cache_hits = 0;
+    std::uint64_t fram_cache_misses = 0;
+
+    /** Accesses whose target address lies in the .text range. */
+    std::uint64_t code_space_accesses = 0;
+    /** Accesses to any non-text, non-MMIO address. */
+    std::uint64_t data_space_accesses = 0;
+
+    std::array<std::uint64_t, kNumOwners> instr_by_owner{};
+
+    /** Timer interrupts serviced. */
+    std::uint64_t interrupts = 0;
+
+    std::uint64_t totalCycles() const { return base_cycles + stall_cycles; }
+    std::uint64_t framAccesses() const { return fram.total(); }
+};
+
+} // namespace swapram::sim
+
+#endif // SWAPRAM_SIM_STATS_HH

@@ -1,0 +1,30 @@
+#include "support/logging.hh"
+
+#include <iostream>
+
+namespace swapram::support {
+
+namespace {
+bool verbose_enabled = false;
+} // namespace
+
+void
+warnStr(const std::string &message)
+{
+    std::cerr << "warn: " << message << "\n";
+}
+
+void
+informStr(const std::string &message)
+{
+    if (verbose_enabled)
+        std::cerr << "info: " << message << "\n";
+}
+
+void
+setVerbose(bool verbose)
+{
+    verbose_enabled = verbose;
+}
+
+} // namespace swapram::support

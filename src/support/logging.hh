@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Error reporting and status-message helpers, in the spirit of gem5's
+ * logging.hh: panic() for internal invariant violations, fatal() for
+ * user-caused errors (bad assembly, bad configuration), warn()/inform()
+ * for non-fatal status.
+ */
+
+#ifndef SWAPRAM_SUPPORT_LOGGING_HH
+#define SWAPRAM_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace swapram::support {
+
+/** Thrown by panic(): a bug in this library, not in user input. */
+struct PanicError : std::logic_error {
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(): invalid user input (assembly, config, workload). */
+struct FatalError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/** Concatenate all arguments into one string using operator<<. */
+template <typename... Args>
+std::string
+cat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    return os.str();
+}
+
+/** Report an internal invariant violation; never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(cat("panic: ", args...));
+}
+
+/** Report an unrecoverable user-input error; never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(cat("fatal: ", args...));
+}
+
+/** Print a warning to stderr (does not stop execution). */
+void warnStr(const std::string &message);
+
+/** Print an informational message to stderr. */
+void informStr(const std::string &message);
+
+/** Enable/disable inform() output globally (quiet test runs). */
+void setVerbose(bool verbose);
+
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    warnStr(cat(args...));
+}
+
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    informStr(cat(args...));
+}
+
+} // namespace swapram::support
+
+#endif // SWAPRAM_SUPPORT_LOGGING_HH

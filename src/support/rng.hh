@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic xorshift RNG used by workload input generators and
+ * property tests so every run is reproducible without std::random
+ * implementation differences.
+ */
+
+#ifndef SWAPRAM_SUPPORT_RNG_HH
+#define SWAPRAM_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace swapram::support {
+
+/** xorshift32 generator with an explicit seed. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint32_t seed = 0x5EED1234u)
+        : state_(seed ? seed : 1u)
+    {}
+
+    /** Next raw 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint32_t x = state_;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        state_ = x;
+        return x;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform byte. */
+    std::uint8_t byte() { return static_cast<std::uint8_t>(next() >> 13); }
+
+    /** Uniform 16-bit word. */
+    std::uint16_t word() { return static_cast<std::uint16_t>(next() >> 11); }
+
+  private:
+    std::uint32_t state_;
+};
+
+} // namespace swapram::support
+
+#endif // SWAPRAM_SUPPORT_RNG_HH

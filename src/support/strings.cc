@@ -1,0 +1,94 @@
+#include "support/strings.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace swapram::support {
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    while (begin < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    size_t end = text.size();
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::string
+toUpper(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            return fields;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+hex16(std::uint16_t value)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "0x%04X", value);
+    return buf;
+}
+
+std::string
+fixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+replaceAll(std::string text, std::string_view from, std::string_view to)
+{
+    if (from.empty())
+        return text;
+    size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+        text.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return text;
+}
+
+} // namespace swapram::support

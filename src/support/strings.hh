@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string utilities shared by the assembler and report writers.
+ */
+
+#ifndef SWAPRAM_SUPPORT_STRINGS_HH
+#define SWAPRAM_SUPPORT_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swapram::support {
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view text);
+
+/** Lowercase a copy of @p text (ASCII only). */
+std::string toLower(std::string_view text);
+
+/** Uppercase a copy of @p text (ASCII only). */
+std::string toUpper(std::string_view text);
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** True if @p text starts with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Format a 16-bit value as 0xXXXX. */
+std::string hex16(std::uint16_t value);
+
+/** Format with fixed decimals, e.g.\ fixed(1.2345, 2) == "1.23". */
+std::string fixed(double value, int decimals);
+
+/** Replace every occurrence of @p from in @p text with @p to. */
+std::string replaceAll(std::string text, std::string_view from,
+                       std::string_view to);
+
+} // namespace swapram::support
+
+#endif // SWAPRAM_SUPPORT_STRINGS_HH

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Library version.
+ */
+
+#ifndef SWAPRAM_SUPPORT_VERSION_HH
+#define SWAPRAM_SUPPORT_VERSION_HH
+
+namespace swapram {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char *kVersionString = "1.0.0";
+
+} // namespace swapram
+
+#endif // SWAPRAM_SUPPORT_VERSION_HH

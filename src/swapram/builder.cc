@@ -1,0 +1,87 @@
+#include "swapram/builder.hh"
+
+#include "masm/parser.hh"
+#include "support/logging.hh"
+#include "swapram/runtime_gen.hh"
+
+namespace swapram::cache {
+
+BuildInfo
+build(const masm::Program &app, const masm::LayoutSpec &layout,
+      const Options &options)
+{
+    BuildInfo info;
+    info.funcs = collectFunctions(app, options);
+
+    // 1. Call-site instrumentation (Figure 3).
+    masm::Program instrumented =
+        instrumentCalls(app, info.funcs, options, &info.pass_stats);
+
+    // 2. Intermediate assembly: performs jump relaxation and fixes
+    //    function sizes/addresses (the paper's "intermediate binary").
+    //    The runtime's symbols do not exist yet; placeholder values are
+    //    fine because absolute operands have a fixed size regardless of
+    //    the resolved address.
+    masm::LayoutSpec inter_layout = layout;
+    for (const char *sym : {"__swp_active", "__swp_curid",
+                            "__swp_redirect", "__swp_rval",
+                            "__swp_miss", "__swp_dyncall"}) {
+        inter_layout.predefined.emplace(sym, 0);
+    }
+    for (const std::string &name : info.funcs.names)
+        inter_layout.predefined.emplace("__swp_id_" + name, 0);
+    masm::AssembleResult inter = masm::assemble(instrumented,
+                                                inter_layout);
+
+    // 3. Relocate intra-function absolute branches (Figure 4).
+    RelocResult relocs = relocateBranches(inter, info.funcs);
+    info.reloc_count = static_cast<int>(relocs.entries.size());
+
+    // 4. Generate and append the runtime + metadata tables.
+    masm::Program runtime =
+        masm::parse(generateRuntimeAsm(info.funcs, relocs, options));
+    masm::Program final_program = relocs.program;
+    final_program.append(runtime);
+
+    // 5. Final assembly.
+    info.assembled = masm::assemble(final_program, layout);
+
+    // The relocation pass recorded NVM addresses from the intermediate
+    // assembly; verify the final layout kept them (it must: the rewrite
+    // is size-preserving and the runtime is appended after all
+    // application text).
+    for (int id = 0; id < info.funcs.count(); ++id) {
+        const auto &name = info.funcs.names[id];
+        if (info.assembled.function(name).addr !=
+            inter.function(name).addr) {
+            support::panic("SwapRAM build moved function '", name,
+                           "' between intermediate and final assembly");
+        }
+    }
+
+    // Size accounting.
+    const auto &handler = info.assembled.function("__swp_miss");
+    const auto &dyncall = info.assembled.function("__swp_dyncall");
+    const auto &copier = info.assembled.function("__swp_memcpy");
+    info.handler_addr = handler.addr;
+    // The dynamic-call trampoline sits right after the handler and is
+    // runtime code too (attributed to Handler in Figure 8).
+    info.handler_end =
+        static_cast<std::uint16_t>(dyncall.addr + dyncall.size);
+    info.handler_bytes = handler.size;
+    info.memcpy_addr = copier.addr;
+    info.memcpy_end =
+        static_cast<std::uint16_t>(copier.addr + copier.size);
+    info.runtime_text_bytes = handler.size + copier.size;
+    info.app_text_bytes =
+        info.assembled.image.text.size - info.runtime_text_bytes;
+    // Metadata: the fixed cells and save area plus every table entry.
+    const int n = std::max(info.funcs.count(), 1);
+    const int r = std::max(info.reloc_count, 1);
+    info.metadata_bytes = 10 + 10 // cells + register save area
+                          + 7 * 2 * static_cast<std::uint32_t>(n)
+                          + 2 * 2 * static_cast<std::uint32_t>(r);
+    return info;
+}
+
+} // namespace swapram::cache

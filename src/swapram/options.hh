@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SwapRAM build options: cache region, replacement structure, and the
+ * function blacklist (§3.1: exclude functions with strict timing
+ * requirements or known-infrequent execution).
+ */
+
+#ifndef SWAPRAM_SWAPRAM_OPTIONS_HH
+#define SWAPRAM_SWAPRAM_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/platform.hh"
+
+namespace swapram::cache {
+
+/** Cache-memory structure, which fixes the replacement policy (§3.4). */
+enum class Policy : std::uint8_t {
+    /** Circular queue: least-recently-cached replacement (the paper's
+     *  proof-of-concept design). */
+    CircularQueue,
+    /** Stack: most-recently-cached replacement (the counterproductive
+     *  alternative §3.4 discusses; kept for the ablation bench). */
+    Stack,
+};
+
+/** Options for one SwapRAM build. */
+struct Options {
+    /** First byte of the SRAM region used as the code cache. */
+    std::uint16_t cache_base = platform::kSramBase;
+    /** One past the last byte of the cache region. */
+    std::uint16_t cache_end =
+        static_cast<std::uint16_t>(platform::kSramEnd);
+
+    Policy policy = Policy::CircularQueue;
+
+    /** Functions never instrumented or cached. */
+    std::vector<std::string> blacklist;
+
+    /**
+     * Rewrite PC-relative (symbolic) data operands to absolute mode in
+     * instrumented functions, which is required for the code to be
+     * runtime-relocatable. Disable only for experiments.
+     */
+    bool absolutize_data_refs = true;
+
+    /**
+     * Thrash mitigation (the extension §5.4 proposes as future work):
+     * after this many consecutive aborted caching attempts (a miss
+     * that would have to evict an *active* function), the runtime
+     * "freezes" the cache for `freeze_window` misses — frozen misses
+     * run from NVM immediately, skipping the eviction scans, so a
+     * pathological caller/callee pair stops paying the full handler on
+     * every call. 0 disables the feature (the paper's baseline
+     * behaviour).
+     */
+    int freeze_threshold = 0;
+    /** Misses served from NVM per freeze episode. */
+    int freeze_window = 32;
+
+    std::uint16_t cacheSize() const
+    {
+        return static_cast<std::uint16_t>(cache_end - cache_base);
+    }
+
+    bool
+    isBlacklisted(const std::string &name) const
+    {
+        for (const std::string &b : blacklist) {
+            if (b == name)
+                return true;
+        }
+        return false;
+    }
+};
+
+} // namespace swapram::cache
+
+#endif // SWAPRAM_SWAPRAM_OPTIONS_HH

@@ -1,0 +1,113 @@
+#include "swapram/pass.hh"
+
+#include "support/logging.hh"
+
+namespace swapram::cache {
+
+using masm::AsmOperand;
+using masm::Directive;
+using masm::Expr;
+using masm::OperKind;
+using masm::Program;
+using masm::Statement;
+
+FuncIds
+collectFunctions(const Program &program, const Options &options)
+{
+    FuncIds out;
+    for (const masm::FuncRange &f : masm::findFunctions(program)) {
+        if (options.isBlacklisted(f.name))
+            continue;
+        if (out.contains(f.name))
+            support::fatal("duplicate function '", f.name, "'");
+        out.ids[f.name] = out.count();
+        out.names.push_back(f.name);
+    }
+    return out;
+}
+
+namespace {
+
+/** The call target's function name, if this is `CALL #symbol`. */
+const std::string *
+directCallTarget(const Statement &s)
+{
+    if (s.kind != Statement::Kind::Instr)
+        return nullptr;
+    const masm::AsmInstr &i = s.instr;
+    if (i.op != isa::Op::Call || !i.dst)
+        return nullptr;
+    if (i.dst->kind != OperKind::Immediate || !i.dst->expr.isSymbol())
+        return nullptr;
+    return &i.dst->expr.symbol();
+}
+
+Expr
+cellAddr(const char *table, int id)
+{
+    return Expr::add(Expr::sym(table), Expr::num(2 * id));
+}
+
+} // namespace
+
+Program
+instrumentCalls(const Program &program, const FuncIds &funcs,
+                const Options &options, PassStats *stats)
+{
+    PassStats local;
+    Program out;
+    out.stmts.reserve(program.stmts.size() * 2);
+
+    // Track whether we are inside an instrumented function, for the
+    // symbolic->absolute rewrite.
+    bool in_cacheable_func = false;
+
+    for (const Statement &s : program.stmts) {
+        if (s.kind == Statement::Kind::Directive) {
+            if (s.directive == Directive::Func)
+                in_cacheable_func = funcs.contains(s.name);
+            else if (s.directive == Directive::EndFunc)
+                in_cacheable_func = false;
+        }
+
+        if (const std::string *target = directCallTarget(s);
+            target && funcs.contains(*target)) {
+            int id = funcs.ids.at(*target);
+            ++local.call_sites_instrumented;
+            out.stmts.push_back(Statement::makeInstr(
+                masm::addImmToAbs(1, cellAddr("__swp_active", id)),
+                s.line));
+            out.stmts.push_back(Statement::makeInstr(
+                masm::movInstr(AsmOperand::imm(Expr::num(2 * id)),
+                               AsmOperand::abs(Expr::sym("__swp_curid"))),
+                s.line));
+            out.stmts.push_back(Statement::makeInstr(
+                masm::callAbs(cellAddr("__swp_redirect", id)), s.line));
+            out.stmts.push_back(Statement::makeInstr(
+                masm::subImmFromAbs(1, cellAddr("__swp_active", id)),
+                s.line));
+            continue;
+        }
+
+        Statement copy = s;
+        if (in_cacheable_func && options.absolutize_data_refs &&
+            copy.kind == Statement::Kind::Instr) {
+            auto absolutize = [&](std::optional<AsmOperand> &op) {
+                if (op && op->kind == OperKind::SymbolicMem) {
+                    op->kind = OperKind::Absolute;
+                    op->reg = isa::Reg::SR;
+                    ++local.symbolic_operands_absolutized;
+                }
+            };
+            absolutize(copy.instr.src);
+            absolutize(copy.instr.dst);
+        }
+        out.stmts.push_back(std::move(copy));
+    }
+
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace swapram::cache

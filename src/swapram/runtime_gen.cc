@@ -1,0 +1,288 @@
+#include "swapram/runtime_gen.hh"
+
+#include <functional>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace swapram::cache {
+
+namespace {
+
+/** Emit one .word table with a value per function. */
+void
+emitTable(std::ostringstream &os, const char *label, const FuncIds &funcs,
+          const std::function<std::string(int)> &value)
+{
+    os << label << ":\n";
+    for (int id = 0; id < funcs.count(); ++id)
+        os << "        .word " << value(id) << "\n";
+    if (funcs.count() == 0)
+        os << "        .word 0\n"; // keep the label addressable
+}
+
+} // namespace
+
+std::string
+generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
+                   const Options &options)
+{
+    std::ostringstream os;
+    const int n = funcs.count();
+    const unsigned cache_size = options.cacheSize();
+    const unsigned cache_base = options.cache_base;
+    const unsigned cache_end = options.cache_end;
+
+    os << "; ---- SwapRAM generated runtime (" << n << " functions, "
+       << relocs.entries.size() << " relocatable branches) ----\n";
+    os << "        .const\n        .align 2\n";
+    os << "__swp_curid:   .word 0\n";
+    os << "__swp_tmp:     .word 0\n";
+    os << "__swp_cand:    .word 0\n";
+    os << "__swp_end:     .word 0\n";
+    os << "__swp_tail:    .word " << cache_base << "\n";
+    os << "__swp_save:    .space 10\n";
+    const bool freeze = options.freeze_threshold > 0;
+    if (freeze) {
+        os << "__swp_abort:   .word 0\n";
+        os << "__swp_freeze:  .word 0\n";
+    }
+
+    emitTable(os, "__swp_redirect", funcs,
+              [](int) { return std::string("__swp_miss"); });
+    emitTable(os, "__swp_cached", funcs,
+              [](int) { return std::string("0xFFFF"); });
+    emitTable(os, "__swp_active", funcs,
+              [](int) { return std::string("0"); });
+    emitTable(os, "__swp_fsize", funcs, [&](int id) {
+        return "__end_" + funcs.names[id] + " - " + funcs.names[id];
+    });
+    emitTable(os, "__swp_fnvm", funcs,
+              [&](int id) { return funcs.names[id]; });
+    emitTable(os, "__swp_rbase", funcs, [&](int id) {
+        return std::to_string(2 * relocs.func_first[id]);
+    });
+    emitTable(os, "__swp_rcnt", funcs, [&](int id) {
+        return std::to_string(relocs.relocCount(id));
+    });
+
+    os << "__swp_rofs:\n";
+    for (const RelocEntry &e : relocs.entries)
+        os << "        .word " << e.offset << "\n";
+    if (relocs.entries.empty())
+        os << "        .word 0\n";
+    os << "__swp_rval:\n";
+    for (const RelocEntry &e : relocs.entries)
+        os << "        .word " << e.target << "\n";
+    if (relocs.entries.empty())
+        os << "        .word 0\n";
+
+    // ---- Miss handler ----
+    os << "        .text\n";
+    os << "        .func __swp_miss\n";
+    // Save caller-saved registers (R11-R15; R12-R15 carry arguments per
+    // the MSP430 calling convention, §4).
+    os << "        MOV R11, &__swp_save\n"
+          "        MOV R12, &__swp_save+2\n"
+          "        MOV R13, &__swp_save+4\n"
+          "        MOV R14, &__swp_save+6\n"
+          "        MOV R15, &__swp_save+8\n";
+    // Look up the target function.
+    os << "        MOV &__swp_curid, R15\n"
+          "        MOV __swp_fsize(R15), R13\n";
+    // A function larger than the whole cache always runs from NVM.
+    os << "        CMP #" << (cache_size + 1) << ", R13\n"
+          "        JHS __swp_nvm\n";
+    if (freeze) {
+        // Frozen cache (thrash mitigation): serve the miss from NVM
+        // without scanning, until the freeze window drains.
+        os << "        MOV &__swp_freeze, R12\n"
+              "        TST R12\n"
+              "        JZ __swp_live\n"
+              "        DEC R12\n"
+              "        MOV R12, &__swp_freeze\n"
+              "        JMP __swp_nvm\n"
+              "__swp_live:\n";
+    }
+    // Placement (§3.4).
+    os << "        MOV &__swp_tail, R14\n"
+          "        MOV R14, R12\n"
+          "        ADD R13, R12\n"
+          "        CMP #" << (cache_end + 1) << ", R12\n"
+          "        JLO __swp_place_ok\n";
+    if (options.policy == Policy::CircularQueue) {
+        // Wrap to the bottom of the cache region.
+        os << "        MOV #" << cache_base << ", R14\n";
+    } else {
+        // Stack policy: place at the very top, overlapping (and hence
+        // evicting) the most recently cached functions.
+        os << "        MOV #" << cache_end << ", R14\n"
+              "        SUB R13, R14\n";
+    }
+    os << "        MOV R14, R12\n"
+          "        ADD R13, R12\n"
+          "__swp_place_ok:\n"
+          "        MOV R14, &__swp_cand\n"
+          "        MOV R12, &__swp_end\n";
+
+    // Scan pass 1 (§3.3.2/3.3.3): flag overlapping functions; abort to
+    // NVM execution if any is active.
+    os << "        CLR R11\n"
+          "__swp_scan1:\n"
+          "        CMP #" << (2 * n) << ", R11\n"
+          "        JHS __swp_scan1_done\n"
+          "        MOV __swp_cached(R11), R13\n"
+          "        CMP #0xFFFF, R13\n"
+          "        JEQ __swp_scan1_next\n"
+          "        CMP &__swp_end, R13\n"     // cached >= end: no overlap
+          "        JHS __swp_scan1_next\n"
+          "        MOV R13, R15\n"
+          "        ADD __swp_fsize(R11), R15\n"
+          "        CMP R15, R14\n"            // cand >= cached end: none
+          "        JHS __swp_scan1_next\n"
+          "        TST __swp_active(R11)\n"
+       << (freeze ? "        JNZ __swp_thrash\n"
+                  : "        JNZ __swp_nvm\n")
+       << "__swp_scan1_next:\n"
+          "        INCD R11\n"
+          "        JMP __swp_scan1\n"
+          "__swp_scan1_done:\n";
+
+    // Scan pass 2: evict every flagged function (reset metadata and
+    // relocation cells back to their NVM values).
+    os << "        CLR R11\n"
+          "__swp_scan2:\n"
+          "        CMP #" << (2 * n) << ", R11\n"
+          "        JHS __swp_scan2_done\n"
+          "        MOV __swp_cached(R11), R13\n"
+          "        CMP #0xFFFF, R13\n"
+          "        JEQ __swp_scan2_next\n"
+          "        CMP &__swp_end, R13\n"
+          "        JHS __swp_scan2_next\n"
+          "        MOV R13, R15\n"
+          "        ADD __swp_fsize(R11), R15\n"
+          "        CMP R15, R14\n"
+          "        JHS __swp_scan2_next\n"
+          "        MOV #0xFFFF, __swp_cached(R11)\n"
+          "        MOV #__swp_miss, __swp_redirect(R11)\n"
+          "        MOV __swp_rbase(R11), R13\n"
+          "        MOV R13, R15\n"
+          "        ADD __swp_rcnt(R11), R15\n"
+          "        ADD __swp_rcnt(R11), R15\n"
+          "__swp_rst_loop:\n"
+          "        CMP R15, R13\n"
+          "        JHS __swp_scan2_next\n"
+          "        MOV __swp_fnvm(R11), R12\n"
+          "        ADD __swp_rofs(R13), R12\n"
+          "        MOV R12, __swp_rval(R13)\n"
+          "        INCD R13\n"
+          "        JMP __swp_rst_loop\n"
+          "__swp_scan2_next:\n"
+          "        INCD R11\n"
+          "        JMP __swp_scan2\n"
+          "__swp_scan2_done:\n";
+
+    // Copy the function into SRAM.
+    os << "        MOV &__swp_curid, R15\n"
+          "        MOV R14, R12\n"              // dst = candidate
+          "        MOV __swp_fnvm(R15), R13\n"  // src = NVM copy
+          "        MOV __swp_fsize(R15), R14\n" // len
+          "        CALL #__swp_memcpy\n";
+
+    // Compute this function's relocation values against the SRAM base.
+    os << "        MOV &__swp_curid, R15\n"
+          "        MOV __swp_rbase(R15), R13\n"
+          "        MOV R13, R11\n"
+          "        ADD __swp_rcnt(R15), R11\n"
+          "        ADD __swp_rcnt(R15), R11\n"
+          "__swp_set_loop:\n"
+          "        CMP R11, R13\n"
+          "        JHS __swp_set_done\n"
+          "        MOV &__swp_cand, R12\n"
+          "        ADD __swp_rofs(R13), R12\n"
+          "        MOV R12, __swp_rval(R13)\n"
+          "        INCD R13\n"
+          "        JMP __swp_set_loop\n"
+          "__swp_set_done:\n";
+
+    // Bookkeeping: mark cached, point the redirect cell at the SRAM
+    // copy, and advance the tail.
+    if (freeze)
+        os << "        CLR &__swp_abort\n";
+    os << "        MOV &__swp_cand, R12\n"
+          "        MOV R12, __swp_cached(R15)\n"
+          "        MOV R12, __swp_redirect(R15)\n"
+          "        MOV &__swp_end, R12\n"
+          "        MOV R12, &__swp_tail\n"
+          "        MOV &__swp_cand, R12\n"
+          "        MOV R12, &__swp_tmp\n"
+          "        JMP __swp_exit\n";
+
+    if (freeze) {
+        // An active function blocked the eviction: count consecutive
+        // aborts; at the threshold, freeze the cache for a window.
+        os << "__swp_thrash:\n"
+              "        MOV &__swp_abort, R12\n"
+              "        INC R12\n"
+              "        MOV R12, &__swp_abort\n"
+              "        CMP #" << options.freeze_threshold << ", R12\n"
+              "        JLO __swp_nvm\n"
+              "        MOV #" << options.freeze_window << ", R12\n"
+              "        MOV R12, &__swp_freeze\n"
+              "        CLR &__swp_abort\n";
+        // falls through into the NVM path
+    }
+
+    // Fallback: execute from NVM (paper §3.3.3 — the redirect cell keeps
+    // pointing at the handler, so the next call retries).
+    os << "__swp_nvm:\n"
+          "        MOV &__swp_curid, R15\n"
+          "        MOV __swp_fnvm(R15), R12\n"
+          "        MOV R12, &__swp_tmp\n"
+          "__swp_exit:\n"
+          "        MOV &__swp_save, R11\n"
+          "        MOV &__swp_save+2, R12\n"
+          "        MOV &__swp_save+4, R13\n"
+          "        MOV &__swp_save+6, R14\n"
+          "        MOV &__swp_save+8, R15\n"
+          "        BR &__swp_tmp\n"
+          "        .endfunc\n";
+
+    // ---- Dynamic-call interface (§4 future work: "an interface for
+    // the programmer to explicitly inform the runtime of dynamic
+    // function calls"). The caller puts 2*funcId in R11 (the
+    // __swp_id_<name> constants below) and calls this trampoline,
+    // which performs exactly what an instrumented static call site
+    // does: bump the callee's active counter, signal the id, and call
+    // through the redirect cell. ----
+    os << "        .func __swp_dyncall\n"
+          "        ADD #1, __swp_active(R11)\n"
+          "        MOV R11, &__swp_curid\n"
+          "        PUSH R11\n"
+          "        CALL __swp_redirect(R11)\n"
+          "        POP R11\n"
+          "        SUB #1, __swp_active(R11)\n"
+          "        RET\n"
+          "        .endfunc\n";
+    for (int id = 0; id < n; ++id) {
+        os << "        .equ __swp_id_" << funcs.names[id] << ", "
+           << 2 * id << "\n";
+    }
+
+    // ---- Shared copy routine (word granularity; sizes are even) ----
+    os << "        .func __swp_memcpy\n"
+          "__swp_mc_loop:\n"
+          "        TST R14\n"
+          "        JZ __swp_mc_done\n"
+          "        MOV @R13+, 0(R12)\n"
+          "        INCD R12\n"
+          "        DECD R14\n"
+          "        JMP __swp_mc_loop\n"
+          "__swp_mc_done:\n"
+          "        RET\n"
+          "        .endfunc\n";
+
+    return os.str();
+}
+
+} // namespace swapram::cache

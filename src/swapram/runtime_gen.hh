@@ -1,0 +1,36 @@
+/**
+ * @file
+ * SwapRAM runtime generator (paper §3.3, Figure 4 and §4).
+ *
+ * Emits real MSP430 assembly for the cache miss handler, the shared
+ * word-copy routine, and the metadata tables, parametrized by the
+ * program's function set — the analogue of the paper's generated C
+ * runtime. The runtime executes inside the simulator, so its
+ * instruction fetches, FRAM metadata traffic, and copy costs are
+ * measured rather than modelled.
+ *
+ * Metadata lives in .const (FRAM): redirect cells, cached-address and
+ * active-counter arrays, per-function size/NVM-address tables, and the
+ * relocation offset/value arrays. Keeping runtime state in FRAM matches
+ * the paper's finding (§4) that SRAM is better spent on cached code.
+ */
+
+#ifndef SWAPRAM_SWAPRAM_RUNTIME_GEN_HH
+#define SWAPRAM_SWAPRAM_RUNTIME_GEN_HH
+
+#include <string>
+
+#include "swapram/options.hh"
+#include "swapram/pass.hh"
+#include "swapram/reloc.hh"
+
+namespace swapram::cache {
+
+/** Generate the runtime assembly (text + tables) for @p funcs. */
+std::string generateRuntimeAsm(const FuncIds &funcs,
+                               const RelocResult &relocs,
+                               const Options &options);
+
+} // namespace swapram::cache
+
+#endif // SWAPRAM_SWAPRAM_RUNTIME_GEN_HH

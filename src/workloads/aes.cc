@@ -1,0 +1,434 @@
+/**
+ * @file
+ * AES benchmark (MiBench2 "aes"): AES-128 ECB encryption of eight
+ * blocks. Key expansion, SubBytes+ShiftRows, MixColumns, and
+ * AddRoundKey are separate functions called per round — the paper's
+ * worst-case benchmark, whose call pattern causes SwapRAM thrashing
+ * (§5.4). The xtime helper is itself a function, multiplying the call
+ * rate further.
+ *
+ * The golden model is a straight FIPS-197 implementation (checked
+ * against the standard test vector in tests/workloads_test.cc).
+ */
+
+#include <array>
+#include <sstream>
+
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+
+constexpr int kBlocks = 8;
+
+const std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67,
+    0x2b, 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59,
+    0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7,
+    0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1,
+    0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05,
+    0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83,
+    0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29,
+    0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa,
+    0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c,
+    0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc,
+    0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+    0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee,
+    0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4,
+    0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6,
+    0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70,
+    0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9,
+    0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e,
+    0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1,
+    0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
+    0x54, 0xbb, 0x16,
+};
+
+std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1B : 0));
+}
+
+void
+expandKey(const std::uint8_t key[16], std::uint8_t rk[176])
+{
+    for (int i = 0; i < 16; ++i)
+        rk[i] = key[i];
+    std::uint8_t rcon = 1;
+    for (int i = 16; i < 176; i += 4) {
+        std::uint8_t t[4] = {rk[i - 4], rk[i - 3], rk[i - 2], rk[i - 1]};
+        if (i % 16 == 0) {
+            std::uint8_t t0 = t[0];
+            t[0] = static_cast<std::uint8_t>(kSbox[t[1]] ^ rcon);
+            t[1] = kSbox[t[2]];
+            t[2] = kSbox[t[3]];
+            t[3] = kSbox[t0];
+            rcon = xtime(rcon);
+        }
+        for (int j = 0; j < 4; ++j)
+            rk[i + j] = static_cast<std::uint8_t>(rk[i - 16 + j] ^ t[j]);
+    }
+}
+
+void
+encryptBlock(std::uint8_t st[16], const std::uint8_t rk[176])
+{
+    auto add_rk = [&](int round) {
+        for (int i = 0; i < 16; ++i)
+            st[i] ^= rk[16 * round + i];
+    };
+    auto sub_shift = [&] {
+        std::uint8_t tmp[16];
+        for (int c = 0; c < 4; ++c) {
+            for (int r = 0; r < 4; ++r)
+                tmp[r + 4 * c] = kSbox[st[r + 4 * ((c + r) % 4)]];
+        }
+        for (int i = 0; i < 16; ++i)
+            st[i] = tmp[i];
+    };
+    auto mix = [&] {
+        for (int c = 0; c < 4; ++c) {
+            std::uint8_t a0 = st[4 * c], a1 = st[4 * c + 1];
+            std::uint8_t a2 = st[4 * c + 2], a3 = st[4 * c + 3];
+            std::uint8_t t =
+                static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+            st[4 * c] ^= static_cast<std::uint8_t>(
+                t ^ xtime(static_cast<std::uint8_t>(a0 ^ a1)));
+            st[4 * c + 1] ^= static_cast<std::uint8_t>(
+                t ^ xtime(static_cast<std::uint8_t>(a1 ^ a2)));
+            st[4 * c + 2] ^= static_cast<std::uint8_t>(
+                t ^ xtime(static_cast<std::uint8_t>(a2 ^ a3)));
+            st[4 * c + 3] ^= static_cast<std::uint8_t>(
+                t ^ xtime(static_cast<std::uint8_t>(a3 ^ a0)));
+        }
+    };
+    add_rk(0);
+    for (int round = 1; round <= 9; ++round) {
+        sub_shift();
+        mix();
+        add_rk(round);
+    }
+    sub_shift();
+    add_rk(10);
+}
+
+} // namespace
+
+/** Golden AES-128 single-block encryption (exposed for the FIPS-vector
+ *  unit test). */
+void
+aesGoldenEncrypt(const std::uint8_t key[16], const std::uint8_t in[16],
+                 std::uint8_t out[16])
+{
+    std::uint8_t rk[176];
+    expandKey(key, rk);
+    for (int i = 0; i < 16; ++i)
+        out[i] = in[i];
+    encryptBlock(out, rk);
+}
+
+Workload
+makeAes()
+{
+    support::Rng rng(0xAE5);
+    std::uint8_t key[16];
+    for (auto &b : key)
+        b = rng.byte();
+    std::vector<std::uint8_t> msg(16 * kBlocks);
+    for (auto &b : msg)
+        b = rng.byte();
+
+    // Golden model: encrypt each block, roll the ciphertext into a
+    // checksum.
+    std::uint8_t rk[176];
+    expandKey(key, rk);
+    std::uint16_t sum = 0;
+    for (int b = 0; b < kBlocks; ++b) {
+        std::uint8_t st[16];
+        for (int i = 0; i < 16; ++i)
+            st[i] = msg[16 * b + i];
+        encryptBlock(st, rk);
+        for (int i = 0; i < 16; ++i) {
+            sum = static_cast<std::uint16_t>(sum + st[i]);
+            sum = static_cast<std::uint16_t>((sum << 1) | (sum >> 15));
+        }
+    }
+
+    std::ostringstream os;
+    os << R"(
+; ---- AES-128 benchmark ----
+        .text
+
+; aes_xt: R12 = xtime(R12) in GF(2^8). Byte in, byte out.
+        .func aes_xt
+        RLA R12
+        BIT #0x100, R12
+        JZ axt_done
+        XOR #0x11B, R12
+axt_done:
+        RET
+        .endfunc
+
+; aes_expand: expand &aes_key into &aes_rk (176 bytes).
+        .func aes_expand
+        PUSH R10
+        PUSH R9
+        ; copy the key
+        CLR R14
+axe_copy:
+        MOV.B aes_key(R14), R15
+        MOV.B R15, aes_rk(R14)
+        INC R14
+        CMP #16, R14
+        JNE axe_copy
+        MOV #1, R9              ; rcon
+        MOV #16, R10            ; i
+axe_loop:
+        CMP #176, R10
+        JHS axe_done
+        ; t = rk[i-4 .. i-1]
+        MOV R10, R15
+        SUB #4, R15
+        MOV.B aes_rk(R15), R14
+        MOV.B R14, &aes_t0
+        INC R15
+        MOV.B aes_rk(R15), R14
+        MOV.B R14, &aes_t1
+        INC R15
+        MOV.B aes_rk(R15), R14
+        MOV.B R14, &aes_t2
+        INC R15
+        MOV.B aes_rk(R15), R14
+        MOV.B R14, &aes_t3
+        ; every 16 bytes: rotate, substitute, add rcon
+        MOV R10, R14
+        AND #15, R14
+        JNZ axe_notr
+        MOV.B &aes_t0, R13      ; saved t0
+        MOV.B &aes_t1, R14
+        MOV.B aes_sbox(R14), R15
+        XOR R9, R15
+        MOV.B R15, &aes_t0
+        MOV.B &aes_t2, R14
+        MOV.B aes_sbox(R14), R15
+        MOV.B R15, &aes_t1
+        MOV.B &aes_t3, R14
+        MOV.B aes_sbox(R14), R15
+        MOV.B R15, &aes_t2
+        MOV R13, R14
+        MOV.B aes_sbox(R14), R15
+        MOV.B R15, &aes_t3
+        MOV R9, R12
+        CALL #aes_xt
+        MOV R12, R9
+axe_notr:
+        ; rk[i+j] = rk[i-16+j] ^ t[j]
+)";
+    for (int j = 0; j < 4; ++j) {
+        os << "        MOV R10, R15\n"
+              "        SUB #" << (16 - j) << ", R15\n"
+              "        MOV.B aes_rk(R15), R14\n"
+              "        XOR.B &aes_t" << j << ", R14\n"
+              "        MOV R10, R15\n";
+        if (j > 0)
+            os << "        ADD #" << j << ", R15\n";
+        os << "        MOV.B R14, aes_rk(R15)\n";
+    }
+    os << R"(        ADD #4, R10
+        JMP axe_loop
+axe_done:
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+; aes_addrk: state ^= round key; R12 = round * 16 (byte offset).
+        .func aes_addrk
+        CLR R13
+aak_loop:
+        MOV R12, R15
+        ADD R13, R15
+        MOV.B aes_rk(R15), R14
+        XOR.B R14, aes_st(R13)
+        INC R13
+        CMP #16, R13
+        JNE aak_loop
+        RET
+        .endfunc
+
+; aes_subshift: SubBytes + ShiftRows into the state (via a temp).
+        .func aes_subshift
+)";
+    for (int c = 0; c < 4; ++c) {
+        for (int r = 0; r < 4; ++r) {
+            int dst = r + 4 * c;
+            int src = r + 4 * ((c + r) % 4);
+            os << "        MOV.B &aes_st+" << src << ", R14\n"
+               << "        MOV.B aes_sbox(R14), R15\n"
+               << "        MOV.B R15, &aes_tb+" << dst << "\n";
+        }
+    }
+    for (int k = 0; k < 16; k += 2)
+        os << "        MOV &aes_tb+" << k << ", &aes_st+" << k << "\n";
+    os << R"(        RET
+        .endfunc
+
+; aes_mixcol: MixColumns over the state, one column per iteration.
+        .func aes_mixcol
+        PUSH R10
+        CLR R10                 ; column byte offset (0, 4, 8, 12)
+amc_loop:
+        ; load the column
+        MOV R10, R15
+        MOV.B aes_st(R15), R14
+        MOV.B R14, &aes_a0
+        INC R15
+        MOV.B aes_st(R15), R14
+        MOV.B R14, &aes_a1
+        INC R15
+        MOV.B aes_st(R15), R14
+        MOV.B R14, &aes_a2
+        INC R15
+        MOV.B aes_st(R15), R14
+        MOV.B R14, &aes_a3
+        ; t = a0^a1^a2^a3
+        MOV.B &aes_a0, R14
+        XOR.B &aes_a1, R14
+        XOR.B &aes_a2, R14
+        XOR.B &aes_a3, R14
+        MOV.B R14, &aes_tt
+)";
+    for (int i = 0; i < 4; ++i) {
+        os << "        MOV.B &aes_a" << i << ", R12\n"
+           << "        XOR.B &aes_a" << ((i + 1) % 4) << ", R12\n"
+           << "        CALL #aes_xt\n"
+           << "        XOR.B &aes_tt, R12\n"
+           << "        MOV R10, R15\n";
+        if (i > 0)
+            os << "        ADD #" << i << ", R15\n";
+        os << "        XOR.B R12, aes_st(R15)\n";
+    }
+    os << R"(        ADD #4, R10
+        CMP #16, R10
+        JNE amc_loop
+        POP R10
+        RET
+        .endfunc
+
+; aes_encrypt: encrypt &aes_st in place with the expanded key.
+        .func aes_encrypt
+        PUSH R10
+        CLR R12
+        CALL #aes_addrk
+        MOV #16, R10            ; round * 16
+aen_loop:
+        CALL #aes_subshift
+        CALL #aes_mixcol
+        MOV R10, R12
+        CALL #aes_addrk
+        ADD #16, R10
+        CMP #160, R10
+        JNE aen_loop
+        CALL #aes_subshift
+        MOV #160, R12
+        CALL #aes_addrk
+        POP R10
+        RET
+        .endfunc
+
+        .func main
+        PUSH R10
+        PUSH R9
+        CALL #aes_expand
+        CLR R9                  ; checksum
+        CLR R10                 ; block byte offset
+aem_loop:
+        CMP #)" << (16 * kBlocks) << R"(, R10
+        JHS aem_done
+        ; copy plaintext block into the state
+        CLR R14
+aem_copy:
+        MOV R10, R15
+        ADD R14, R15
+        MOV.B aes_msg(R15), R13
+        MOV.B R13, aes_st(R14)
+        INC R14
+        CMP #16, R14
+        JNE aem_copy
+        CALL #aes_encrypt
+        ; fold ciphertext into the checksum
+        CLR R14
+aem_sum:
+        MOV.B aes_st(R14), R15
+        ADD R15, R9
+        RLA R9
+        ADC R9
+        INC R14
+        CMP #16, R14
+        JNE aem_sum
+        ADD #16, R10
+        JMP aem_loop
+aem_done:
+        MOV R9, R12
+        MOV R12, &bench_result
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .const
+aes_sbox:
+)";
+    for (int i = 0; i < 256; ++i) {
+        if (i % 12 == 0)
+            os << "        .byte ";
+        os << static_cast<int>(kSbox[i])
+           << ((i % 12 == 11 || i == 255) ? "\n" : ", ");
+    }
+    os << "aes_key:\n        .byte ";
+    for (int i = 0; i < 16; ++i)
+        os << static_cast<int>(key[i]) << (i == 15 ? "\n" : ", ");
+    os << "aes_msg:\n";
+    for (int i = 0; i < 16 * kBlocks; ++i) {
+        if (i % 16 == 0)
+            os << "        .byte ";
+        os << static_cast<int>(msg[i])
+           << ((i % 16 == 15 || i == 16 * kBlocks - 1) ? "\n" : ", ");
+    }
+    os << R"(
+        .data
+aes_rk: .space 176
+        .align 2
+aes_st: .space 16
+aes_tb: .space 16
+aes_t0: .space 1
+aes_t1: .space 1
+aes_t2: .space 1
+aes_t3: .space 1
+aes_a0: .space 1
+aes_a1: .space 1
+aes_a2: .space 1
+aes_a3: .space 1
+aes_tt: .space 1
+        .align 2
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "aes";
+    w.display = "AES";
+    w.description = "AES-128 ECB over eight blocks, per-round function "
+                    "calls";
+    w.source = os.str();
+    w.expected = sum;
+    return w;
+}
+
+} // namespace swapram::workloads

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The Figure-1 arithmetic kernel: a straight-line ALU loop over a
+ * word array with stores to a second array, used to compare the four
+ * code/data placements (FRAM/SRAM x FRAM/SRAM). No function calls —
+ * Figure 1 measures raw placement, not caching.
+ */
+
+#include <sstream>
+
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+constexpr int kWords = 64;
+constexpr int kReps = 100;
+} // namespace
+
+Workload
+makeArith()
+{
+    support::Rng rng(0xA517);
+    std::vector<std::uint16_t> arr(kWords);
+    for (auto &w : arr)
+        w = rng.word();
+
+    std::vector<std::uint16_t> coeff(8);
+    for (auto &c : coeff)
+        c = rng.word();
+
+    // Golden model (mirrors the assembly exactly).
+    std::uint16_t sum = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        for (std::uint16_t i = 0; i < kWords; ++i) {
+            std::uint16_t x =
+                static_cast<std::uint16_t>(arr[i] * 3 + 7);
+            x ^= static_cast<std::uint16_t>(x >> 4);
+            x = static_cast<std::uint16_t>(x + (x << 3));
+            std::uint16_t y =
+                static_cast<std::uint16_t>(x + coeff[i & 7]);
+            y ^= static_cast<std::uint16_t>((y << 1) | (y >> 15));
+            // arr2[i] = y (same every rep; memory state only)
+            sum = static_cast<std::uint16_t>(sum + (y ^ i));
+            sum = static_cast<std::uint16_t>((sum << 1) | (sum >> 15));
+        }
+    }
+
+    std::ostringstream os;
+    os << R"(
+; ---- Figure-1 arithmetic kernel ----
+        .text
+        .func main
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        CLR R15              ; checksum accumulator
+        MOV #)" << kReps << R"(, R10
+ar_rep:
+        MOV #ar_src, R9
+        MOV #)" << kWords << R"(, R8
+        CLR R14              ; index
+ar_loop:
+        MOV @R9, R12
+        MOV R12, R13
+        RLA R13
+        ADD R13, R12         ; x *= 3
+        ADD #7, R12          ; x += 7
+        MOV R12, R13         ; x ^= x >> 4
+        CLRC
+        RRC R13
+        CLRC
+        RRC R13
+        CLRC
+        RRC R13
+        CLRC
+        RRC R13
+        XOR R13, R12
+        MOV R12, R13         ; x += x << 3
+        RLA R13
+        RLA R13
+        RLA R13
+        ADD R13, R12
+        MOV R14, R13         ; y = x + coeff[i & 7]
+        AND #7, R13
+        RLA R13
+        ADD ar_coef(R13), R12
+        MOV R12, R13         ; y ^= rotl1(y)
+        RLA R13
+        ADC R13
+        XOR R13, R12
+        MOV R12, ar_dst-ar_src(R9)
+        XOR R14, R12
+        ADD R12, R15
+        RLA R15
+        ADC R15
+        INCD R9
+        INC R14
+        DEC R8
+        JNZ ar_loop
+        DEC R10
+        JNZ ar_rep
+        MOV R15, R12
+        MOV R12, &bench_result
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .data
+        .align 2
+ar_coef:
+)";
+    for (int i = 0; i < 8; ++i) {
+        if (i == 0)
+            os << "        .word ";
+        os << coeff[i] << (i == 7 ? "\n" : ", ");
+    }
+    os << R"(ar_src:
+)";
+    for (int i = 0; i < kWords; ++i) {
+        if (i % 8 == 0)
+            os << "        .word ";
+        os << arr[i] << ((i % 8 == 7 || i == kWords - 1) ? "\n" : ", ");
+    }
+    os << "ar_dst: .space " << 2 * kWords << R"(
+        .align 2
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "arith";
+    w.display = "ARITH";
+    w.description = "Figure-1 placement kernel: ALU loop over arrays";
+    w.source = os.str();
+    w.expected = sum;
+    return w;
+}
+
+} // namespace swapram::workloads

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Bitcount benchmark (MiBench2 "bitcnts"): counts set bits in a
+ * pseudo-random stream using four different algorithms selected per
+ * iteration. The original selects the counting function through a jump
+ * table; per the paper (§4) the dispatch is a switch-style compare
+ * chain because SwapRAM needs static call targets. Each call counts a
+ * small batch of values, like the original's per-function iteration
+ * loops.
+ */
+
+#include <sstream>
+
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+
+constexpr int kOuter = 96; ///< batches of 4 values each
+constexpr std::uint16_t kSeed = 0x1234;
+constexpr std::uint16_t kStep = 0x9E37;
+
+int
+popcount16(std::uint16_t v)
+{
+    int n = 0;
+    while (v) {
+        v &= static_cast<std::uint16_t>(v - 1);
+        ++n;
+    }
+    return n;
+}
+
+std::uint16_t
+nextValue(std::uint16_t x)
+{
+    x = static_cast<std::uint16_t>((x << 3) | (x >> 13)); // rotl 3
+    return static_cast<std::uint16_t>(x + kStep);
+}
+
+} // namespace
+
+Workload
+makeBitcount()
+{
+    // Golden model: every algorithm returns the same count, so the
+    // dispatch selector does not affect the checksum.
+    std::uint16_t x = kSeed;
+    std::uint16_t total = 0;
+    for (int it = 0; it < kOuter; ++it) {
+        for (int k = 0; k < 4; ++k) {
+            x = nextValue(x);
+            total = static_cast<std::uint16_t>(total + popcount16(x));
+        }
+    }
+
+    std::ostringstream os;
+    os << R"(
+; ---- bitcount benchmark ----
+; Each bc_* function counts the bits of the four words in &bc_buf and
+; returns the sum in R12.
+        .text
+
+        .func bc_shift
+        PUSH R10
+        CLR R12
+        CLR R10
+bcs_outer:
+        MOV bc_buf(R10), R13
+        MOV #16, R14
+bcs_loop:
+        CLRC
+        RRC R13
+        ADC R12
+        DEC R14
+        JNZ bcs_loop
+        INCD R10
+        CMP #8, R10
+        JNE bcs_outer
+        POP R10
+        RET
+        .endfunc
+
+        .func bc_kernighan
+        PUSH R10
+        CLR R12
+        CLR R10
+bck_outer:
+        MOV bc_buf(R10), R13
+bck_loop:
+        TST R13
+        JZ bck_next
+        MOV R13, R14
+        DEC R14
+        AND R14, R13
+        INC R12
+        JMP bck_loop
+bck_next:
+        INCD R10
+        CMP #8, R10
+        JNE bck_outer
+        POP R10
+        RET
+        .endfunc
+
+        .func bc_nibble
+        PUSH R10
+        CLR R12
+        CLR R10
+bcn_outer:
+        MOV bc_buf(R10), R13
+        MOV #4, R15
+bcn_loop:
+        MOV R13, R14
+        AND #15, R14
+        MOV.B bc_ntbl(R14), R14
+        ADD R14, R12
+        CLRC
+        RRC R13
+        CLRC
+        RRC R13
+        CLRC
+        RRC R13
+        CLRC
+        RRC R13
+        DEC R15
+        JNZ bcn_loop
+        INCD R10
+        CMP #8, R10
+        JNE bcn_outer
+        POP R10
+        RET
+        .endfunc
+
+        .func bc_byte
+        PUSH R10
+        CLR R12
+        CLR R10
+bcb_outer:
+        MOV bc_buf(R10), R13
+        MOV.B R13, R14
+        MOV.B bc_btbl(R14), R14
+        ADD R14, R12
+        SWPB R13
+        MOV.B R13, R14
+        MOV.B bc_btbl(R14), R14
+        ADD R14, R12
+        INCD R10
+        CMP #8, R10
+        JNE bcb_outer
+        POP R10
+        RET
+        .endfunc
+
+        .func main
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        MOV #)" << kSeed << R"(, R8
+        CLR R9                  ; total
+        MOV #)" << kOuter << R"(, R10
+bcm_loop:
+        ; fill bc_buf: x = rotl3(x) + step, four times
+        CLR R14
+bcm_gen:
+        RLA R8
+        ADC R8
+        RLA R8
+        ADC R8
+        RLA R8
+        ADC R8
+        ADD #)" << kStep << R"(, R8
+        MOV R8, bc_buf(R14)
+        INCD R14
+        CMP #8, R14
+        JNE bcm_gen
+        ; dispatch on the iteration counter & 3
+        MOV R10, R13
+        AND #3, R13
+        CMP #0, R13
+        JEQ bcm_s0
+        CMP #1, R13
+        JEQ bcm_s1
+        CMP #2, R13
+        JEQ bcm_s2
+        CALL #bc_byte
+        JMP bcm_acc
+bcm_s0: CALL #bc_shift
+        JMP bcm_acc
+bcm_s1: CALL #bc_kernighan
+        JMP bcm_acc
+bcm_s2: CALL #bc_nibble
+bcm_acc:
+        ADD R12, R9
+        DEC R10
+        JNZ bcm_loop
+        MOV R9, R12
+        MOV R12, &bench_result
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .const
+bc_ntbl:
+        .byte 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4
+bc_btbl:
+)";
+    for (int i = 0; i < 256; ++i) {
+        if (i % 16 == 0)
+            os << "        .byte ";
+        os << popcount16(static_cast<std::uint16_t>(i))
+           << ((i % 16 == 15) ? "\n" : ", ");
+    }
+    os << R"(
+        .data
+        .align 2
+bc_buf: .space 8
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "bitcount";
+    w.display = "BIT";
+    w.description = "bit counting with four algorithms over a "
+                    "pseudo-random stream";
+    w.source = os.str();
+    w.expected = total;
+    return w;
+}
+
+} // namespace swapram::workloads

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Dijkstra benchmark (MiBench2 "dijkstra"): single-source shortest
+ * paths over a dense adjacency matrix, with min-vertex selection as a
+ * separate function called per iteration (the original's dequeue()).
+ */
+
+#include <sstream>
+#include <vector>
+
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+
+constexpr int kNodes = 32;
+constexpr std::uint16_t kInf = 0x7FFF;
+constexpr int kSources = 4;
+
+} // namespace
+
+Workload
+makeDijkstra()
+{
+    support::Rng rng(0xD1285);
+    // Byte weights; 0 means no edge.
+    std::vector<std::uint8_t> adj(kNodes * kNodes, 0);
+    for (int i = 0; i < kNodes; ++i) {
+        for (int j = 0; j < kNodes; ++j) {
+            if (i == j)
+                continue;
+            if (rng.below(100) < 35)
+                adj[i * kNodes + j] =
+                    static_cast<std::uint8_t>(1 + rng.below(50));
+        }
+    }
+
+    // Golden model.
+    auto run = [&](int src, std::vector<std::uint16_t> &dist) {
+        std::vector<bool> visited(kNodes, false);
+        dist.assign(kNodes, kInf);
+        dist[src] = 0;
+        for (int it = 0; it < kNodes; ++it) {
+            int best = -1;
+            std::uint16_t best_d = kInf;
+            for (int v = 0; v < kNodes; ++v) {
+                if (!visited[v] && dist[v] < best_d) {
+                    best_d = dist[v];
+                    best = v;
+                }
+            }
+            if (best < 0)
+                break;
+            visited[best] = true;
+            for (int v = 0; v < kNodes; ++v) {
+                std::uint8_t w = adj[best * kNodes + v];
+                if (w && !visited[v]) {
+                    std::uint16_t nd =
+                        static_cast<std::uint16_t>(dist[best] + w);
+                    if (nd < dist[v])
+                        dist[v] = nd;
+                }
+            }
+        }
+    };
+    std::uint16_t sum = 0;
+    for (int s = 0; s < kSources; ++s) {
+        std::vector<std::uint16_t> dist;
+        run(s * 7, dist);
+        for (int v = 0; v < kNodes; ++v)
+            sum = static_cast<std::uint16_t>(sum + dist[v] + v);
+    }
+
+    std::ostringstream s;
+    s << R"(
+; ---- dijkstra benchmark ----
+        .text
+
+; dij_min: R12 = index*2 of the unvisited vertex with least distance,
+; or 0xFFFF when none remains. Clobbers R13-R15.
+        .func dij_min
+        MOV #0xFFFF, R12
+        MOV #0x7FFF, R13
+        CLR R14                 ; v*2
+djm_loop:
+        CMP #)" << (2 * kNodes) << R"(, R14
+        JHS djm_done
+        TST.B dij_vis(R14)
+        JNZ djm_next
+        MOV dij_dist(R14), R15
+        CMP R13, R15            ; dist[v] - best
+        JHS djm_next
+        MOV R15, R13
+        MOV R14, R12
+djm_next:
+        INCD R14
+        JMP djm_loop
+djm_done:
+        RET
+        .endfunc
+
+; dij_relax: relax every edge out of vertex R12 (index*2).
+; Clobbers R11, R13-R15.
+        .func dij_relax
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        MOV R12, R9             ; u*2
+        MOV dij_dist(R9), R8    ; dist[u]
+        ; row pointer = adj + (u * kNodes); u = R9/2
+        MOV R9, R12
+        CLRC
+        RRC R12                 ; u
+        MOV #)" << kNodes << R"(, R13
+        CALL #__mulhi           ; R12 = u * kNodes
+        ADD #dij_adj, R12
+        MOV R12, R10            ; row pointer
+        CLR R14                 ; v*2
+djr_loop:
+        CMP #)" << (2 * kNodes) << R"(, R14
+        JHS djr_done
+        MOV.B @R10+, R15        ; w = adj[u][v]
+        TST R15
+        JZ djr_next
+        TST.B dij_vis(R14)
+        JNZ djr_next
+        ADD R8, R15             ; nd = dist[u] + w
+        CMP dij_dist(R14), R15  ; nd - dist[v]
+        JHS djr_next
+        MOV R15, dij_dist(R14)
+djr_next:
+        INCD R14
+        JMP djr_loop
+djr_done:
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+; dij_run: shortest paths from source vertex R12 (plain index).
+        .func dij_run
+        PUSH R10
+        ; init dist = INF, vis = 0
+        CLR R14
+dji_init:
+        MOV #0x7FFF, dij_dist(R14)
+        MOV.B #0, dij_vis(R14)
+        INCD R14
+        CMP #)" << (2 * kNodes) << R"(, R14
+        JNE dji_init
+        RLA R12                 ; src*2
+        MOV #0, dij_dist(R12)
+        MOV #)" << kNodes << R"(, R10
+djr_iter:
+        TST R10
+        JZ djr_exit
+        CALL #dij_min
+        CMP #0xFFFF, R12
+        JEQ djr_exit
+        MOV.B #1, dij_vis(R12)
+        CALL #dij_relax
+        DEC R10
+        JMP djr_iter
+djr_exit:
+        POP R10
+        RET
+        .endfunc
+
+        .func main
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        CLR R9                  ; checksum
+        CLR R8                  ; source counter
+djm_main:
+        CMP #)" << kSources << R"(, R8
+        JHS djm_fin
+        MOV R8, R12
+        RLA R12
+        RLA R12
+        RLA R12
+        SUB R8, R12             ; src = s*7
+        CALL #dij_run
+        ; sum += dist[v] + v for all v
+        CLR R14
+djm_sum:
+        CMP #)" << (2 * kNodes) << R"(, R14
+        JHS djm_snext
+        ADD dij_dist(R14), R9
+        MOV R14, R15
+        CLRC
+        RRC R15
+        ADD R15, R9
+        INCD R14
+        JMP djm_sum
+djm_snext:
+        INC R8
+        JMP djm_main
+djm_fin:
+        MOV R9, R12
+        MOV R12, &bench_result
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .const
+dij_adj:
+)";
+    for (int i = 0; i < kNodes * kNodes; ++i) {
+        if (i % 20 == 0)
+            s << "        .byte ";
+        s << static_cast<int>(adj[i])
+          << ((i % 20 == 19 || i == kNodes * kNodes - 1) ? "\n" : ", ");
+    }
+    s << R"(
+        .data
+        .align 2
+dij_dist: .space )" << (2 * kNodes) << R"(
+dij_vis:  .space )" << (2 * kNodes) << R"(   ; byte flags, 2-byte stride
+        .align 2
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "dijkstra";
+    w.display = "DIJ";
+    w.description = "dense-graph shortest paths from 4 sources";
+    w.source = s.str();
+    w.expected = sum;
+    return w;
+}
+
+} // namespace swapram::workloads

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * FFT benchmark (MiBench2 "fft"): 64-point radix-2 decimation-in-time
+ * FFT in Q14 fixed point with per-stage scaling. The multiply goes
+ * through a sign-magnitude fixmul built on the shared __umul32 helper,
+ * so the butterflies produce the paper's call-heavy library traffic.
+ *
+ * The golden model mirrors the assembly bit-for-bit: uint16 wrapping
+ * adds, arithmetic right shifts, truncation-toward-zero fixmul.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+
+constexpr int kN = 64;
+constexpr int kLogN = 6;
+
+std::uint16_t
+fixmul(std::uint16_t a, std::uint16_t b)
+{
+    bool sign = ((a ^ b) & 0x8000) != 0;
+    std::uint16_t ua = (a & 0x8000) ? static_cast<std::uint16_t>(-a) : a;
+    std::uint16_t ub = (b & 0x8000) ? static_cast<std::uint16_t>(-b) : b;
+    std::uint32_t p = static_cast<std::uint32_t>(ua) * ub;
+    std::uint16_t r = static_cast<std::uint16_t>((p >> 14) & 0xFFFF);
+    return sign ? static_cast<std::uint16_t>(-r) : r;
+}
+
+std::uint16_t
+asr1(std::uint16_t v)
+{
+    return static_cast<std::uint16_t>(static_cast<std::int16_t>(v) >> 1);
+}
+
+int
+rev6(int i)
+{
+    int j = 0;
+    for (int b = 0; b < kLogN; ++b) {
+        j = (j << 1) | (i & 1);
+        i >>= 1;
+    }
+    return j;
+}
+
+} // namespace
+
+Workload
+makeFft()
+{
+    // Twiddles W^k = e^{-2*pi*i*k/N}, Q14, shared by asm and golden.
+    std::vector<std::int16_t> wre(kN / 2), wim(kN / 2);
+    for (int k = 0; k < kN / 2; ++k) {
+        double ang = 2.0 * M_PI * k / kN;
+        wre[k] = static_cast<std::int16_t>(
+            std::lround(std::cos(ang) * 16384.0));
+        wim[k] = static_cast<std::int16_t>(
+            std::lround(-std::sin(ang) * 16384.0));
+    }
+
+    // Input signal: deterministic mixed tones, |x| < 2^13.
+    std::vector<std::uint16_t> re(kN), im(kN, 0);
+    for (int i = 0; i < kN; ++i) {
+        std::int32_t v = (i * 1337 + 411) % 4096 - 2048;
+        re[i] = static_cast<std::uint16_t>(v);
+    }
+
+    // Golden model.
+    {
+        for (int i = 0; i < kN; ++i) {
+            int j = rev6(i);
+            if (j > i) {
+                std::swap(re[i], re[j]);
+                std::swap(im[i], im[j]);
+            }
+        }
+        for (int s = 1; s <= kLogN; ++s) {
+            int mlen = 1 << s;
+            int half = mlen >> 1;
+            int shift = kLogN - s; // log2 of twiddle stride
+            for (int k = 0; k < kN; k += mlen) {
+                for (int j = 0; j < half; ++j) {
+                    int tw = j << shift;
+                    std::uint16_t wr = static_cast<std::uint16_t>(wre[tw]);
+                    std::uint16_t wi = static_cast<std::uint16_t>(wim[tw]);
+                    std::uint16_t vr0 = re[k + j + half];
+                    std::uint16_t vi0 = im[k + j + half];
+                    std::uint16_t vr = static_cast<std::uint16_t>(
+                        fixmul(vr0, wr) - fixmul(vi0, wi));
+                    std::uint16_t vi = static_cast<std::uint16_t>(
+                        fixmul(vr0, wi) + fixmul(vi0, wr));
+                    std::uint16_t ur = re[k + j];
+                    std::uint16_t ui = im[k + j];
+                    re[k + j] = asr1(static_cast<std::uint16_t>(ur + vr));
+                    im[k + j] = asr1(static_cast<std::uint16_t>(ui + vi));
+                    re[k + j + half] =
+                        asr1(static_cast<std::uint16_t>(ur - vr));
+                    im[k + j + half] =
+                        asr1(static_cast<std::uint16_t>(ui - vi));
+                }
+            }
+        }
+    }
+    std::uint16_t sum = 0;
+    for (int i = 0; i < kN; ++i) {
+        sum = static_cast<std::uint16_t>(sum + re[i]);
+        sum = static_cast<std::uint16_t>((sum << 1) | (sum >> 15));
+        sum = static_cast<std::uint16_t>(sum + im[i]);
+        sum = static_cast<std::uint16_t>((sum << 1) | (sum >> 15));
+    }
+
+    std::ostringstream os;
+    os << R"(
+; ---- 64-point fixed-point FFT benchmark ----
+        .text
+
+; fft_fixmul: R12 = (R12 * R13) >> 14, signed Q14, truncation toward
+; zero. The 16x16->32 shift-add multiply is inlined (a compiler emits
+; one helper call per fixed-point multiply, not nested calls).
+; Clobbers R11, R13-R15.
+        .func fft_fixmul
+        PUSH R10
+        CLR R10
+        TST R12
+        JGE ffm_a_ok
+        INV R12
+        INC R12
+        XOR #1, R10
+ffm_a_ok:
+        TST R13
+        JGE ffm_b_ok
+        INV R13
+        INC R13
+        XOR #1, R10
+ffm_b_ok:
+        ; inline 16x16 -> 32 multiply: R13:R12 = |a| * |b|
+        MOV R12, R14            ; multiplicand low
+        CLR R15                 ; multiplicand high
+        MOV R13, R11            ; multiplier
+        CLR R12
+        CLR R13
+ffm_mul_loop:
+        TST R11
+        JZ ffm_mul_done
+        BIT #1, R11
+        JZ ffm_mul_skip
+        ADD R14, R12
+        ADDC R15, R13
+ffm_mul_skip:
+        RLA R14
+        RLC R15
+        CLRC
+        RRC R11
+        JMP ffm_mul_loop
+ffm_mul_done:
+        MOV R13, R14
+        RLA R14
+        RLA R14                 ; hi << 2
+        MOV R12, R15
+        SWPB R15
+        AND #0xFF, R15          ; lo >> 8
+        CLRC
+        RRC R15
+        CLRC
+        RRC R15
+        CLRC
+        RRC R15
+        CLRC
+        RRC R15
+        CLRC
+        RRC R15
+        CLRC
+        RRC R15                 ; lo >> 14
+        BIS R14, R15
+        TST R10
+        JZ ffm_pos
+        INV R15
+        INC R15
+ffm_pos:
+        MOV R15, R12
+        POP R10
+        RET
+        .endfunc
+
+; fft_rev: R12 = 6-bit reversal of R12. Clobbers R13, R14.
+        .func fft_rev
+        MOV R12, R14
+        CLR R12
+        MOV #6, R13
+frv_loop:
+        RLA R12
+        BIT #1, R14
+        JZ frv_skip
+        BIS #1, R12
+frv_skip:
+        CLRC
+        RRC R14
+        DEC R13
+        JNZ frv_loop
+        RET
+        .endfunc
+
+; fft_run: in-place FFT over fft_re / fft_im.
+        .func fft_run
+        PUSH R10
+        PUSH R9
+        ; --- bit-reversal permutation ---
+        CLR R10                 ; i
+ffp_loop:
+        CMP #)" << kN << R"(, R10
+        JHS ffp_done
+        MOV R10, R12
+        CALL #fft_rev           ; R12 = j
+        CMP R12, R10            ; i - j
+        JHS ffp_next            ; swap only when j > i
+        ; swap re[i]<->re[j], im[i]<->im[j]
+        MOV R10, R14
+        RLA R14
+        MOV R12, R15
+        RLA R15
+        MOV fft_re(R14), R13
+        MOV fft_re(R15), R9
+        MOV R9, fft_re(R14)
+        MOV R13, fft_re(R15)
+        MOV fft_im(R14), R13
+        MOV fft_im(R15), R9
+        MOV R9, fft_im(R14)
+        MOV R13, fft_im(R15)
+ffp_next:
+        INC R10
+        JMP ffp_loop
+ffp_done:
+        ; --- stages ---
+        MOV #4, R15             ; mlen*2 (mlen = 2)
+        MOV R15, &fft_mlen2
+        MOV #5, R15
+        MOV R15, &fft_twsh      ; twiddle shift
+ffs_stage:
+        MOV &fft_mlen2, R15
+        CMP #)" << (2 * kN + 1) << R"(, R15
+        JHS ffs_done
+        MOV #0, R15
+        MOV R15, &fft_k2        ; k*2 = 0
+ffs_k:
+        MOV &fft_k2, R15
+        CMP #)" << (2 * kN) << R"(, R15
+        JHS ffs_knext
+        MOV #0, R15
+        MOV R15, &fft_j2        ; j*2 = 0
+ffs_j:
+        MOV &fft_mlen2, R14
+        CLRC
+        RRC R14                 ; half*2
+        CMP R14, &fft_j2?REPLACED?
+        JMP ffs_j
+ffs_knext:
+        JMP ffs_stage
+ffs_done:
+        POP R9
+        POP R10
+        RET
+        .endfunc
+)";
+
+    // The inner butterfly is long; assemble it as a separate string for
+    // clarity (the ?REPLACED? marker above is substituted away).
+    std::string text = os.str();
+    std::string inner = R"(        MOV &fft_j2, R13
+        CMP R14, R13            ; j2 - half2
+        JHS ffs_jdone
+        ; iu = k2 + j2 ; iv = iu + half2
+        MOV &fft_k2, R15
+        ADD R13, R15
+        MOV R15, &fft_iu
+        ADD R14, R15
+        MOV R15, &fft_iv
+        ; twiddle byte offset = j2 << twsh
+        MOV R13, R14
+        MOV &fft_twsh, R13
+ffs_tw:
+        TST R13
+        JZ ffs_twd
+        RLA R14
+        DEC R13
+        JMP ffs_tw
+ffs_twd:
+        MOV fft_wre(R14), R15
+        MOV R15, &fft_wr
+        MOV fft_wim(R14), R15
+        MOV R15, &fft_wi
+        ; t1 = fixmul(vr0, wr)
+        MOV &fft_iv, R15
+        MOV fft_re(R15), R12
+        MOV &fft_wr, R13
+        CALL #fft_fixmul
+        MOV R12, &fft_t1
+        ; t2 = fixmul(vi0, wi)
+        MOV &fft_iv, R15
+        MOV fft_im(R15), R12
+        MOV &fft_wi, R13
+        CALL #fft_fixmul
+        MOV R12, &fft_t2
+        ; t3 = fixmul(vr0, wi)
+        MOV &fft_iv, R15
+        MOV fft_re(R15), R12
+        MOV &fft_wi, R13
+        CALL #fft_fixmul
+        MOV R12, &fft_t3
+        ; t4 = fixmul(vi0, wr)
+        MOV &fft_iv, R15
+        MOV fft_im(R15), R12
+        MOV &fft_wr, R13
+        CALL #fft_fixmul
+        ; vi = t3 + t4 (R12 holds t4)
+        ADD &fft_t3, R12
+        MOV R12, &fft_t3        ; fft_t3 now holds vi
+        ; vr = t1 - t2
+        MOV &fft_t1, R13
+        SUB &fft_t2, R13        ; R13 = vr
+        ; butterflies (scale by 1/2 per stage)
+        MOV &fft_iu, R15
+        MOV fft_re(R15), R14    ; ur
+        MOV R14, R12
+        ADD R13, R12
+        RRA R12
+        MOV R12, fft_re(R15)
+        MOV R14, R12
+        SUB R13, R12
+        RRA R12
+        MOV &fft_iv, R15
+        MOV R12, fft_re(R15)
+        MOV &fft_iu, R15
+        MOV fft_im(R15), R14    ; ui
+        MOV &fft_t3, R13        ; vi
+        MOV R14, R12
+        ADD R13, R12
+        RRA R12
+        MOV R12, fft_im(R15)
+        MOV R14, R12
+        SUB R13, R12
+        RRA R12
+        MOV &fft_iv, R15
+        MOV R12, fft_im(R15)
+        ; j2 += 2
+        MOV &fft_j2, R15
+        INCD R15
+        MOV R15, &fft_j2
+)";
+    // Splice the butterfly into the loop skeleton.
+    {
+        std::string marker = "        CMP R14, &fft_j2?REPLACED?\n"
+                             "        JMP ffs_j\n"
+                             "ffs_knext:\n";
+        std::string replacement =
+            inner +
+            "        JMP ffs_j\n"
+            "ffs_jdone:\n"
+            "        MOV &fft_k2, R15\n"
+            "        ADD &fft_mlen2, R15\n"
+            "        MOV R15, &fft_k2\n"
+            "        JMP ffs_k\n"
+            "ffs_knext:\n"
+            "        MOV &fft_mlen2, R15\n"
+            "        RLA R15\n"
+            "        MOV R15, &fft_mlen2\n"
+            "        MOV &fft_twsh, R15\n"
+            "        DEC R15\n"
+            "        MOV R15, &fft_twsh\n";
+        size_t pos = text.find(marker);
+        text.replace(pos, marker.size(), replacement);
+    }
+
+    std::ostringstream rest;
+    rest << R"(
+; fft_sum: R12 = rolling checksum of the spectrum.
+        .func fft_sum
+        CLR R12
+        CLR R14
+ffc_loop:
+        CMP #)" << (2 * kN) << R"(, R14
+        JHS ffc_done
+        ADD fft_re(R14), R12
+        RLA R12
+        ADC R12
+        ADD fft_im(R14), R12
+        RLA R12
+        ADC R12
+        INCD R14
+        JMP ffc_loop
+ffc_done:
+        RET
+        .endfunc
+
+        .func main
+        CALL #fft_run
+        CALL #fft_sum
+        MOV R12, &bench_result
+        RET
+        .endfunc
+
+        .const
+        .align 2
+fft_wre:
+)";
+    auto emit_words = [&rest](const std::vector<std::int16_t> &v) {
+        for (size_t i = 0; i < v.size(); ++i) {
+            if (i % 8 == 0)
+                rest << "        .word ";
+            rest << v[i]
+                 << ((i % 8 == 7 || i + 1 == v.size()) ? "\n" : ", ");
+        }
+    };
+    emit_words(wre);
+    rest << "fft_wim:\n";
+    emit_words(wim);
+    rest << R"(
+        .data
+        .align 2
+fft_re:
+)";
+    {
+        std::vector<std::int16_t> init(kN);
+        for (int i = 0; i < kN; ++i)
+            init[i] = static_cast<std::int16_t>((i * 1337 + 411) % 4096 -
+                                                2048);
+        emit_words(init);
+    }
+    rest << R"(fft_im: .space )" << 2 * kN << R"(
+fft_mlen2: .word 0
+fft_twsh:  .word 0
+fft_k2:    .word 0
+fft_j2:    .word 0
+fft_iu:    .word 0
+fft_iv:    .word 0
+fft_wr:    .word 0
+fft_wi:    .word 0
+fft_t1:    .word 0
+fft_t2:    .word 0
+fft_t3:    .word 0
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "fft";
+    w.display = "FFT";
+    w.description = "64-point Q14 radix-2 FFT with software multiply";
+    w.source = text + rest.str();
+    w.expected = sum;
+    return w;
+}
+
+} // namespace swapram::workloads

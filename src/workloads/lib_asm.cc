@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared assembly helper library. The modelled MSP430 core has no
+ * hardware multiplier, so arithmetic-heavy benchmarks call these
+ * helpers — mirroring the msp430-gcc libgcc calls the paper's "library
+ * instrumentation" section (§4) feeds through SwapRAM.
+ *
+ * ABI: arguments R12..R15, results in R12 (and R13 for the high word /
+ * remainder); R11-R15 may be clobbered.
+ */
+
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+std::string
+libSource()
+{
+    return R"(
+; ---- shared helper library ----
+        .text
+
+; __mulhi: R12 = R12 * R13 (low 16 bits). Clobbers R13, R14.
+        .func __mulhi
+        MOV R12, R14
+        CLR R12
+__mulhi_loop:
+        TST R13
+        JZ __mulhi_done
+        BIT #1, R13
+        JZ __mulhi_skip
+        ADD R14, R12
+__mulhi_skip:
+        RLA R14
+        CLRC
+        RRC R13
+        JMP __mulhi_loop
+__mulhi_done:
+        RET
+        .endfunc
+
+; __umul32: R13:R12 (hi:lo) = R12 * R13, full 16x16 -> 32.
+; Clobbers R11, R14, R15.
+        .func __umul32
+        MOV R12, R14        ; multiplicand low
+        CLR R15             ; multiplicand high
+        MOV R13, R11        ; multiplier
+        CLR R12             ; result low
+        CLR R13             ; result high
+__umul32_loop:
+        TST R11
+        JZ __umul32_done
+        BIT #1, R11
+        JZ __umul32_skip
+        ADD R14, R12
+        ADDC R15, R13
+__umul32_skip:
+        RLA R14
+        RLC R15
+        CLRC
+        RRC R11
+        JMP __umul32_loop
+__umul32_done:
+        RET
+        .endfunc
+
+; __udiv16: R12 = R12 / R13, R13 = R12 % R13 (unsigned).
+; Divisor must be nonzero. Clobbers R14, R15.
+        .func __udiv16
+        CLR R14             ; remainder
+        MOV #16, R15
+__udiv16_loop:
+        RLA R12             ; C <- dividend msb
+        RLC R14             ; remainder = remainder<<1 | C
+        CMP R13, R14
+        JLO __udiv16_skip
+        SUB R13, R14
+        BIS #1, R12
+__udiv16_skip:
+        DEC R15
+        JNZ __udiv16_loop
+        MOV R14, R13
+        RET
+        .endfunc
+
+; __memcpy: copy R14 bytes from R13 to R12. Clobbers R12-R14.
+        .func __memcpy
+__memcpy_loop:
+        TST R14
+        JZ __memcpy_done
+        MOV.B @R13+, 0(R12)
+        INC R12
+        DEC R14
+        JMP __memcpy_loop
+__memcpy_done:
+        RET
+        .endfunc
+
+; __memset: fill R14 bytes at R12 with byte R13. Clobbers R12, R14.
+        .func __memset
+__memset_loop:
+        TST R14
+        JZ __memset_done
+        MOV.B R13, 0(R12)
+        INC R12
+        DEC R14
+        JMP __memset_loop
+__memset_done:
+        RET
+        .endfunc
+)";
+}
+
+} // namespace swapram::workloads

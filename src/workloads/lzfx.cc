@@ -1,0 +1,289 @@
+/**
+ * @file
+ * LZFX benchmark (MiBench2 "lzfx"): hash-table LZ77-style compression
+ * of a partially repetitive buffer. The C++ golden model and the
+ * assembly implement the identical format: literals as (0x00, byte),
+ * matches as (0x80|len-3, dist_lo, dist_hi), 3..10-byte matches found
+ * through a 256-entry hash of the next three bytes.
+ */
+
+#include <sstream>
+
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+
+constexpr int kInLen = 384;
+constexpr int kMaxLen = 10;
+
+std::uint8_t
+hash3(const std::uint8_t *p)
+{
+    return static_cast<std::uint8_t>(p[0] + 3 * p[1] + 5 * p[2]);
+}
+
+/** Golden compressor; returns output length. */
+int
+compress(const std::vector<std::uint8_t> &in, std::vector<std::uint8_t> &out)
+{
+    std::uint16_t htab[256];
+    for (auto &h : htab)
+        h = 0xFFFF;
+    const int n = static_cast<int>(in.size());
+    int ip = 0;
+    while (ip + 2 < n) {
+        std::uint8_t h = hash3(&in[ip]);
+        std::uint16_t ref = htab[h];
+        htab[h] = static_cast<std::uint16_t>(ip);
+        if (ref != 0xFFFF && in[ref] == in[ip] && in[ref + 1] == in[ip + 1] &&
+            in[ref + 2] == in[ip + 2]) {
+            int len = 3;
+            while (len < kMaxLen && ip + len < n &&
+                   in[ref + len] == in[ip + len]) {
+                ++len;
+            }
+            int dist = ip - ref;
+            out.push_back(static_cast<std::uint8_t>(0x80 | (len - 3)));
+            out.push_back(static_cast<std::uint8_t>(dist & 0xFF));
+            out.push_back(static_cast<std::uint8_t>(dist >> 8));
+            ip += len;
+        } else {
+            out.push_back(0);
+            out.push_back(in[ip]);
+            ++ip;
+        }
+    }
+    while (ip < n) {
+        out.push_back(0);
+        out.push_back(in[ip]);
+        ++ip;
+    }
+    return static_cast<int>(out.size());
+}
+
+} // namespace
+
+Workload
+makeLzfx()
+{
+    // Partially repetitive input: duplicated chunks from a small
+    // alphabet interleaved with noise.
+    support::Rng rng(0x12F8);
+    std::vector<std::uint8_t> in;
+    while (static_cast<int>(in.size()) < kInLen) {
+        std::vector<std::uint8_t> chunk(24);
+        for (auto &b : chunk)
+            b = static_cast<std::uint8_t>('a' + rng.below(6));
+        in.insert(in.end(), chunk.begin(), chunk.end());
+        in.insert(in.end(), chunk.begin(), chunk.end()); // duplicate
+        for (int i = 0; i < 12; ++i)
+            in.push_back(rng.byte());
+    }
+    in.resize(kInLen);
+
+    std::vector<std::uint8_t> out;
+    int op = compress(in, out);
+    std::uint16_t s = 0;
+    for (int i = 0; i < op; ++i) {
+        s = static_cast<std::uint16_t>(s + out[i]);
+        s = static_cast<std::uint16_t>((s << 1) | (s >> 15));
+    }
+    s = static_cast<std::uint16_t>(s ^ op);
+
+    std::ostringstream os;
+    os << R"(
+; ---- LZFX benchmark ----
+        .text
+
+; lz_mlen: R12 = match length (3..10) for ref R12 / ip R13 whose first
+; three bytes already matched. Clobbers R11, R13-R15.
+        .func lz_mlen
+        MOV R12, R11            ; ref
+        MOV #3, R14
+lml_loop:
+        CMP #)" << kMaxLen << R"(, R14
+        JHS lml_done
+        MOV R13, R15
+        ADD R14, R15
+        CMP #)" << kInLen << R"(, R15
+        JHS lml_done
+        MOV R11, R15
+        ADD R14, R15
+        MOV.B lz_in(R15), R12
+        MOV R13, R15
+        ADD R14, R15
+        MOV.B lz_in(R15), R15
+        CMP R15, R12
+        JNE lml_done
+        INC R14
+        JMP lml_loop
+lml_done:
+        MOV R14, R12
+        RET
+        .endfunc
+
+; lz_compress: compress lz_in into lz_out; R12 = output length.
+        .func lz_compress
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        ; htab[h] = 0xFFFF
+        CLR R14
+lzi_init:
+        MOV #0xFFFF, lz_htab(R14)
+        INCD R14
+        CMP #512, R14
+        JNE lzi_init
+        CLR R9                  ; ip
+        CLR R10                 ; op
+lzc_loop:
+        CMP #)" << (kInLen - 2) << R"(, R9
+        JHS lzc_tail
+        ; inline hash of in[ip..ip+2] (the original's HASH macro)
+        MOV #lz_in, R14
+        ADD R9, R14
+        MOV.B @R14+, R12
+        MOV.B @R14+, R13
+        MOV.B @R14, R15
+        ADD R13, R12
+        ADD R13, R12
+        ADD R13, R12
+        ADD R15, R12
+        ADD R15, R12
+        ADD R15, R12
+        ADD R15, R12
+        ADD R15, R12
+        AND #0xFF, R12
+        RLA R12
+        MOV R12, R8             ; h*2
+        MOV lz_htab(R8), R13    ; ref
+        MOV R9, lz_htab(R8)
+        CMP #0xFFFF, R13
+        JEQ lzc_lit
+        ; verify the three hash bytes
+        MOV R13, R14
+        MOV R9, R15
+        MOV.B lz_in(R14), R8
+        MOV.B lz_in(R15), R11
+        CMP R11, R8
+        JNE lzc_lit
+        INC R14
+        INC R15
+        MOV.B lz_in(R14), R8
+        MOV.B lz_in(R15), R11
+        CMP R11, R8
+        JNE lzc_lit
+        INC R14
+        INC R15
+        MOV.B lz_in(R14), R8
+        MOV.B lz_in(R15), R11
+        CMP R11, R8
+        JNE lzc_lit
+        ; match: compute length
+        MOV R13, R12
+        PUSH R13
+        MOV R9, R13
+        CALL #lz_mlen           ; R12 = len
+        POP R13
+        MOV R9, R14
+        SUB R13, R14            ; dist
+        MOV R12, R15
+        SUB #3, R15
+        BIS #0x80, R15
+        MOV.B R15, lz_out(R10)
+        INC R10
+        MOV.B R14, lz_out(R10)
+        INC R10
+        MOV R14, R15
+        SWPB R15
+        MOV.B R15, lz_out(R10)
+        INC R10
+        ADD R12, R9
+        JMP lzc_loop
+lzc_lit:
+        MOV.B #0, lz_out(R10)
+        INC R10
+        MOV.B lz_in(R9), R15
+        MOV.B R15, lz_out(R10)
+        INC R10
+        INC R9
+        JMP lzc_loop
+lzc_tail:
+        CMP #)" << kInLen << R"(, R9
+        JHS lzc_done
+        MOV.B #0, lz_out(R10)
+        INC R10
+        MOV.B lz_in(R9), R15
+        MOV.B R15, lz_out(R10)
+        INC R10
+        INC R9
+        JMP lzc_tail
+lzc_done:
+        MOV R10, R12
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+; lz_sum: R12 = rolling checksum of lz_out[0..R12) xor length.
+        .func lz_sum
+        PUSH R10
+        MOV R12, R10
+        CLR R13
+        CLR R14
+lzs_loop:
+        CMP R10, R14
+        JHS lzs_done
+        MOV.B lz_out(R14), R15
+        ADD R15, R13
+        RLA R13
+        ADC R13
+        INC R14
+        JMP lzs_loop
+lzs_done:
+        MOV R13, R12
+        XOR R10, R12
+        POP R10
+        RET
+        .endfunc
+
+        .func main
+        CALL #lz_compress
+        CALL #lz_sum
+        MOV R12, &bench_result
+        RET
+        .endfunc
+
+        .const
+lz_in:
+)";
+    for (int i = 0; i < kInLen; ++i) {
+        if (i % 16 == 0)
+            os << "        .byte ";
+        os << static_cast<int>(in[i])
+           << ((i % 16 == 15 || i == kInLen - 1) ? "\n" : ", ");
+    }
+    os << R"(
+        .bss
+        .align 2
+lz_htab: .space 512
+lz_out:  .space )" << (2 * kInLen) << R"(
+        .data
+        .align 2
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "lzfx";
+    w.display = "LZFX";
+    w.description = "hash-chained LZ77 compression of 384 bytes";
+    w.source = os.str();
+    w.expected = s;
+    return w;
+}
+
+} // namespace swapram::workloads

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * RC4 benchmark (MiBench2 "rc4"): key scheduling plus keystream
+ * encryption of a message buffer, checksummed over the ciphertext.
+ */
+
+#include <sstream>
+
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+
+constexpr int kMsgLen = 512;
+constexpr int kKeyLen = 16;
+
+} // namespace
+
+Workload
+makeRc4()
+{
+    support::Rng rng(0x9C41);
+    std::vector<std::uint8_t> key(kKeyLen);
+    for (auto &b : key)
+        b = rng.byte();
+    std::vector<std::uint8_t> msg(kMsgLen);
+    for (auto &b : msg)
+        b = rng.byte();
+
+    // Golden model.
+    std::uint8_t S[256];
+    for (int i = 0; i < 256; ++i)
+        S[i] = static_cast<std::uint8_t>(i);
+    std::uint8_t j = 0;
+    for (int i = 0; i < 256; ++i) {
+        j = static_cast<std::uint8_t>(j + S[i] + key[i % kKeyLen]);
+        std::swap(S[i], S[j]);
+    }
+    // Two in-place passes (the second encrypts the ciphertext), like
+    // the asm's two rc4_crypt calls. The PRG stream index resets per
+    // call in both.
+    std::uint16_t checksum = 0;
+    std::vector<std::uint8_t> buf = msg;
+    for (int pass = 0; pass < 2; ++pass) {
+        std::uint8_t i = 0, jj = 0;
+        for (int k = 0; k < kMsgLen; ++k) {
+            i = static_cast<std::uint8_t>(i + 1);
+            jj = static_cast<std::uint8_t>(jj + S[i]);
+            std::swap(S[i], S[jj]);
+            std::uint8_t ks =
+                S[static_cast<std::uint8_t>(S[i] + S[jj])];
+            std::uint8_t c = static_cast<std::uint8_t>(buf[k] ^ ks);
+            buf[k] = c;
+            checksum = static_cast<std::uint16_t>(checksum + c);
+            checksum =
+                static_cast<std::uint16_t>((checksum << 1) |
+                                           (checksum >> 15));
+        }
+    }
+
+    std::ostringstream os;
+    os << R"(
+; ---- RC4 benchmark ----
+        .text
+
+; rc4_init: build the S permutation from the key. No args.
+        .func rc4_init
+        PUSH R10
+        ; S[i] = i
+        CLR R13
+rci_fill:
+        MOV.B R13, rc4_s(R13)
+        INC R13
+        CMP #256, R13
+        JNE rci_fill
+        ; key schedule
+        CLR R13                 ; i
+        CLR R14                 ; j
+        CLR R15                 ; key index
+rci_ks:
+        MOV.B rc4_s(R13), R12
+        ADD R12, R14
+        MOV.B rc4_key(R15), R10
+        ADD R10, R14
+        AND #0xFF, R14
+        ; swap S[i], S[j]
+        MOV.B rc4_s(R13), R12
+        MOV.B rc4_s(R14), R10
+        MOV.B R10, rc4_s(R13)
+        MOV.B R12, rc4_s(R14)
+        INC R15
+        CMP #)" << kKeyLen << R"(, R15
+        JNE rci_nokey
+        CLR R15
+rci_nokey:
+        INC R13
+        CMP #256, R13
+        JNE rci_ks
+        POP R10
+        RET
+        .endfunc
+
+; rc4_crypt: encrypt R14 bytes at R12 in place, updating the rolling
+; checksum in &rc4_sum.
+        .func rc4_crypt
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        MOV R12, R9             ; buffer pointer
+        MOV R14, R10            ; remaining
+        CLR R13                 ; i
+        CLR R14                 ; j
+rcc_loop:
+        TST R10
+        JZ rcc_done
+        INC R13
+        AND #0xFF, R13
+        MOV.B rc4_s(R13), R12
+        ADD R12, R14
+        AND #0xFF, R14
+        ; swap
+        MOV.B rc4_s(R14), R15
+        MOV.B R15, rc4_s(R13)
+        MOV.B R12, rc4_s(R14)
+        ; keystream byte S[(S[i]+S[j]) & 0xFF]
+        MOV.B rc4_s(R13), R15
+        MOV.B rc4_s(R14), R8
+        ADD R8, R15
+        AND #0xFF, R15
+        MOV.B rc4_s(R15), R15
+        ; c = *p ^ ks; *p = c
+        MOV.B @R9, R8
+        XOR R15, R8
+        MOV.B R8, 0(R9)
+        INC R9
+        ; checksum += c; rotate left 1
+        MOV &rc4_sum, R15
+        ADD R8, R15
+        RLA R15
+        ADC R15
+        MOV R15, &rc4_sum
+        DEC R10
+        JMP rcc_loop
+rcc_done:
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .func main
+        CLR R12
+        MOV R12, &rc4_sum
+        CALL #rc4_init
+        MOV #rc4_msg, R12
+        MOV #)" << kMsgLen << R"(, R14
+        CALL #rc4_crypt
+        MOV #rc4_msg, R12
+        MOV #)" << kMsgLen << R"(, R14
+        CALL #rc4_crypt
+        MOV &rc4_sum, R12
+        MOV R12, &bench_result
+        RET
+        .endfunc
+
+        .const
+rc4_key:
+)";
+    for (int i = 0; i < kKeyLen; ++i) {
+        if (i % 16 == 0)
+            os << "        .byte ";
+        os << static_cast<int>(key[i])
+           << ((i % 16 == 15 || i == kKeyLen - 1) ? "\n" : ", ");
+    }
+    os << "\n        .data\nrc4_msg:\n";
+    for (int i = 0; i < kMsgLen; ++i) {
+        if (i % 16 == 0)
+            os << "        .byte ";
+        os << static_cast<int>(msg[i])
+           << ((i % 16 == 15 || i == kMsgLen - 1) ? "\n" : ", ");
+    }
+    os << R"(
+rc4_s:  .space 256
+        .align 2
+rc4_sum: .word 0
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "rc4";
+    w.display = "RC4";
+    w.description = "RC4 key schedule + two keystream passes over "
+                    "512 bytes";
+    w.source = os.str();
+    w.expected = checksum;
+    return w;
+}
+
+} // namespace swapram::workloads

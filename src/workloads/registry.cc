@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Workload registry: constructs each benchmark once (building inputs
+ * and golden checksums) and caches the set.
+ */
+
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+const std::vector<Workload> &
+all()
+{
+    static const std::vector<Workload> workloads = [] {
+        std::vector<Workload> v;
+        v.push_back(makeStringsearch());
+        v.push_back(makeDijkstra());
+        v.push_back(makeCrc());
+        v.push_back(makeRc4());
+        v.push_back(makeFft());
+        v.push_back(makeAes());
+        v.push_back(makeLzfx());
+        v.push_back(makeBitcount());
+        v.push_back(makeRsa());
+        return v;
+    }();
+    return workloads;
+}
+
+const Workload *
+find(const std::string &name)
+{
+    for (const Workload &w : all()) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+} // namespace swapram::workloads

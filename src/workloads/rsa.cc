@@ -1,0 +1,227 @@
+/**
+ * @file
+ * RSA benchmark (MiBench2 "rsa", scaled to the 16-bit core): modular
+ * exponentiation by square-and-multiply over a 15-bit modulus, built on
+ * the shared 16x16->32 multiply helper plus a shift-subtract reduction
+ * — the same call-heavy structure the original's bignum kernel has.
+ */
+
+#include <sstream>
+
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+
+// p = 151, q = 211 -> n = 31861 (fits in 15 bits), phi = 31500.
+// e = 17, messages below n.
+constexpr std::uint16_t kModulus = 31861;
+constexpr std::uint16_t kExponent = 17;
+constexpr int kMessages = 24;
+
+std::uint16_t
+modmul(std::uint16_t a, std::uint16_t b, std::uint16_t n)
+{
+    std::uint32_t p = static_cast<std::uint32_t>(a) * b;
+    return static_cast<std::uint16_t>(p % n);
+}
+
+std::uint16_t
+modexp(std::uint16_t m, std::uint16_t e, std::uint16_t n)
+{
+    std::uint16_t result = 1;
+    std::uint16_t base = static_cast<std::uint16_t>(m % n);
+    while (e) {
+        if (e & 1)
+            result = modmul(result, base, n);
+        base = modmul(base, base, n);
+        e >>= 1;
+    }
+    return result;
+}
+
+} // namespace
+
+Workload
+makeRsa()
+{
+    // Golden model: encrypt a deterministic message sequence.
+    std::uint16_t sum = 0;
+    std::uint16_t m = 0x2F1;
+    for (int i = 0; i < kMessages; ++i) {
+        m = static_cast<std::uint16_t>((m * 13 + 7) % kModulus);
+        std::uint16_t c = modexp(m, kExponent, kModulus);
+        sum = static_cast<std::uint16_t>(sum ^ c);
+        sum = static_cast<std::uint16_t>((sum << 3) | (sum >> 13));
+    }
+
+    std::ostringstream os;
+    os << R"(
+; ---- RSA (modexp) benchmark ----
+        .text
+
+; rsa_modmul: R12 = (R12 * R13) mod )" << kModulus << R"(.
+; The 32-bit product is accumulated in memory words, the way compiled
+; multi-precision code holds its limbs (in FRAM under the unified
+; memory model), then reduced by a 16-step shift-subtract.
+; Clobbers R11, R13-R15.
+        .func rsa_modmul
+        ; inline 16x16 -> 32 multiply into &rsa_plo / &rsa_phi
+        MOV R12, &rsa_aa
+        CLR &rsa_ab
+        MOV R13, R11
+        CLR &rsa_plo
+        CLR &rsa_phi
+rmm_mul_loop:
+        TST R11
+        JZ rmm_mul_done
+        BIT #1, R11
+        JZ rmm_mul_skip
+        MOV &rsa_aa, R14
+        MOV &rsa_ab, R15
+        ADD R14, &rsa_plo
+        ADDC R15, &rsa_phi
+rmm_mul_skip:
+        RLA &rsa_aa
+        RLC &rsa_ab
+        CLRC
+        RRC R11
+        JMP rmm_mul_loop
+rmm_mul_done:
+        MOV &rsa_plo, R12
+        ; reduce: rem = hi, run 16 steps shifting in lo bits
+        MOV &rsa_phi, R14       ; rem (hi word)
+        ; first reduce the high word itself
+        CMP #)" << kModulus << R"(, R14
+        JLO rmm_hi_ok
+rmm_hi_red:
+        SUB #)" << kModulus << R"(, R14
+        CMP #)" << kModulus << R"(, R14
+        JHS rmm_hi_red
+rmm_hi_ok:
+        MOV #16, R15
+rmm_loop:
+        RLA R12                 ; C <- next lo bit
+        RLC R14                 ; rem = rem<<1 | bit
+        JC rmm_wrap             ; rem overflowed 16 bits: subtract
+        CMP #)" << kModulus << R"(, R14
+        JLO rmm_next
+rmm_wrap:
+        SUB #)" << kModulus << R"(, R14
+rmm_next:
+        DEC R15
+        JNZ rmm_loop
+        MOV R14, R12
+        RET
+        .endfunc
+
+; rsa_modexp: R12 = (R12 ^ R13) mod n, square and multiply.
+        .func rsa_modexp
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        MOV R13, R8             ; exponent
+        MOV R12, R9             ; base (already < n)
+        MOV #1, R10             ; result
+rme_loop:
+        TST R8
+        JZ rme_done
+        BIT #1, R8
+        JZ rme_sq
+        MOV R10, R12
+        MOV R9, R13
+        CALL #rsa_modmul
+        MOV R12, R10
+rme_sq:
+        MOV R9, R12
+        MOV R9, R13
+        CALL #rsa_modmul
+        MOV R12, R9
+        CLRC
+        RRC R8
+        JMP rme_loop
+rme_done:
+        MOV R10, R12
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+; rsa_next_msg: m = (m*13 + 7) mod n, stored in &rsa_m, returned in R12.
+        .func rsa_next_msg
+        MOV &rsa_m, R12
+        MOV #13, R13
+        CALL #__umul32
+        ; product hi:lo in R13:R12; add 7
+        ADD #7, R12
+        ADC R13
+        ; mod n via rsa-style reduction: hi is tiny (m*13 < 2^20)
+        MOV R13, R14
+rnm_hi:
+        TST R14
+        JZ rnm_lo
+        ; fold one high bit at a time: (hi:lo) -= n<<k ... simple loop:
+        SUB #)" << kModulus << R"(, R12
+        SBC R13
+        MOV R13, R14
+        JMP rnm_hi
+rnm_lo:
+        CMP #)" << kModulus << R"(, R12
+        JLO rnm_done
+        SUB #)" << kModulus << R"(, R12
+        JMP rnm_lo
+rnm_done:
+        MOV R12, &rsa_m
+        RET
+        .endfunc
+
+        .func main
+        PUSH R10
+        PUSH R9
+        MOV #0x2F1, R15
+        MOV R15, &rsa_m
+        CLR R9                  ; checksum
+        MOV #)" << kMessages << R"(, R10
+rsam_loop:
+        CALL #rsa_next_msg
+        MOV #)" << kExponent << R"(, R13
+        CALL #rsa_modexp
+        XOR R12, R9
+        ; rotate left 3
+        MOV #3, R14
+rsam_rot:
+        RLA R9
+        ADC R9
+        DEC R14
+        JNZ rsam_rot
+        DEC R10
+        JNZ rsam_loop
+        MOV R9, R12
+        MOV R12, &bench_result
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .data
+        .align 2
+rsa_m:   .word 0
+rsa_aa:  .word 0
+rsa_ab:  .word 0
+rsa_plo: .word 0
+rsa_phi: .word 0
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "rsa";
+    w.display = "RSA";
+    w.description = "square-and-multiply modular exponentiation";
+    w.source = os.str();
+    w.expected = sum;
+    return w;
+}
+
+} // namespace swapram::workloads

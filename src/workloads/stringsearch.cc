@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Stringsearch benchmark (MiBench2 "stringsearch"): Boyer-Moore-
+ * Horspool search of several patterns over a text buffer, with the
+ * skip-table initialization and the scan loop as separate functions —
+ * the same per-pattern call pattern as the original.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+
+constexpr int kTextLen = 896;
+
+int
+bmhSearch(const std::vector<std::uint8_t> &text,
+          const std::string &pattern)
+{
+    const int n = static_cast<int>(text.size());
+    const int m = static_cast<int>(pattern.size());
+    std::uint8_t skip[256];
+    for (int i = 0; i < 256; ++i)
+        skip[i] = static_cast<std::uint8_t>(m);
+    for (int i = 0; i < m - 1; ++i)
+        skip[static_cast<std::uint8_t>(pattern[i])] =
+            static_cast<std::uint8_t>(m - 1 - i);
+    int pos = 0;
+    while (pos + m <= n) {
+        int k = m - 1;
+        while (k >= 0 &&
+               pattern[k] == text[pos + k]) {
+            --k;
+        }
+        if (k < 0)
+            return pos;
+        pos += skip[text[pos + m - 1]];
+    }
+    return -1;
+}
+
+} // namespace
+
+Workload
+makeStringsearch()
+{
+    // Text: pseudo-random lowercase letters with a few planted words.
+    support::Rng rng(0x57A6);
+    std::vector<std::uint8_t> text(kTextLen);
+    for (auto &c : text)
+        c = static_cast<std::uint8_t>('a' + rng.below(26));
+    const std::vector<std::string> patterns = {
+        "embedded", "nvram",   "cache",  "swap",
+        "zzzzzz",   "ferrite", "sram",   "energy",
+    };
+    // Plant half of them.
+    auto plant = [&](const std::string &p, int at) {
+        for (size_t i = 0; i < p.size(); ++i)
+            text[at + i] = static_cast<std::uint8_t>(p[i]);
+    };
+    plant(patterns[0], 701);
+    plant(patterns[2], 133);
+    plant(patterns[3], 400);
+    plant(patterns[6], 866);
+
+    // Golden model: combine the found positions.
+    std::uint16_t sum = 0;
+    for (const std::string &p : patterns) {
+        int pos = bmhSearch(text, p);
+        sum = static_cast<std::uint16_t>(
+            sum * 7 + static_cast<std::uint16_t>(pos));
+    }
+
+    std::ostringstream os;
+    os << R"(
+; ---- stringsearch (Boyer-Moore-Horspool) benchmark ----
+        .text
+
+; str_mkskip: build the 256-byte skip table for the pattern at R12
+; (length R13). Clobbers R12-R15.
+        .func str_mkskip
+        ; fill with m
+        CLR R14
+sms_fill:
+        MOV.B R13, str_skip(R14)
+        INC R14
+        CMP #256, R14
+        JNE sms_fill
+        ; skip[p[i]] = m-1-i for i in [0, m-1)
+        CLR R14                 ; i
+sms_pat:
+        MOV R13, R15
+        DEC R15
+        CMP R15, R14            ; i - (m-1): stop when i >= m-1
+        JHS sms_done
+        SUB R14, R15            ; m-1-i
+        PUSH R15
+        MOV R12, R15
+        ADD R14, R15
+        MOV.B @R15, R15         ; p[i]
+        POP R11
+        MOV.B R11, str_skip(R15)
+        INC R14
+        JMP sms_pat
+sms_done:
+        RET
+        .endfunc
+
+; str_search: find pattern (R12, len R13) in the text; R12 = position
+; or 0xFFFF. The right-to-left compare loop is inline, as in the
+; original strsearch().
+        .func str_search
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        MOV R12, R9             ; pattern
+        MOV R13, R8             ; m
+        CLR R10                 ; pos
+sse_loop:
+        ; while pos + m <= n
+        MOV R10, R15
+        ADD R8, R15
+        CMP #)" << (kTextLen + 1) << R"(, R15
+        JHS sse_fail
+        ; compare pattern right-to-left at pos
+        MOV R8, R14             ; k = m
+sse_cmp:
+        TST R14
+        JZ sse_hit
+        DEC R14
+        MOV R9, R15
+        ADD R14, R15
+        MOV.B @R15, R12         ; pattern[k]
+        MOV R10, R15
+        ADD R14, R15
+        MOV.B str_text(R15), R15 ; text[pos+k]
+        CMP R15, R12
+        JEQ sse_cmp
+        ; pos += skip[text[pos+m-1]]
+        MOV #str_text, R15
+        ADD R10, R15
+        ADD R8, R15
+        DEC R15
+        MOV.B @R15, R15
+        MOV.B str_skip(R15), R15
+        ADD R15, R10
+        JMP sse_loop
+sse_hit:
+        MOV R10, R12
+        JMP sse_out
+sse_fail:
+        MOV #0xFFFF, R12
+sse_out:
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .func main
+        PUSH R10
+        PUSH R9
+        CLR R9                  ; checksum
+        MOV #str_pats, R10      ; pattern directory pointer
+ssm_loop:
+        MOV @R10, R12           ; pattern address
+        TST R12
+        JZ ssm_done
+        MOV 2(R10), R13         ; pattern length
+        PUSH R13
+        PUSH R12
+        CALL #str_mkskip
+        POP R12
+        POP R13
+        CALL #str_search
+        ; checksum = checksum*7 + pos
+        MOV R12, R14
+        MOV R9, R15
+        RLA R9
+        RLA R9
+        RLA R9                  ; *8
+        SUB R15, R9             ; *7
+        ADD R14, R9
+        ADD #4, R10
+        JMP ssm_loop
+ssm_done:
+        MOV R9, R12
+        MOV R12, &bench_result
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .const
+)";
+    for (size_t p = 0; p < patterns.size(); ++p)
+        os << "str_p" << p << ": .asciz \"" << patterns[p] << "\"\n";
+    os << "        .align 2\nstr_pats:\n";
+    for (size_t p = 0; p < patterns.size(); ++p) {
+        os << "        .word str_p" << p << ", "
+           << patterns[p].size() << "\n";
+    }
+    os << "        .word 0, 0\nstr_text:\n";
+    for (int i = 0; i < kTextLen; ++i) {
+        if (i % 16 == 0)
+            os << "        .byte ";
+        os << static_cast<int>(text[i])
+           << ((i % 16 == 15 || i == kTextLen - 1) ? "\n" : ", ");
+    }
+    os << R"(
+        .data
+str_skip: .space 256
+        .align 2
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "stringsearch";
+    w.display = "STR";
+    w.description = "Boyer-Moore-Horspool search of 8 patterns";
+    w.source = os.str();
+    w.expected = sum;
+    return w;
+}
+
+} // namespace swapram::workloads

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Benchmark workloads: MSP430 assembly ports of the nine MiBench2
+ * programs the paper evaluates (Table 1), plus the Figure-1 arithmetic
+ * kernel and a shared helper library (software multiply/divide,
+ * memcpy/memset), all validated against native C++ golden models.
+ *
+ * Conventions (see DESIGN.md):
+ *  - Each workload defines `.func main` which returns a 16-bit checksum
+ *    in R12 and stores it to the .data word `bench_result`.
+ *  - Data references use absolute (&symbol) or register-pointer
+ *    addressing so functions are runtime-relocatable.
+ *  - R4-R10 are callee-saved, R11-R15 caller-saved, args in R12-R15,
+ *    return value in R12 (msp430-gcc convention).
+ */
+
+#ifndef SWAPRAM_WORKLOADS_WORKLOAD_HH
+#define SWAPRAM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swapram::workloads {
+
+/** One benchmark: assembly source plus its golden checksum. */
+struct Workload {
+    std::string name;        ///< short id: "crc", "aes", ...
+    std::string display;     ///< paper's label: "CRC", "AES", ...
+    std::string description; ///< one-line summary
+    std::string source;      ///< assembly (no startup; defines main)
+    std::uint16_t expected = 0;      ///< golden model's checksum
+    std::uint32_t stack_bytes = 256; ///< stack reservation
+};
+
+/** All nine paper benchmarks, in Table-1 order. */
+const std::vector<Workload> &all();
+
+/** Lookup by short name; nullptr if unknown. */
+const Workload *find(const std::string &name);
+
+/** Shared helper library (software mul/div, memcpy, memset). */
+std::string libSource();
+
+// Individual factories (each embeds deterministic input data and
+// computes the golden checksum natively).
+Workload makeStringsearch();
+Workload makeDijkstra();
+Workload makeCrc();
+Workload makeRc4();
+Workload makeFft();
+Workload makeAes();
+Workload makeLzfx();
+Workload makeBitcount();
+Workload makeRsa();
+
+/** The Figure-1 arithmetic kernel (not part of the nine). */
+Workload makeArith();
+
+/** CRC workload's golden step (CRC-16/CCITT, table-driven), exposed so
+ *  tests can pin it against the published check value. */
+std::uint16_t crcGoldenUpdate(std::uint16_t crc, std::uint8_t byte);
+
+} // namespace swapram::workloads
+
+#endif // SWAPRAM_WORKLOADS_WORKLOAD_HH

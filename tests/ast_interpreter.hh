@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Independent AST-level MSP430 interpreter used as a differential
+ * oracle for the encode -> decode -> execute pipeline.
+ *
+ * It executes the *symbolic* program (masm::Statement list) directly —
+ * no instruction encoding or decoding is involved — with its own
+ * implementation of the ALU, flag, and addressing-mode semantics
+ * written from the MSP430 definitions. Addresses still come from the
+ * assembled layout so that control flow through real return addresses
+ * (CALL/RET, computed branches) works; everything else is independent
+ * of the simulator, so any divergence indicates a bug in the encoder,
+ * decoder, or CPU model (or here).
+ */
+
+#ifndef SWAPRAM_TESTS_AST_INTERPRETER_HH
+#define SWAPRAM_TESTS_AST_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "masm/assembler.hh"
+
+namespace swapram::test {
+
+/** Final machine state of an interpreted run. */
+struct InterpResult {
+    bool done = false;
+    std::array<std::uint16_t, 16> regs{};
+    std::vector<std::uint8_t> memory; ///< full 64 KiB
+    std::uint64_t steps = 0;
+    std::string console;
+};
+
+/**
+ * Interpret @p assembled from its entry point until a write to the
+ * __DONE MMIO register or @p max_steps statements.
+ */
+InterpResult interpret(const masm::AssembleResult &assembled,
+                       std::uint16_t stack_top,
+                       std::uint64_t max_steps = 50'000'000);
+
+} // namespace swapram::test
+
+#endif // SWAPRAM_TESTS_AST_INTERPRETER_HH

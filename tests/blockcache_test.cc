@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Block-cache baseline tests: semantic transparency, chaining/flush
+ * behaviour, overheads relative to SwapRAM (the paper's §5 comparison),
+ * and the block splitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blockcache/blocks.hh"
+#include "blockcache/builder.hh"
+#include "blockcache/pass.hh"
+#include "harness/runner.hh"
+#include "masm/parser.hh"
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace swapram;
+using harness::Placement;
+using harness::System;
+
+const workloads::Workload &
+crc()
+{
+    static workloads::Workload w = workloads::makeCrc();
+    return w;
+}
+
+TEST(BlockCache, CrcChecksumMatchesGolden)
+{
+    auto m = harness::run(crc(), System::BlockCache);
+    ASSERT_TRUE(m.fits) << m.fit_note;
+    ASSERT_TRUE(m.done);
+    EXPECT_EQ(m.checksum, crc().expected);
+}
+
+TEST(BlockCache, AvoidsAppExecutionFromFram)
+{
+    auto m = harness::run(crc(), System::BlockCache);
+    ASSERT_TRUE(m.done);
+    // The design never executes cached application code from FRAM
+    // (only the first block after entry, plus the FRAM runtime).
+    auto app_fram =
+        m.stats.instr_by_owner[int(sim::CodeOwner::AppFram)];
+    auto app_sram =
+        m.stats.instr_by_owner[int(sim::CodeOwner::AppSram)];
+    EXPECT_GT(app_sram, app_fram * 10);
+}
+
+TEST(BlockCache, HasHigherCycleOverheadThanSwapRam)
+{
+    auto base = harness::run(crc(), System::Baseline);
+    auto swap = harness::run(crc(), System::SwapRam);
+    auto block = harness::run(crc(), System::BlockCache);
+    ASSERT_TRUE(base.done && swap.done && block.done);
+    // Table 2: block caching significantly increases unstalled cycles;
+    // SwapRAM's increase is marginal.
+    EXPECT_GT(block.stats.base_cycles, base.stats.base_cycles * 12 / 10);
+    EXPECT_GT(block.stats.base_cycles, swap.stats.base_cycles);
+    // Figure 7: block caching's binary is much larger.
+    EXPECT_GT(block.app_text_bytes, swap.app_text_bytes);
+    EXPECT_GT(block.metadata_bytes, swap.metadata_bytes);
+}
+
+TEST(BlockCache, FinalMemoryStateMatchesBaseline)
+{
+    auto base = harness::run(crc(), System::Baseline);
+    auto block = harness::run(crc(), System::BlockCache);
+    ASSERT_TRUE(base.done && block.done);
+    EXPECT_EQ(base.data_snapshot, block.data_snapshot);
+}
+
+TEST(BlockCache, FlushWhenFullStaysCorrect)
+{
+    // A tiny cache (4 slots) forces frequent flushes.
+    harness::RunSpec spec;
+    spec.workload = &crc();
+    spec.system = System::BlockCache;
+    spec.block.cache_base = 0x2000;
+    spec.block.cache_end = 0x2100; // 256 B = 4 slots of 64
+    auto m = harness::runOne(spec);
+    ASSERT_TRUE(m.done);
+    EXPECT_EQ(m.checksum, crc().expected);
+}
+
+TEST(BlockCache, RecursionWorks)
+{
+    const char *source = R"(
+        .text
+        .func main
+        MOV #9, R12
+        CALL #rsum
+        MOV R12, &bench_result
+        RET
+        .endfunc
+        .func rsum
+        TST R12
+        JNZ rs_rec
+        RET
+rs_rec: PUSH R10
+        MOV R12, R10
+        DEC R12
+        CALL #rsum
+        ADD R10, R12
+        POP R10
+        RET
+        .endfunc
+        .data
+        .align 2
+bench_result: .word 0
+)";
+    workloads::Workload w;
+    w.name = "rsum";
+    w.display = "RSUM";
+    w.source = source;
+    w.expected = 45;
+    auto m = harness::run(w, System::BlockCache);
+    ASSERT_TRUE(m.done);
+    EXPECT_EQ(m.checksum, 45);
+}
+
+TEST(BlockCache, SplitterRespectsSlotSize)
+{
+    // A long straight-line function must split into several blocks.
+    std::string body;
+    for (int i = 0; i < 60; ++i)
+        body += "        ADD #3, R12\n"; // 4 bytes each, 240 B total
+    std::string source = harness::startupSource(0xFF80) +
+                         "        .text\n        .func main\n" + body +
+                         "        MOV R12, &bench_result\n        RET\n"
+                         "        .endfunc\n"
+                         "        .data\n        .align 2\n"
+                         "bench_result: .word 0\n";
+    auto program = masm::parse(source);
+    bb::Options opt;
+    opt.slot_bytes = 64;
+    auto transformed = bb::transform(program, opt);
+    // main alone needs at least 240/64 = 4 blocks.
+    EXPECT_GE(static_cast<int>(transformed.blocks.size()), 5);
+
+    auto info = bb::build(program, masm::LayoutSpec{}, opt);
+    EXPECT_GT(info.n_stubs, 0);
+
+    workloads::Workload w;
+    w.name = "straight";
+    w.display = "S";
+    w.source = "        .text\n        .func main\n" + body +
+               "        MOV R12, &bench_result\n        RET\n"
+               "        .endfunc\n"
+               "        .data\n        .align 2\n"
+               "bench_result: .word 0\n";
+    w.expected = static_cast<std::uint16_t>(60 * 3);
+    auto m = harness::run(w, System::BlockCache);
+    ASSERT_TRUE(m.done);
+    EXPECT_EQ(m.checksum, w.expected);
+}
+
+TEST(BlockCache, Classifier)
+{
+    auto p = masm::parse("        JMP x\n"
+                         "        JEQ x\n"
+                         "        CALL #f\n"
+                         "        RET\n"
+                         "        BR #x\n"
+                         "        MOV R5, R6\n");
+    std::vector<bb::CfiKind> kinds;
+    for (const auto &s : p.stmts)
+        kinds.push_back(bb::classifyInstr(s.instr).kind);
+    EXPECT_EQ(kinds[0], bb::CfiKind::Jump);
+    EXPECT_EQ(kinds[1], bb::CfiKind::CondJump);
+    EXPECT_EQ(kinds[2], bb::CfiKind::Call);
+    EXPECT_EQ(kinds[3], bb::CfiKind::Ret);
+    EXPECT_EQ(kinds[4], bb::CfiKind::Jump);
+    EXPECT_EQ(kinds[5], bb::CfiKind::None);
+}
+
+TEST(BlockCache, IndirectCallRejected)
+{
+    auto p = masm::parse("        .func main\n"
+                         "        CALL R5\n"
+                         "        RET\n"
+                         "        .endfunc\n");
+    bb::Options opt;
+    EXPECT_THROW(bb::transform(p, opt), support::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shared random-program generator for the fuzz and differential
+ * suites: random ALU bodies over global cells wired into a random
+ * acyclic call graph with loops and occasional absolute branches.
+ */
+
+#ifndef SWAPRAM_TESTS_FUZZ_PROGRAMS_HH
+#define SWAPRAM_TESTS_FUZZ_PROGRAMS_HH
+
+#include <sstream>
+
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::test {
+
+/** Emit a random flag-safe ALU instruction mutating R12/R13 or state.
+ *  @p label_seq provides unique label names for conditional skips. */
+inline void
+emitAluOp(std::ostringstream &os, support::Rng &rng, int func_id,
+          int &label_seq)
+{
+    switch (rng.below(12)) {
+      case 0:
+        os << "        ADD #" << rng.below(0x7FFF) << ", R12\n";
+        break;
+      case 1:
+        os << "        XOR #" << rng.below(0xFFFF) << ", R12\n";
+        break;
+      case 2:
+        os << "        ADD R13, R12\n";
+        break;
+      case 3:
+        os << "        SWPB R12\n";
+        break;
+      case 4:
+        os << "        RLA R12\n        ADC R12\n"; // rotate left
+        break;
+      case 5:
+        os << "        ADD &fz_g" << func_id << ", R12\n";
+        break;
+      case 6:
+        os << "        XOR R12, &fz_g" << func_id << "\n";
+        break;
+      case 7:
+        os << "        MOV R12, R13\n        INV R13\n";
+        break;
+      case 8:
+        os << "        SUB #" << rng.below(999) << ", R13\n";
+        break;
+      case 9: {
+        // Conditional skip over one mutation (producer adjacent to
+        // its consumer, as the block cache requires).
+        std::string skip = "fz_sk" + std::to_string(label_seq++);
+        const char *cond = rng.below(2) ? "JGE" : "JNC";
+        os << "        CMP #" << rng.below(0x7FFF) << ", R12\n"
+           << "        " << cond << " " << skip << "\n"
+           << "        ADD #" << rng.below(511) << ", R12\n"
+           << skip << ":\n";
+        break;
+      }
+      case 10:
+        os << "        ADD.B #" << rng.below(255) << ", R12\n";
+        break;
+      default:
+        // Indexed access into the shared scratch array.
+        os << "        MOV R12, R14\n"
+              "        AND #6, R14\n"
+           << (rng.below(2) ? "        XOR R13, fz_arr(R14)\n"
+                            : "        ADD fz_arr(R14), R12\n");
+        break;
+    }
+}
+
+/**
+ * Build one random program. Functions 0..n-1 may call only
+ * higher-numbered functions (acyclic); each has a small loop and
+ * mutates its own global cell, so the final .data state captures the
+ * whole execution history.
+ */
+inline workloads::Workload
+randomProgram(std::uint32_t seed)
+{
+    support::Rng rng(seed);
+    int label_seq = 0;
+    const int nfuncs = 3 + static_cast<int>(rng.below(6)); // 3..8
+
+    std::ostringstream os;
+    os << "        .text\n";
+    for (int f = nfuncs - 1; f >= 0; --f) {
+        os << "        .func fz_f" << f << "\n";
+        os << "        PUSH R10\n";
+        int loop_iters = 1 + rng.below(6);
+        os << "        MOV #" << loop_iters << ", R10\n";
+        os << "fz_l" << f << ":\n";
+        int body = 2 + rng.below(6);
+        for (int i = 0; i < body; ++i)
+            emitAluOp(os, rng, f, label_seq);
+        // Random calls to later functions (guaranteed acyclic).
+        for (int c = 0; c < 2; ++c) {
+            if (f + 1 < nfuncs && rng.below(10) < 6) {
+                int callee = f + 1 +
+                             static_cast<int>(
+                                 rng.below(nfuncs - f - 1));
+                os << "        CALL #fz_f" << callee << "\n";
+            }
+        }
+        // Occasionally an intra-function absolute branch (exercises
+        // SwapRAM relocation).
+        if (rng.below(10) < 4) {
+            os << "        BIT #1, R12\n"
+               << "        JZ fz_s" << f << "\n"
+               << "        BR #fz_s" << f << "\n"
+               << "fz_s" << f << ":\n";
+        }
+        os << "        XOR R12, &fz_g" << f << "\n";
+        os << "        DEC R10\n";
+        os << "        JNZ fz_l" << f << "\n";
+        os << "        POP R10\n";
+        os << "        RET\n";
+        os << "        .endfunc\n";
+    }
+
+    os << "        .func main\n"
+          "        MOV #" << (1 + rng.below(4)) << ", R14\n"
+          "        MOV R14, &fz_reps\n"
+          "fz_main_loop:\n"
+          "        MOV #" << rng.word() << ", R12\n"
+          "        MOV #" << rng.word() << ", R13\n"
+          "        CALL #fz_f0\n"
+          "        ADD R12, &fz_sum\n"
+          "        SUB #1, &fz_reps\n"
+          "        JNZ fz_main_loop\n"
+          "        MOV &fz_sum, R12\n"
+          "        MOV R12, &bench_result\n"
+          "        RET\n"
+          "        .endfunc\n"
+          "        .data\n        .align 2\n";
+    for (int f = 0; f < nfuncs; ++f)
+        os << "fz_g" << f << ": .word " << rng.word() << "\n";
+    os << "fz_arr: .word " << rng.word() << ", " << rng.word() << ", "
+       << rng.word() << ", " << rng.word() << "\n";
+    os << "fz_sum:  .word 0\n"
+          "fz_reps: .word 0\n"
+          "bench_result: .word 0\n";
+
+    workloads::Workload w;
+    w.name = "fuzz" + std::to_string(seed);
+    w.display = w.name;
+    w.source = os.str();
+    w.expected = 0; // baseline acts as the oracle
+    return w;
+}
+
+
+} // namespace swapram::test
+
+#endif // SWAPRAM_TESTS_FUZZ_PROGRAMS_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cycle-table unit tests against the classic MSP430 instruction timing
+ * (SLAU144-style): format I by src/dst mode, format II, jumps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/cycles.hh"
+
+namespace {
+
+using namespace swapram;
+using isa::Instr;
+using isa::Op;
+using isa::Operand;
+using isa::Reg;
+
+std::uint32_t
+cyc1(Op op, Operand src, Operand dst)
+{
+    Instr i;
+    i.op = op;
+    i.src = src;
+    i.dst = dst;
+    return isa::baseCycles(i);
+}
+
+std::uint32_t
+cyc2(Op op, Operand dst)
+{
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    return isa::baseCycles(i);
+}
+
+TEST(Cycles, FormatIRegisterSource)
+{
+    auto r5 = Operand::makeReg(Reg::R5);
+    auto r6 = Operand::makeReg(Reg::R6);
+    auto pc = Operand::makeReg(Reg::PC);
+    EXPECT_EQ(cyc1(Op::Mov, r5, r6), 1u);
+    EXPECT_EQ(cyc1(Op::Mov, r5, pc), 2u); // BR R5
+    EXPECT_EQ(cyc1(Op::Add, r5, Operand::makeIndexed(Reg::R6, 2)), 4u);
+    EXPECT_EQ(cyc1(Op::Add, r5, Operand::makeAbs(0x2000)), 4u);
+}
+
+TEST(Cycles, FormatIConstantGeneratorCountsAsRegister)
+{
+    auto r6 = Operand::makeReg(Reg::R6);
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeImm(1), r6), 1u);
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeImm(8), r6), 1u);
+    // Non-CG immediate behaves like @PC+.
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeImm(0x1234), r6), 2u);
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeImm(1, true), r6), 2u);
+}
+
+TEST(Cycles, FormatIIndirectSource)
+{
+    auto r6 = Operand::makeReg(Reg::R6);
+    auto pc = Operand::makeReg(Reg::PC);
+    EXPECT_EQ(cyc1(Op::Add, Operand::makeIndirect(Reg::R5, false), r6),
+              2u);
+    EXPECT_EQ(cyc1(Op::Add, Operand::makeIndirect(Reg::R5, true), r6), 2u);
+    // RET == MOV @SP+, PC -> 3 cycles.
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeIndirect(Reg::SP, true), pc), 3u);
+    // BR #imm == MOV #imm, PC -> 3 cycles.
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeImm(0x9000, true), pc), 3u);
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeIndirect(Reg::R5, false),
+                   Operand::makeAbs(0x2000)),
+              5u);
+}
+
+TEST(Cycles, FormatIMemorySource)
+{
+    auto r6 = Operand::makeReg(Reg::R6);
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeIndexed(Reg::R5, 4), r6), 3u);
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeAbs(0x2000), r6), 3u);
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeSymbolic(0x9000), r6), 3u);
+    // MOV &a, &b -> 6 cycles.
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeAbs(0x2000),
+                   Operand::makeAbs(0x2002)),
+              6u);
+    // MOV &cell, PC (SwapRAM's relocated branch) -> 4 cycles.
+    EXPECT_EQ(cyc1(Op::Mov, Operand::makeAbs(0x2000),
+                   Operand::makeReg(Reg::PC)),
+              4u);
+}
+
+TEST(Cycles, FormatII)
+{
+    EXPECT_EQ(cyc2(Op::Rra, Operand::makeReg(Reg::R5)), 1u);
+    EXPECT_EQ(cyc2(Op::Rra, Operand::makeIndirect(Reg::R5, false)), 3u);
+    EXPECT_EQ(cyc2(Op::Rra, Operand::makeAbs(0x2000)), 4u);
+    EXPECT_EQ(cyc2(Op::Push, Operand::makeReg(Reg::R5)), 3u);
+    EXPECT_EQ(cyc2(Op::Push, Operand::makeImm(0x1234, true)), 4u);
+    EXPECT_EQ(cyc2(Op::Call, Operand::makeReg(Reg::R5)), 4u);
+    EXPECT_EQ(cyc2(Op::Call, Operand::makeImm(0x9000, true)), 5u);
+    EXPECT_EQ(cyc2(Op::Call, Operand::makeAbs(0x8100)), 6u);
+    Instr reti;
+    reti.op = Op::Reti;
+    EXPECT_EQ(isa::baseCycles(reti), 5u);
+}
+
+TEST(Cycles, JumpsAlwaysTwo)
+{
+    for (Op op : {Op::Jne, Op::Jeq, Op::Jnc, Op::Jc, Op::Jn, Op::Jge,
+                  Op::Jl, Op::Jmp}) {
+        Instr i;
+        i.op = op;
+        i.jump_target = 0x8004;
+        EXPECT_EQ(isa::baseCycles(i), 2u);
+    }
+}
+
+} // namespace

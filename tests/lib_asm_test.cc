@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Property tests for the shared assembly helper library: run each
+ * helper inside the simulator over randomized inputs and compare with
+ * native C++ semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "support/rng.hh"
+#include "testutil.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace swapram;
+using isa::Reg;
+
+/** Run `CALL #func` with R12..R14 preloaded; returns the machine. */
+test::MiniRun
+callHelper(const std::string &func, std::uint16_t r12, std::uint16_t r13,
+           std::uint16_t r14 = 0, const std::string &extra_data = "")
+{
+    std::ostringstream os;
+    os << "        .text\n"
+          "__start:\n"
+          "        MOV #0x3000, SP\n"
+          "        MOV #" << r12 << ", R12\n"
+          "        MOV #" << r13 << ", R13\n"
+          "        MOV #" << r14 << ", R14\n"
+          "        CALL #" << func << "\n"
+          "        MOV.B #0, &__DONE\n"
+          "__halt: JMP __halt\n"
+       << workloads::libSource() << extra_data;
+    return test::runSource(os.str());
+}
+
+TEST(LibAsm, MulhiMatchesNativeMultiply)
+{
+    support::Rng rng(0x11AA);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::uint16_t a = rng.word();
+        std::uint16_t b = rng.word();
+        auto r = callHelper("__mulhi", a, b);
+        ASSERT_TRUE(r.result.done);
+        EXPECT_EQ(r.reg(Reg::R12),
+                  static_cast<std::uint16_t>(a * b))
+            << a << " * " << b;
+    }
+}
+
+TEST(LibAsm, MulhiEdgeCases)
+{
+    for (auto [a, b] : {std::pair<int, int>{0, 0},
+                        {0, 0xFFFF},
+                        {0xFFFF, 0},
+                        {1, 0xFFFF},
+                        {0xFFFF, 0xFFFF},
+                        {0x8000, 2},
+                        {257, 255}}) {
+        auto r = callHelper("__mulhi", static_cast<std::uint16_t>(a),
+                            static_cast<std::uint16_t>(b));
+        EXPECT_EQ(r.reg(Reg::R12), static_cast<std::uint16_t>(a * b));
+    }
+}
+
+TEST(LibAsm, Umul32FullProduct)
+{
+    support::Rng rng(0x22BB);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::uint16_t a = rng.word();
+        std::uint16_t b = rng.word();
+        auto r = callHelper("__umul32", a, b);
+        std::uint32_t p = static_cast<std::uint32_t>(a) * b;
+        EXPECT_EQ(r.reg(Reg::R12),
+                  static_cast<std::uint16_t>(p & 0xFFFF));
+        EXPECT_EQ(r.reg(Reg::R13),
+                  static_cast<std::uint16_t>(p >> 16));
+    }
+}
+
+TEST(LibAsm, Udiv16QuotientAndRemainder)
+{
+    support::Rng rng(0x33CC);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::uint16_t a = rng.word();
+        std::uint16_t b = static_cast<std::uint16_t>(1 + rng.below(0xFFFF));
+        auto r = callHelper("__udiv16", a, b);
+        EXPECT_EQ(r.reg(Reg::R12), static_cast<std::uint16_t>(a / b))
+            << a << " / " << b;
+        EXPECT_EQ(r.reg(Reg::R13), static_cast<std::uint16_t>(a % b))
+            << a << " % " << b;
+    }
+}
+
+TEST(LibAsm, Udiv16Edges)
+{
+    for (auto [a, b] : {std::pair<int, int>{0, 1},
+                        {0xFFFF, 1},
+                        {0xFFFF, 0xFFFF},
+                        {1, 2},
+                        {0x8000, 0x8000},
+                        {0x8001, 0x8000},
+                        {12345, 7}}) {
+        auto r = callHelper("__udiv16", static_cast<std::uint16_t>(a),
+                            static_cast<std::uint16_t>(b));
+        EXPECT_EQ(r.reg(Reg::R12), a / b);
+        EXPECT_EQ(r.reg(Reg::R13), a % b);
+    }
+}
+
+TEST(LibAsm, MemcpyMovesBytes)
+{
+    std::string data = "        .data\n"
+                       "mc_src: .byte 1, 2, 3, 4, 5, 6, 7\n"
+                       "mc_dst: .space 7\n";
+    std::ostringstream os;
+    os << "        .text\n"
+          "__start:\n"
+          "        MOV #0x3000, SP\n"
+          "        MOV #mc_dst, R12\n"
+          "        MOV #mc_src, R13\n"
+          "        MOV #7, R14\n"
+          "        CALL #__memcpy\n"
+          "        MOV.B #0, &__DONE\n"
+       << workloads::libSource() << data;
+    auto r = test::runSource(os.str());
+    ASSERT_TRUE(r.result.done);
+    std::uint16_t dst = r.assembled.symbol("mc_dst");
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(r.machine->peek8(static_cast<std::uint16_t>(dst + i)),
+                  i + 1);
+}
+
+TEST(LibAsm, MemsetFillsBytes)
+{
+    std::string data = "        .data\n"
+                       "ms_buf: .byte 9, 9, 9, 9, 9, 9\n"
+                       "ms_tail: .byte 9\n";
+    std::ostringstream os;
+    os << "        .text\n"
+          "__start:\n"
+          "        MOV #0x3000, SP\n"
+          "        MOV #ms_buf, R12\n"
+          "        MOV #0xAB, R13\n"
+          "        MOV #6, R14\n"
+          "        CALL #__memset\n"
+          "        MOV.B #0, &__DONE\n"
+       << workloads::libSource() << data;
+    auto r = test::runSource(os.str());
+    ASSERT_TRUE(r.result.done);
+    std::uint16_t buf = r.assembled.symbol("ms_buf");
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(r.machine->peek8(static_cast<std::uint16_t>(buf + i)),
+                  0xAB);
+    // One byte past the fill is untouched.
+    EXPECT_EQ(r.machine->peek8(r.assembled.symbol("ms_tail")), 9);
+}
+
+TEST(LibAsm, HelpersWorkWhenCachedBySwapRam)
+{
+    // The helpers must stay correct when SwapRAM relocates them into
+    // SRAM: drive __udiv16 through a loop so it gets cached, under a
+    // deliberately tiny cache to force eviction churn as well.
+    const char *source = R"(
+        .text
+        .func main
+        PUSH R10
+        PUSH R9
+        MOV #200, R10
+        CLR R9
+dm_loop:
+        MOV R10, R12
+        RLA R12
+        RLA R12
+        ADD #17, R12
+        MOV #7, R13
+        CALL #__udiv16
+        ADD R12, R9
+        ADD R13, R9
+        DEC R10
+        JNZ dm_loop
+        MOV R9, R12
+        MOV R12, &bench_result
+        POP R9
+        POP R10
+        RET
+        .endfunc
+        .data
+        .align 2
+bench_result: .word 0
+)";
+    std::uint16_t expect = 0;
+    for (int i = 200; i >= 1; --i) {
+        std::uint16_t v = static_cast<std::uint16_t>(4 * i + 17);
+        expect = static_cast<std::uint16_t>(expect + v / 7 + v % 7);
+    }
+    workloads::Workload w;
+    w.name = "divloop";
+    w.display = "DIV";
+    w.source = source;
+    w.expected = expect;
+    for (auto system :
+         {harness::System::Baseline, harness::System::SwapRam}) {
+        harness::RunSpec spec;
+        spec.workload = &w;
+        spec.system = system;
+        spec.swap.cache_end = 0x2080; // 128 B: forces churn
+        auto m = harness::runOne(spec);
+        ASSERT_TRUE(m.done);
+        EXPECT_EQ(m.checksum, expect)
+            << harness::systemName(system);
+    }
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Assembler unit tests: layout, symbols, emission, sizing stability,
+ * jump relaxation, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "masm/assembler.hh"
+#include "masm/parser.hh"
+#include "masm/printer.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace swapram;
+using masm::assemble;
+using masm::LayoutSpec;
+using masm::parse;
+
+masm::AssembleResult
+asmSource(const std::string &src, LayoutSpec layout = {})
+{
+    return assemble(parse(src), layout);
+}
+
+TEST(Assembler, SymbolAddressesAndSizes)
+{
+    auto r = asmSource("        .text\n"
+                       "start:  MOV #0x1234, R5\n" // 4 bytes
+                       "next:   NOP\n"             // 2 bytes
+                       "end:    RET\n");           // 2 bytes
+    EXPECT_EQ(r.symbol("start"), 0x8000);
+    EXPECT_EQ(r.symbol("next"), 0x8004);
+    EXPECT_EQ(r.symbol("end"), 0x8006);
+    EXPECT_EQ(r.image.text.size, 8u);
+}
+
+TEST(Assembler, ConstantGeneratorSizing)
+{
+    auto r = asmSource("        MOV #1, R5\n"  // 2 (CG)
+                       "        MOV #3, R5\n"  // 4
+                       "        MOV #-1, R5\n" // 2 (CG)
+                       "x:      NOP\n");
+    EXPECT_EQ(r.symbol("x"), 0x8008);
+}
+
+TEST(Assembler, SymbolicImmediateAlwaysExtWord)
+{
+    // #K where K == 1 via .equ must still take an extension word so the
+    // size is stable regardless of the resolved value.
+    auto r = asmSource("        .equ K, 1\n"
+                       "        MOV #K, R5\n"
+                       "x:      NOP\n");
+    EXPECT_EQ(r.symbol("x"), 0x8004);
+}
+
+TEST(Assembler, SectionPlacement)
+{
+    LayoutSpec layout;
+    layout.data_base = 0x2000;
+    auto r = asmSource("        .text\n"
+                       "        NOP\n"
+                       "        .const\n"
+                       "tbl:    .word 0xBEEF\n"
+                       "        .data\n"
+                       "var:    .word 42\n"
+                       "        .bss\n"
+                       "buf:    .space 10\n"
+                       "buf2:   .space 2\n",
+                       layout);
+    EXPECT_EQ(r.image.text.base, 0x8000);
+    EXPECT_EQ(r.symbol("tbl"), 0x8002); // const chains after text
+    EXPECT_EQ(r.symbol("var"), 0x2000);
+    EXPECT_EQ(r.symbol("buf"), 0x2002); // bss chains after data
+    EXPECT_EQ(r.symbol("buf2"), 0x200C);
+    EXPECT_EQ(r.image.bss.size, 12u);
+
+    // Emitted bytes.
+    bool found_tbl = false;
+    for (const auto &chunk : r.image.chunks) {
+        if (chunk.base == 0x8002) {
+            found_tbl = true;
+            ASSERT_EQ(chunk.bytes.size(), 2u);
+            EXPECT_EQ(chunk.bytes[0], 0xEF);
+            EXPECT_EQ(chunk.bytes[1], 0xBE);
+        }
+    }
+    EXPECT_TRUE(found_tbl);
+}
+
+TEST(Assembler, WordAtOddOffsetRequiresAlign)
+{
+    // Without .align, .word at an odd offset is an error (labels must
+    // match the data they precede, so silent padding is not allowed).
+    EXPECT_THROW(asmSource("        .data\n"
+                           "        .byte 1\n"
+                           "w:      .word 0x0203\n"),
+                 support::FatalError);
+    auto r = asmSource("        .data\n"
+                       "        .byte 1\n"
+                       "        .align 2\n"
+                       "w:      .word 0x0203\n");
+    EXPECT_EQ(r.symbol("w") & 1, 0);
+}
+
+TEST(Assembler, FunctionsAndEndSymbols)
+{
+    auto r = asmSource("        .text\n"
+                       "        .func f1\n"
+                       "        MOV #0x1234, R5\n"
+                       "        RET\n"
+                       "        .endfunc\n"
+                       "        .func f2\n"
+                       "        RET\n"
+                       "        .endfunc\n");
+    ASSERT_EQ(r.functions.size(), 2u);
+    EXPECT_EQ(r.function("f1").addr, 0x8000);
+    EXPECT_EQ(r.function("f1").size, 6);
+    EXPECT_EQ(r.function("f2").addr, 0x8006);
+    EXPECT_EQ(r.function("f2").size, 2);
+    EXPECT_EQ(r.symbol("f1"), 0x8000);
+    EXPECT_EQ(r.symbol("__end_f1"), 0x8006);
+}
+
+TEST(Assembler, JumpRelaxationUnconditional)
+{
+    // A JMP over a >1 KiB gap must relax to MOV #target, PC.
+    auto r = asmSource("        .text\n"
+                       "        JMP far\n"
+                       "        .space 2000\n"
+                       "far:    NOP\n");
+    // Relaxed JMP occupies 4 bytes: the gap starts at 0x8004.
+    EXPECT_EQ(r.symbol("far"), 0x8000 + 4 + 2000);
+    // The relaxed program contains a MOV ... PC instead of the JMP.
+    bool has_jmp = false, has_br = false;
+    for (const auto &s : r.relaxed.stmts) {
+        if (s.kind != masm::Statement::Kind::Instr)
+            continue;
+        if (isa::opFormat(s.instr.op) == isa::OpFormat::Jump)
+            has_jmp = true;
+        if (s.instr.op == isa::Op::Mov && s.instr.dst->kind ==
+                masm::OperKind::Register &&
+            s.instr.dst->reg == isa::Reg::PC) {
+            has_br = true;
+        }
+    }
+    EXPECT_FALSE(has_jmp);
+    EXPECT_TRUE(has_br);
+}
+
+TEST(Assembler, JumpRelaxationConditionalInverts)
+{
+    auto r = asmSource("        .text\n"
+                       "        JEQ far\n"
+                       "        .space 2000\n"
+                       "far:    NOP\n");
+    // JEQ -> JNE skip; MOV #far, PC; skip:
+    int jne = 0, brs = 0;
+    for (const auto &s : r.relaxed.stmts) {
+        if (s.kind != masm::Statement::Kind::Instr)
+            continue;
+        if (s.instr.op == isa::Op::Jne)
+            ++jne;
+        if (s.instr.op == isa::Op::Mov &&
+            s.instr.dst->kind == masm::OperKind::Register &&
+            s.instr.dst->reg == isa::Reg::PC) {
+            ++brs;
+        }
+    }
+    EXPECT_EQ(jne, 1);
+    EXPECT_EQ(brs, 1);
+    EXPECT_EQ(r.symbol("far"), 0x8000 + 2 + 4 + 2000);
+}
+
+TEST(Assembler, NearJumpsStayShort)
+{
+    auto r = asmSource("        .text\n"
+                       "loop:   DEC R5\n"
+                       "        JNE loop\n"
+                       "x:      NOP\n");
+    EXPECT_EQ(r.symbol("x"), 0x8004);
+}
+
+TEST(Assembler, EquChains)
+{
+    auto r = asmSource("        .equ A, 4\n"
+                       "        .equ B, A*2\n"
+                       "        .text\n"
+                       "        MOV #B+1, R5\n"
+                       "v:      .word B\n");
+    // #B+1 is symbolic -> ext word.
+    for (const auto &chunk : r.image.chunks) {
+        if (chunk.base == 0x8000) {
+            ASSERT_GE(chunk.bytes.size(), 4u);
+            EXPECT_EQ(chunk.bytes[2], 9); // 8+1
+        }
+    }
+}
+
+TEST(Assembler, PredefinedMmioSymbols)
+{
+    auto r = asmSource("        MOV.B #1, &__DONE\n"
+                       "        MOV.B #1, &__CONSOLE\n");
+    EXPECT_EQ(r.symbol("__DONE"), 0x0102);
+}
+
+TEST(Assembler, EntryPoint)
+{
+    auto r = asmSource("        .text\n"
+                       "        NOP\n"
+                       "__start: NOP\n");
+    EXPECT_EQ(r.image.entry, 0x8002);
+    auto r2 = asmSource("        NOP\n");
+    EXPECT_EQ(r2.image.entry, 0x8000);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(asmSource("        MOV #1, R5\n"
+                           "x:      NOP\n"
+                           "x:      NOP\n"),
+                 support::FatalError); // duplicate label
+    EXPECT_THROW(asmSource("        JMP nowhere\n"), support::FatalError);
+    EXPECT_THROW(asmSource("        .data\n        NOP\n"),
+                 support::FatalError); // instr outside .text
+    EXPECT_THROW(asmSource("        .func f\n        RET\n"),
+                 support::FatalError); // unterminated func
+    EXPECT_THROW(asmSource("        .bss\n        .word 1\n"),
+                 support::FatalError);
+    EXPECT_THROW(asmSource("        .byte 300\n"), support::FatalError);
+}
+
+TEST(Assembler, ListingContainsAddresses)
+{
+    auto r = asmSource("        .text\nstart:  NOP\n");
+    std::string text = masm::listing(r);
+    EXPECT_NE(text.find("0x8000"), std::string::npos);
+    EXPECT_NE(text.find("start:"), std::string::npos);
+}
+
+TEST(Assembler, ExpressionDataWords)
+{
+    // .word of label arithmetic (as SwapRAM's metadata tables use).
+    auto r = asmSource("        .text\n"
+                       "        .func f\n"
+                       "        MOV #0x1234, R5\n"
+                       "        RET\n"
+                       "        .endfunc\n"
+                       "        .const\n"
+                       "meta:   .word f, __end_f - f\n");
+    std::uint16_t meta = r.symbol("meta");
+    for (const auto &chunk : r.image.chunks) {
+        if (chunk.base <= meta &&
+            static_cast<size_t>(meta) + 4 <=
+                chunk.base + chunk.bytes.size()) {
+            size_t off = meta - chunk.base;
+            std::uint16_t w0 = static_cast<std::uint16_t>(
+                chunk.bytes[off] | (chunk.bytes[off + 1] << 8));
+            std::uint16_t w1 = static_cast<std::uint16_t>(
+                chunk.bytes[off + 2] | (chunk.bytes[off + 3] << 8));
+            EXPECT_EQ(w0, 0x8000);
+            EXPECT_EQ(w1, 6);
+            return;
+        }
+    }
+    FAIL() << "metadata chunk not found";
+}
+
+} // namespace

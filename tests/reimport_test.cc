@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for binary re-import (the paper's §4 library-instrumentation
+ * flow): disassemble assembled functions back into instrumentable
+ * assembly, re-link them against the original data sections, and run
+ * the result under the baseline and SwapRAM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "masm/parser.hh"
+#include "masm/reimport.hh"
+#include "support/logging.hh"
+#include "swapram/builder.hh"
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace swapram;
+using masm::Directive;
+using masm::Statement;
+
+/** Everything outside .text (the data/const/bss sections). */
+masm::Program
+nonTextStatements(const masm::Program &program)
+{
+    masm::Program out;
+    bool in_text = true; // default section
+    for (const Statement &s : program.stmts) {
+        if (s.kind == Statement::Kind::Directive) {
+            switch (s.directive) {
+              case Directive::Text:
+                in_text = true;
+                continue;
+              case Directive::Const:
+              case Directive::Data:
+              case Directive::Bss:
+                in_text = false;
+                break;
+              default:
+                break;
+            }
+        }
+        if (!in_text)
+            out.stmts.push_back(s);
+    }
+    return out;
+}
+
+/** Round-trip a workload through assembly + disassembly. */
+masm::Program
+roundTrip(const workloads::Workload &w, bool with_lib = true)
+{
+    std::string source = harness::startupSource(0xFF80) + w.source;
+    if (with_lib)
+        source += workloads::libSource();
+    masm::Program original = masm::parse(source);
+    masm::AssembleResult assembled =
+        masm::assemble(original, masm::LayoutSpec{});
+
+    masm::Program rebuilt = masm::reimportAllFunctions(assembled);
+    rebuilt.append(nonTextStatements(original));
+    return rebuilt;
+}
+
+void
+runRebuilt(const masm::Program &rebuilt, std::uint16_t expected,
+           bool swapram_too)
+{
+    masm::AssembleResult assembled =
+        masm::assemble(rebuilt, masm::LayoutSpec{});
+    sim::Machine machine;
+    machine.load(assembled.image, 0xFF80);
+    auto result = machine.run();
+    ASSERT_TRUE(result.done);
+    EXPECT_EQ(machine.peek16(assembled.symbol("bench_result")),
+              expected);
+
+    if (swapram_too) {
+        auto info = cache::build(rebuilt, masm::LayoutSpec{}, {});
+        sim::Machine m2;
+        m2.load(info.assembled.image, 0xFF80);
+        auto r2 = m2.run();
+        ASSERT_TRUE(r2.done);
+        EXPECT_EQ(m2.peek16(info.assembled.symbol("bench_result")),
+                  expected);
+    }
+}
+
+TEST(Reimport, CrcRoundTripsThroughDisassembly)
+{
+    auto w = workloads::makeCrc();
+    runRebuilt(roundTrip(w), w.expected, true);
+}
+
+TEST(Reimport, RsaRoundTripsThroughDisassembly)
+{
+    auto w = workloads::makeRsa();
+    runRebuilt(roundTrip(w), w.expected, true);
+}
+
+TEST(Reimport, BitcountRoundTripsThroughDisassembly)
+{
+    auto w = workloads::makeBitcount();
+    runRebuilt(roundTrip(w), w.expected, true);
+}
+
+TEST(Reimport, FftRoundTripsThroughDisassembly)
+{
+    auto w = workloads::makeFft();
+    runRebuilt(roundTrip(w), w.expected, true);
+}
+
+TEST(Reimport, ReimportedFunctionHasLabelsForBranchTargets)
+{
+    auto w = workloads::makeCrc();
+    std::string source = harness::startupSource(0xFF80) + w.source;
+    auto assembled =
+        masm::assemble(masm::parse(source), masm::LayoutSpec{});
+    std::unordered_map<std::uint16_t, std::string> names;
+    auto one = masm::reimportFunction(
+        assembled.image, assembled.function("crc_block"), names);
+    int labels = 0, jumps = 0;
+    for (const Statement &s : one.stmts) {
+        if (s.kind == Statement::Kind::Label)
+            ++labels;
+        if (s.kind == Statement::Kind::Instr &&
+            isa::opFormat(s.instr.op) == isa::OpFormat::Jump) {
+            ++jumps;
+            EXPECT_TRUE(s.instr.jump_target.isSymbol());
+        }
+    }
+    EXPECT_GT(labels, 0);
+    EXPECT_GT(jumps, 0);
+}
+
+TEST(Reimport, RejectsAddressesOutsideImage)
+{
+    masm::Image image;
+    masm::FunctionInfo info;
+    info.name = "ghost";
+    info.addr = 0x9000;
+    info.size = 4;
+    std::unordered_map<std::uint16_t, std::string> names;
+    EXPECT_THROW(masm::reimportFunction(image, info, names),
+                 support::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Hardware FRAM read-cache model tests: geometry, LRU, and the stall /
+ * contention accounting the Figure-1 experiment depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/hw_cache.hh"
+#include "testutil.hh"
+
+namespace {
+
+using namespace swapram;
+using sim::HwCache;
+
+TEST(HwCache, LineGranularity)
+{
+    HwCache cache;
+    EXPECT_FALSE(cache.access(0x8000));
+    // Same 8-byte line: hits.
+    EXPECT_TRUE(cache.access(0x8002));
+    EXPECT_TRUE(cache.access(0x8006));
+    // Next line: miss.
+    EXPECT_FALSE(cache.access(0x8008));
+}
+
+TEST(HwCache, TwoWayTwoSets)
+{
+    HwCache cache;
+    // Lines 0x8000 and 0x8010 map to set 0; 0x8008 maps to set 1.
+    EXPECT_FALSE(cache.access(0x8000));
+    EXPECT_FALSE(cache.access(0x8010));
+    EXPECT_TRUE(cache.access(0x8000)); // both fit (2 ways)
+    EXPECT_TRUE(cache.access(0x8010));
+    // Third distinct line in set 0 evicts the LRU (0x8000).
+    EXPECT_FALSE(cache.access(0x8020));
+    EXPECT_FALSE(cache.access(0x8000));
+    // Set 1 unaffected.
+    EXPECT_FALSE(cache.access(0x8008));
+    EXPECT_TRUE(cache.access(0x8008));
+}
+
+TEST(HwCache, ProbeDoesNotFill)
+{
+    HwCache cache;
+    EXPECT_FALSE(cache.probe(0x9000));
+    EXPECT_FALSE(cache.access(0x9000));
+    EXPECT_TRUE(cache.probe(0x9000));
+}
+
+TEST(HwCache, ResetInvalidates)
+{
+    HwCache cache;
+    cache.access(0x8000);
+    cache.reset();
+    EXPECT_FALSE(cache.probe(0x8000));
+}
+
+TEST(Stalls, SequentialCodeMostlyHits)
+{
+    // Straight-line code in FRAM at 24 MHz: one miss per 8-byte line.
+    sim::MachineConfig cfg;
+    cfg.clock_hz = 24'000'000;
+    auto r = test::runBody("        NOP\n        NOP\n        NOP\n"
+                           "        NOP\n        NOP\n        NOP\n",
+                           cfg);
+    const auto &st = r.stats();
+    EXPECT_GT(st.fram_cache_hits, st.fram_cache_misses);
+    EXPECT_EQ(st.stall_cycles % 1, 0u); // sanity
+    EXPECT_GT(st.stall_cycles, 0u);
+}
+
+TEST(Stalls, ZeroWaitStatesAt8MHz)
+{
+    sim::MachineConfig cfg;
+    cfg.clock_hz = 8'000'000;
+    // Straight-line code touches one line at a time: no contention, no
+    // wait states at 8 MHz.
+    auto r = test::runBody("        NOP\n        NOP\n        NOP\n", cfg);
+    EXPECT_EQ(r.stats().stall_cycles, 0u);
+}
+
+TEST(Stalls, ContentionAt8MHzForDisjointAccesses)
+{
+    // MOV &a, &b with a, b, and the code all in distinct FRAM lines:
+    // a single instruction issuing multiple missing FRAM accesses pays
+    // the contention stall even at 8 MHz.
+    sim::MachineConfig cfg;
+    cfg.clock_hz = 8'000'000;
+    masm::LayoutSpec layout;
+    layout.data_base = 0x9000; // FRAM data (unified memory model)
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        MOV &a, &b\n"
+                             "        MOV.B #0, &__DONE\n"
+                             "        .data\n"
+                             "a:      .word 1\n"
+                             "        .align 8\n"
+                             "        .space 8\n"
+                             "b:      .word 0\n",
+                             cfg, layout);
+    EXPECT_TRUE(r.result.done);
+    EXPECT_GT(r.stats().stall_cycles, 0u);
+    EXPECT_EQ(r.machine->peek16(r.assembled.symbol("b")), 1);
+}
+
+TEST(Stalls, SramNeverStalls)
+{
+    // Execute code out of SRAM: zero stall cycles even at 24 MHz, apart
+    // from the initial FRAM fetch of the copy loop. Here we place the
+    // whole text in SRAM directly.
+    sim::MachineConfig cfg;
+    cfg.clock_hz = 24'000'000;
+    masm::LayoutSpec layout;
+    layout.text_base = 0x2000;
+    layout.data_base = 0x2800;
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        MOV #100, R5\n"
+                             "loop:   DEC R5\n"
+                             "        JNE loop\n"
+                             "        MOV.B #0, &__DONE\n",
+                             cfg, layout);
+    EXPECT_TRUE(r.result.done);
+    EXPECT_EQ(r.stats().stall_cycles, 0u);
+    EXPECT_EQ(r.stats().fram.total(), 0u);
+}
+
+TEST(Stalls, WaitStatesScaleMisses)
+{
+    // Same program at 8 vs 24 MHz: identical base cycles, stalls only
+    // at 24 MHz (for line-crossing fetches).
+    std::string body = "        MOV #50, R5\n"
+                       "big:    DEC R5\n"
+                       "        NOP\n        NOP\n        NOP\n"
+                       "        NOP\n        NOP\n        NOP\n"
+                       "        JNE big\n";
+    sim::MachineConfig cfg8;
+    cfg8.clock_hz = 8'000'000;
+    sim::MachineConfig cfg24;
+    cfg24.clock_hz = 24'000'000;
+    auto r8 = test::runBody(body, cfg8);
+    auto r24 = test::runBody(body, cfg24);
+    EXPECT_EQ(r8.stats().base_cycles, r24.stats().base_cycles);
+    EXPECT_EQ(r8.stats().instructions, r24.stats().instructions);
+    EXPECT_GT(r24.stats().stall_cycles, r8.stats().stall_cycles);
+}
+
+TEST(Stalls, DisabledHwCacheStallsEveryAccess)
+{
+    sim::MachineConfig with_cache;
+    with_cache.clock_hz = 24'000'000;
+    sim::MachineConfig no_cache = with_cache;
+    no_cache.hw_cache_enabled = false;
+    std::string body = "        MOV #20, R5\n"
+                       "l:      DEC R5\n"
+                       "        JNE l\n";
+    auto r1 = test::runBody(body, with_cache);
+    auto r2 = test::runBody(body, no_cache);
+    EXPECT_GT(r2.stats().stall_cycles, r1.stats().stall_cycles);
+    EXPECT_EQ(r2.stats().fram_cache_hits, 0u);
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Additional CPU-semantics tests pinning MSP430 behaviours that the
+ * nine workloads do not exercise densely: multi-word BCD chains, byte
+ * rotates, stack-pointer addressing, indirect/indexed calls, negative
+ * indexed offsets, and flag corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "testutil.hh"
+
+namespace {
+
+using namespace swapram;
+using test::runBody;
+using test::runSource;
+using isa::Reg;
+namespace sr = isa::sr;
+
+TEST(CpuMore, DaddMultiWordChain)
+{
+    // 16-digit BCD add via DADD + carry chaining: 99999999 + 1.
+    auto r = runBody("        MOV #0x9999, R5\n"
+                     "        MOV #0x9999, R6\n" // R6:R5 = 99999999 BCD
+                     "        CLRC\n"
+                     "        DADD #1, R5\n"
+                     "        DADD #0, R6\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0x0000);
+    EXPECT_EQ(r.reg(Reg::R6), 0x0000);
+    // Final carry out of the high word.
+    auto r2 = runBody("        MOV #0x9999, R5\n"
+                      "        CLRC\n"
+                      "        DADD #1, R5\n"
+                      "        MOV SR, R7\n");
+    EXPECT_TRUE(r2.reg(Reg::R7) & sr::kC);
+}
+
+TEST(CpuMore, RrcByteUsesBit7)
+{
+    auto r = runBody("        MOV #0x0001, R5\n"
+                     "        SETC\n"
+                     "        RRC.B R5\n"
+                     "        MOV SR, R6\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0x80); // carry rotated into bit 7
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kC);
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kN);
+}
+
+TEST(CpuMore, RraByteKeepsSign)
+{
+    auto r = runBody("        MOV #0x0082, R5\n"
+                     "        RRA.B R5\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0xC1);
+}
+
+TEST(CpuMore, PushByteMovesSpByTwo)
+{
+    auto r = runBody("        MOV SP, R5\n"
+                     "        MOV #0xAB, R6\n"
+                     "        PUSH.B R6\n"
+                     "        MOV SP, R7\n"
+                     "        POP R8\n"); // word pop rebalances
+    EXPECT_EQ(static_cast<std::uint16_t>(r.reg(Reg::R5) -
+                                         r.reg(Reg::R7)),
+              2);
+    EXPECT_EQ(r.reg(Reg::R8) & 0xFF, 0xAB);
+}
+
+TEST(CpuMore, StackRelativeAddressing)
+{
+    auto r = runBody("        PUSH #0x1111\n"
+                     "        PUSH #0x2222\n"
+                     "        MOV 2(SP), R5\n"  // the first push
+                     "        MOV @SP, R6\n"    // the second
+                     "        ADD #4, SP\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0x1111);
+    EXPECT_EQ(r.reg(Reg::R6), 0x2222);
+}
+
+TEST(CpuMore, NegativeIndexedOffset)
+{
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        MOV #buf+4, R5\n"
+                             "        MOV #0xBEEF, -4(R5)\n"
+                             "        MOV -4(R5), R6\n"
+                             "        MOV.B #0, &__DONE\n"
+                             "        .data\n"
+                             "        .align 2\n"
+                             "buf:    .space 8\n");
+    EXPECT_EQ(r.reg(Reg::R6), 0xBEEF);
+    EXPECT_EQ(r.machine->peek16(r.assembled.symbol("buf")), 0xBEEF);
+}
+
+TEST(CpuMore, CallThroughRegisterAndIndexed)
+{
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        MOV #target, R5\n"
+                             "        CALL R5\n"          // CALL Rn
+                             "        MOV #table, R6\n"
+                             "        CALL 2(R6)\n"       // CALL X(Rn)
+                             "        CALL @R6\n"         // CALL @Rn
+                             "        MOV.B #0, &__DONE\n"
+                             "halt:   JMP halt\n"
+                             "        .func target\n"
+                             "        ADD #1, R9\n"
+                             "        RET\n"
+                             "        .endfunc\n"
+                             "        .const\n"
+                             "table:  .word target, target\n");
+    EXPECT_TRUE(r.result.done);
+    EXPECT_EQ(r.reg(Reg::R9), 3);
+}
+
+TEST(CpuMore, SymbolicModeExecutes)
+{
+    // Bare-symbol (PC-relative) addressing reads/writes memory.
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        MOV #7, var\n"
+                             "        ADD var, var2\n"
+                             "        MOV var2, R5\n"
+                             "        MOV.B #0, &__DONE\n"
+                             "        .data\n"
+                             "        .align 2\n"
+                             "var:    .word 0\n"
+                             "var2:   .word 100\n");
+    EXPECT_EQ(r.reg(Reg::R5), 107);
+}
+
+TEST(CpuMore, CmpByteFlags)
+{
+    auto r = runBody("        MOV #0x1280, R5\n"
+                     "        CMP.B #0x80, R5\n" // equal in the low byte
+                     "        MOV SR, R6\n");
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kZ);
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kC);
+}
+
+TEST(CpuMore, XorOverflowFlag)
+{
+    // V set only when both operands are negative.
+    auto r = runBody("        MOV #0x8000, R5\n"
+                     "        MOV #0x8001, R6\n"
+                     "        XOR R5, R6\n"
+                     "        MOV SR, R7\n"
+                     "        MOV #0x8000, R8\n"
+                     "        MOV #0x0001, R9\n"
+                     "        XOR R8, R9\n"
+                     "        MOV SR, R10\n");
+    EXPECT_TRUE(r.reg(Reg::R7) & sr::kV);
+    EXPECT_FALSE(r.reg(Reg::R10) & sr::kV);
+}
+
+TEST(CpuMore, AndByteSetsCarryFromNotZero)
+{
+    auto r = runBody("        MOV #0xFF00, R5\n"
+                     "        AND.B #0xFF, R5\n" // low byte 0
+                     "        MOV SR, R6\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0);
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kZ);
+    EXPECT_FALSE(r.reg(Reg::R6) & sr::kC);
+}
+
+TEST(CpuMore, SubcBorrowChain32Bit)
+{
+    // 0x00010000 - 1 = 0x0000FFFF via SUB/SUBC.
+    auto r = runBody("        CLR R5\n"       // low
+                     "        MOV #1, R6\n"   // high
+                     "        SUB #1, R5\n"
+                     "        SUBC #0, R6\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0xFFFF);
+    EXPECT_EQ(r.reg(Reg::R6), 0x0000);
+}
+
+TEST(CpuMore, ByteMemoryReadModifyWrite)
+{
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        ADD.B #1, &bytes+1\n"
+                             "        XOR.B #0xFF, &bytes\n"
+                             "        MOV &bytes, R5\n"
+                             "        MOV.B #0, &__DONE\n"
+                             "        .data\n"
+                             "bytes:  .byte 0x0F, 0x7F\n");
+    // bytes[0] = 0x0F ^ 0xFF = 0xF0; bytes[1] = 0x80.
+    EXPECT_EQ(r.reg(Reg::R5), 0x80F0);
+}
+
+TEST(CpuMore, SwpbOnMemory)
+{
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        SWPB &w\n"
+                             "        MOV &w, R5\n"
+                             "        MOV.B #0, &__DONE\n"
+                             "        .data\n"
+                             "        .align 2\n"
+                             "w:      .word 0x1234\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0x3412);
+}
+
+TEST(CpuMore, JumpBackwardMaxRange)
+{
+    // A taken backward jump at the edge of the encodable range.
+    std::string body = "        MOV #2, R5\n"
+                       "back:   DEC R5\n";
+    for (int i = 0; i < 505; ++i)
+        body += "        NOP\n";
+    body += "        TST R5\n        JNZ back\n";
+    auto r = runBody(body);
+    EXPECT_TRUE(r.result.done);
+    EXPECT_EQ(r.reg(Reg::R5), 0);
+}
+
+} // namespace

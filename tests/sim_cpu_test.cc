@@ -1,0 +1,295 @@
+/**
+ * @file
+ * CPU semantics tests: each instruction class, addressing modes, flag
+ * behaviour, byte operations, and control flow — executed end-to-end
+ * through the assembler and machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "testutil.hh"
+
+namespace {
+
+using namespace swapram;
+using test::runBody;
+using isa::Reg;
+namespace sr = isa::sr;
+
+TEST(CpuArith, AddCarryOverflow)
+{
+    auto r = runBody("        MOV #0xFFFF, R5\n"
+                     "        ADD #1, R5\n"
+                     "        MOV SR, R6\n" // C and Z set
+                     "        MOV #0x7FFF, R7\n"
+                     "        ADD #1, R7\n"
+                     "        MOV SR, R8\n"); // V and N set
+    EXPECT_TRUE(r.result.done);
+    EXPECT_EQ(r.reg(Reg::R5), 0);
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kC);
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kZ);
+    EXPECT_EQ(r.reg(Reg::R7), 0x8000);
+    EXPECT_TRUE(r.reg(Reg::R8) & sr::kV);
+    EXPECT_TRUE(r.reg(Reg::R8) & sr::kN);
+    EXPECT_FALSE(r.reg(Reg::R8) & sr::kC);
+}
+
+TEST(CpuArith, SubBorrowSemantics)
+{
+    // MSP430: C is NOT-borrow. 5-3 sets C; 3-5 clears C.
+    auto r = runBody("        MOV #5, R5\n"
+                     "        SUB #3, R5\n"
+                     "        MOV SR, R6\n"
+                     "        MOV #3, R7\n"
+                     "        SUB #5, R7\n"
+                     "        MOV SR, R8\n");
+    EXPECT_EQ(r.reg(Reg::R5), 2);
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kC);
+    EXPECT_EQ(r.reg(Reg::R7), 0xFFFE);
+    EXPECT_FALSE(r.reg(Reg::R8) & sr::kC);
+    EXPECT_TRUE(r.reg(Reg::R8) & sr::kN);
+}
+
+TEST(CpuArith, AddcSubcChains)
+{
+    // 32-bit add: 0x0001FFFF + 0x00010001 = 0x00030000.
+    auto r = runBody("        MOV #0xFFFF, R5\n" // low
+                     "        MOV #1, R6\n"      // high
+                     "        ADD #1, R5\n"
+                     "        ADDC #1, R6\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0x0000);
+    EXPECT_EQ(r.reg(Reg::R6), 0x0003);
+}
+
+TEST(CpuArith, CmpSetsFlagsOnly)
+{
+    auto r = runBody("        MOV #7, R5\n"
+                     "        CMP #7, R5\n"
+                     "        MOV SR, R6\n");
+    EXPECT_EQ(r.reg(Reg::R5), 7);
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kZ);
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kC);
+}
+
+TEST(CpuArith, DaddBcd)
+{
+    auto r = runBody("        CLRC\n"
+                     "        MOV #0x1299, R5\n"
+                     "        MOV #0x0001, R6\n"
+                     "        DADD R6, R5\n"); // 1299 + 1 = 1300 (BCD)
+    EXPECT_EQ(r.reg(Reg::R5), 0x1300);
+}
+
+TEST(CpuLogic, AndBitXorBicBis)
+{
+    auto r = runBody("        MOV #0x0F0F, R5\n"
+                     "        AND #0x00FF, R5\n"
+                     "        MOV SR, R6\n"
+                     "        MOV #0xFF00, R7\n"
+                     "        BIT #0x00FF, R7\n"
+                     "        MOV SR, R8\n"
+                     "        MOV #0x1234, R9\n"
+                     "        XOR #0xFFFF, R9\n"
+                     "        MOV #0x00F0, R10\n"
+                     "        BIC #0x0030, R10\n"
+                     "        BIS #0x0003, R10\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0x000F);
+    EXPECT_TRUE(r.reg(Reg::R6) & sr::kC); // C = !Z for AND
+    EXPECT_TRUE(r.reg(Reg::R8) & sr::kZ); // BIT found no overlap
+    EXPECT_FALSE(r.reg(Reg::R8) & sr::kC);
+    EXPECT_EQ(r.reg(Reg::R9), 0xEDCB);
+    EXPECT_EQ(r.reg(Reg::R10), 0x00C3);
+}
+
+TEST(CpuShift, RraRrcRlaRlc)
+{
+    auto r = runBody("        MOV #0x8003, R5\n"
+                     "        RRA R5\n" // arithmetic: keeps sign
+                     "        MOV #0x0001, R6\n"
+                     "        SETC\n"
+                     "        RRC R6\n" // 0x8000, C=1
+                     "        MOV SR, R7\n"
+                     "        MOV #0x4000, R8\n"
+                     "        RLA R8\n"); // 0x8000
+    EXPECT_EQ(r.reg(Reg::R5), 0xC001);
+    EXPECT_EQ(r.reg(Reg::R6), 0x8000);
+    EXPECT_TRUE(r.reg(Reg::R7) & sr::kC);
+    EXPECT_EQ(r.reg(Reg::R8), 0x8000);
+}
+
+TEST(CpuByte, ByteOpsClearHighByte)
+{
+    auto r = runBody("        MOV #0x1234, R5\n"
+                     "        ADD.B #1, R5\n" // byte add clears high
+                     "        MOV #0x12FF, R6\n"
+                     "        ADD.B #1, R6\n"
+                     "        MOV SR, R7\n"); // byte carry + zero
+    EXPECT_EQ(r.reg(Reg::R5), 0x0035);
+    EXPECT_EQ(r.reg(Reg::R6), 0x0000);
+    EXPECT_TRUE(r.reg(Reg::R7) & sr::kC);
+    EXPECT_TRUE(r.reg(Reg::R7) & sr::kZ);
+}
+
+TEST(CpuByte, SwpbSxt)
+{
+    auto r = runBody("        MOV #0x1234, R5\n"
+                     "        SWPB R5\n"
+                     "        MOV #0x0080, R6\n"
+                     "        SXT R6\n"
+                     "        MOV #0x007F, R7\n"
+                     "        SXT R7\n");
+    EXPECT_EQ(r.reg(Reg::R5), 0x3412);
+    EXPECT_EQ(r.reg(Reg::R6), 0xFF80);
+    EXPECT_EQ(r.reg(Reg::R7), 0x007F);
+}
+
+TEST(CpuMem, MemoryAddressing)
+{
+    auto r = runBody("        MOV #0x2100, R5\n"
+                     "        MOV #0xBEEF, 0(R5)\n"
+                     "        MOV #0xCAFE, 2(R5)\n"
+                     "        MOV @R5+, R6\n"
+                     "        MOV @R5, R7\n"
+                     "        MOV &0x2102, R8\n"
+                     "        MOV #0xAA, R9\n"
+                     "        MOV.B R9, &0x2105\n"
+                     "        MOV.B &0x2105, R10\n");
+    EXPECT_EQ(r.reg(Reg::R6), 0xBEEF);
+    EXPECT_EQ(r.reg(Reg::R5), 0x2102);
+    EXPECT_EQ(r.reg(Reg::R7), 0xCAFE);
+    EXPECT_EQ(r.reg(Reg::R8), 0xCAFE);
+    EXPECT_EQ(r.reg(Reg::R10), 0xAA);
+}
+
+TEST(CpuMem, SymbolicAddressing)
+{
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        MOV var, R5\n"
+                             "        MOV #7, var2\n"
+                             "        MOV var2, R6\n"
+                             "        MOV.B #0, &__DONE\n"
+                             "        .data\n"
+                             "var:    .word 0x5678\n"
+                             "var2:   .word 0\n");
+    EXPECT_TRUE(r.result.done);
+    EXPECT_EQ(r.reg(Reg::R5), 0x5678);
+    EXPECT_EQ(r.reg(Reg::R6), 7);
+}
+
+TEST(CpuFlow, PushPopCallRet)
+{
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        MOV #0x1111, R5\n"
+                             "        PUSH R5\n"
+                             "        MOV #0x2222, R5\n"
+                             "        CALL #sub\n"
+                             "        POP R5\n"
+                             "        MOV.B #0, &__DONE\n"
+                             "halt:   JMP halt\n"
+                             "        .func sub\n"
+                             "        MOV #0x3333, R6\n"
+                             "        RET\n"
+                             "        .endfunc\n");
+    EXPECT_TRUE(r.result.done);
+    EXPECT_EQ(r.reg(Reg::R6), 0x3333);
+    EXPECT_EQ(r.reg(Reg::R5), 0x1111); // popped original
+    EXPECT_EQ(r.reg(Reg::SP), 0x3000); // balanced
+}
+
+TEST(CpuFlow, IndirectCallThroughMemoryCell)
+{
+    // CALL &cell: the mechanism SwapRAM's redirection uses.
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        CALL &cell\n"
+                             "        MOV.B #0, &__DONE\n"
+                             "halt:   JMP halt\n"
+                             "        .func target\n"
+                             "        MOV #0x77, R9\n"
+                             "        RET\n"
+                             "        .endfunc\n"
+                             "        .const\n"
+                             "cell:   .word target\n");
+    EXPECT_TRUE(r.result.done);
+    EXPECT_EQ(r.reg(Reg::R9), 0x77);
+}
+
+TEST(CpuFlow, SignedAndUnsignedBranches)
+{
+    // JL is signed; JLO (JNC) is unsigned.
+    auto r = runBody("        MOV #0, R10\n"
+                     "        MOV #0xFFFE, R5\n" // -2 signed, 65534 unsigned
+                     "        CMP #1, R5\n"      // compare against 1
+                     "        JL siglt\n"
+                     "        JMP next\n"
+                     "siglt:  BIS #1, R10\n"     // -2 < 1 signed
+                     "next:   CMP #1, R5\n"
+                     "        JLO unslt\n"
+                     "        JMP done1\n"
+                     "unslt:  BIS #2, R10\n"     // not taken unsigned
+                     "done1:  NOP\n");
+    EXPECT_EQ(r.reg(Reg::R10), 1);
+}
+
+TEST(CpuFlow, LoopCycleCount)
+{
+    // MOV #5,R5 (2cy) ; loop: DEC R5 (1cy); JNE loop (2cy).
+    // 2 + 5*(1+2) = 17 cycles before the epilogue.
+    auto r = runBody("        MOV #5, R5\n"
+                     "loop:   DEC R5\n"
+                     "        JNE loop\n");
+    // Epilogue: MOV #0x3000,SP (2), MOV.B #0,&__DONE (4).
+    // Prologue counted in the 2 above? MOV #0x3000,SP is the first
+    // instruction of the wrapper (2 cycles, immediate ext word).
+    // Total = 2 (SP) + 2 + 15 + 4 (done write) = 23.
+    EXPECT_EQ(r.stats().base_cycles, 23u);
+    // MOV SP, MOV #5, 5 x (DEC + JNE), done write = 13 instructions.
+    EXPECT_EQ(r.stats().instructions, 13u);
+}
+
+TEST(CpuFlow, WritesToR3Discarded)
+{
+    auto r = runBody("        NOP\n" // MOV #0, R3
+                     "        MOV #1, R5\n");
+    EXPECT_TRUE(r.result.done);
+    EXPECT_EQ(r.reg(Reg::R5), 1);
+}
+
+TEST(CpuMisc, PostIncrementByte)
+{
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        MOV #bytes, R5\n"
+                             "        MOV.B @R5+, R6\n"
+                             "        MOV.B @R5+, R7\n"
+                             "        MOV.B #0, &__DONE\n"
+                             "        .const\n"
+                             "bytes:  .byte 0x11, 0x22\n");
+    EXPECT_EQ(r.reg(Reg::R6), 0x11);
+    EXPECT_EQ(r.reg(Reg::R7), 0x22);
+}
+
+TEST(CpuMisc, ConsoleOutput)
+{
+    auto r = runBody("        MOV.B #'H', &__CONSOLE\n"
+                     "        MOV.B #'i', &__CONSOLE\n");
+    EXPECT_EQ(r.machine->mmio().console(), "Hi");
+}
+
+TEST(CpuMisc, ExitCode)
+{
+    auto r = test::runSource("        .text\n"
+                             "__start:\n"
+                             "        MOV #0x3000, SP\n"
+                             "        MOV.B #42, &__DONE\n");
+    EXPECT_TRUE(r.result.done);
+    EXPECT_EQ(r.result.exit_code, 42);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Machine-level tests: owner attribution, code/data classification,
+ * cycle-counter MMIO, energy model, and run control.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+#include "support/logging.hh"
+#include "testutil.hh"
+
+namespace {
+
+using namespace swapram;
+using sim::CodeOwner;
+
+TEST(Machine, CodeVsDataClassification)
+{
+    // Table 1's metric: accesses to code space vs data space. A simple
+    // register loop mostly fetches code.
+    auto r = test::runBody("        MOV #100, R5\n"
+                           "l:      DEC R5\n"
+                           "        JNE l\n");
+    const auto &st = r.stats();
+    EXPECT_GT(st.code_space_accesses, st.data_space_accesses);
+    double ratio = static_cast<double>(st.code_space_accesses) /
+                   static_cast<double>(st.data_space_accesses + 1);
+    EXPECT_GT(ratio, 3.0);
+}
+
+TEST(Machine, OwnerAttribution)
+{
+    // Mark the callee's range as Handler and check attribution.
+    auto src = "        .text\n"
+               "__start:\n"
+               "        MOV #0x3000, SP\n"
+               "        CALL #fake_handler\n"
+               "        MOV.B #0, &__DONE\n"
+               "        .func fake_handler\n"
+               "        NOP\n"
+               "        NOP\n"
+               "        RET\n"
+               "        .endfunc\n";
+    masm::LayoutSpec layout;
+    layout.data_base = 0x2000;
+    auto assembled = masm::assemble(masm::parse(src), layout);
+    sim::Machine machine;
+    machine.load(assembled.image, 0x3000);
+    const auto &f = assembled.function("fake_handler");
+    machine.addOwnerRange(f.addr, f.addr + f.size, CodeOwner::Handler);
+    auto result = machine.run();
+    EXPECT_TRUE(result.done);
+    auto owners = machine.stats().instr_by_owner;
+    EXPECT_EQ(owners[static_cast<int>(CodeOwner::Handler)], 3u);
+    EXPECT_EQ(owners[static_cast<int>(CodeOwner::AppFram)], 3u);
+    EXPECT_EQ(owners[static_cast<int>(CodeOwner::AppSram)], 0u);
+}
+
+TEST(Machine, CycleCounterMmio)
+{
+    auto r = test::runBody("        MOV &__CYCLO, R5\n"
+                           "        MOV &__CYCHI, R6\n"
+                           "        MOV #100, R7\n"
+                           "w:      DEC R7\n"
+                           "        JNE w\n"
+                           "        MOV &__CYCLO, R8\n");
+    std::uint32_t before = r.reg(isa::Reg::R5) |
+                           (static_cast<std::uint32_t>(r.reg(isa::Reg::R6))
+                            << 16);
+    std::uint32_t after = r.reg(isa::Reg::R8);
+    EXPECT_GT(after, before);
+    EXPECT_GE(after - before, 300u); // 100 iterations x 3 cycles
+}
+
+TEST(Machine, RunawayGuard)
+{
+    sim::MachineConfig cfg;
+    cfg.max_cycles = 10'000;
+    auto r = test::runBody("spin:   JMP spin\n", cfg);
+    EXPECT_FALSE(r.result.done);
+    EXPECT_GE(r.stats().totalCycles(), 10'000u);
+}
+
+TEST(Machine, PinToggleCounted)
+{
+    auto r = test::runBody("        MOV #1, &__PIN\n"
+                           "        MOV #1, &__PIN\n");
+    EXPECT_EQ(r.machine->mmio().pinToggles(), 2u);
+}
+
+TEST(Machine, UnmappedAccessFaults)
+{
+    EXPECT_THROW(test::runBody("        MOV &0x0500, R5\n"),
+                 support::FatalError);
+}
+
+TEST(Energy, MoreFramAccessesCostMore)
+{
+    // The same loop run from SRAM must use less energy than from FRAM.
+    std::string src = "        .text\n"
+                      "__start:\n"
+                      "        MOV #0x3000, SP\n"
+                      "        MOV #200, R5\n"
+                      "l:      DEC R5\n"
+                      "        JNE l\n"
+                      "        MOV.B #0, &__DONE\n";
+    masm::LayoutSpec fram_layout;
+    fram_layout.data_base = 0x2000;
+    masm::LayoutSpec sram_layout;
+    sram_layout.text_base = 0x2000;
+    sram_layout.data_base = 0x2800;
+    sim::MachineConfig cfg;
+    cfg.clock_hz = 24'000'000;
+    auto rf = test::runSource(src, cfg, fram_layout);
+    auto rs = test::runSource(src, cfg, sram_layout);
+    sim::EnergyModel model;
+    double ef = model.totalPj(rf.stats(), cfg.clock_hz);
+    double es = model.totalPj(rs.stats(), cfg.clock_hz);
+    EXPECT_LT(es, ef);
+    // And it is faster (no wait states).
+    EXPECT_LT(rs.stats().totalCycles(), rf.stats().totalCycles());
+}
+
+TEST(Energy, CorePerCycleInterpolates)
+{
+    sim::EnergyModel model;
+    EXPECT_DOUBLE_EQ(model.corePjPerCycle(8'000'000),
+                     model.core_pj_per_cycle_8mhz);
+    EXPECT_DOUBLE_EQ(model.corePjPerCycle(24'000'000),
+                     model.core_pj_per_cycle_24mhz);
+    double mid = model.corePjPerCycle(16'000'000);
+    EXPECT_LT(model.core_pj_per_cycle_24mhz, mid);
+    EXPECT_LT(mid, model.core_pj_per_cycle_8mhz);
+}
+
+TEST(Machine, StepExecutesOneInstruction)
+{
+    auto src = test::wrapBody("        NOP\n");
+    masm::LayoutSpec layout;
+    layout.data_base = 0x2000;
+    auto assembled = masm::assemble(masm::parse(src), layout);
+    sim::Machine machine;
+    machine.load(assembled.image, 0x3000);
+    EXPECT_EQ(machine.stats().instructions, 0u);
+    machine.step();
+    EXPECT_EQ(machine.stats().instructions, 1u);
+    EXPECT_EQ(machine.cpu().reg(isa::Reg::SP), 0x3000);
+}
+
+} // namespace

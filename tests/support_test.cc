@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the support utilities, the disassembler, the listing
+ * printer, the report helpers, and the placement planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/placement.hh"
+#include "harness/runner.hh"
+#include "harness/report.hh"
+#include "isa/disasm.hh"
+#include "masm/assembler.hh"
+#include "masm/parser.hh"
+#include "masm/printer.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/strings.hh"
+
+namespace {
+
+using namespace swapram;
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(support::trim("  abc  "), "abc");
+    EXPECT_EQ(support::trim(""), "");
+    EXPECT_EQ(support::trim("   "), "");
+    EXPECT_EQ(support::trim("x"), "x");
+}
+
+TEST(Strings, Case)
+{
+    EXPECT_EQ(support::toLower("MoV.B"), "mov.b");
+    EXPECT_EQ(support::toUpper("r12"), "R12");
+}
+
+TEST(Strings, Split)
+{
+    auto parts = support::split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(support::split("", ',').size(), 1u);
+}
+
+TEST(Strings, Hex16AndFixed)
+{
+    EXPECT_EQ(support::hex16(0xBEEF), "0xBEEF");
+    EXPECT_EQ(support::hex16(0), "0x0000");
+    EXPECT_EQ(support::fixed(1.2345, 2), "1.23");
+}
+
+TEST(Strings, ReplaceAll)
+{
+    EXPECT_EQ(support::replaceAll("a-b-c", "-", "+"), "a+b+c");
+    EXPECT_EQ(support::replaceAll("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(support::replaceAll("x", "", "y"), "x");
+}
+
+TEST(Rng, DeterministicAndBounded)
+{
+    support::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    support::Rng c(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(c.below(13), 13u);
+    // Zero seed is remapped, not stuck at zero.
+    support::Rng z(0);
+    EXPECT_NE(z.next(), 0u);
+}
+
+TEST(Logging, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(support::panic("x"), support::PanicError);
+    EXPECT_THROW(support::fatal("x"), support::FatalError);
+    try {
+        support::fatal("value=", 42, " addr=", support::hex16(0x1234));
+    } catch (const support::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Disasm, RendersOperandForms)
+{
+    using isa::Op;
+    using isa::Operand;
+    using isa::Reg;
+    isa::Instr i;
+    i.op = Op::Mov;
+    i.src = Operand::makeImm(0x1234);
+    i.dst = Operand::makeReg(Reg::R5);
+    EXPECT_EQ(isa::disasm(i), "MOV #0x1234, R5");
+    i.byte = true;
+    i.src = Operand::makeIndirect(Reg::R4, true);
+    i.dst = Operand::makeIndexed(Reg::R6, 2);
+    EXPECT_EQ(isa::disasm(i), "MOV.B @R4+, 0x0002(R6)");
+    isa::Instr j;
+    j.op = Op::Jne;
+    j.jump_target = 0x8010;
+    EXPECT_EQ(isa::disasm(j), "JNE 0x8010");
+    isa::Instr r;
+    r.op = Op::Reti;
+    EXPECT_EQ(isa::disasm(r), "RETI");
+    isa::Instr p;
+    p.op = Op::Push;
+    p.dst = Operand::makeAbs(0x2000);
+    EXPECT_EQ(isa::disasm(p), "PUSH &0x2000");
+}
+
+TEST(Printer, SectionSummaryMentionsEverySection)
+{
+    auto r = masm::assemble(masm::parse("        NOP\n"),
+                            masm::LayoutSpec{});
+    std::string text = masm::sectionSummary(r.image);
+    for (const char *name : {".text", ".const", ".data", ".bss"})
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+}
+
+TEST(Report, TableFormatsAndPads)
+{
+    harness::Table t({"Name", "Value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "12345"});
+    std::string text = t.text();
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    EXPECT_NE(text.find("12345"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Report, PercentDeltaAndCommas)
+{
+    EXPECT_EQ(harness::percentDelta(1.5, 1.0), "+50.0%");
+    EXPECT_EQ(harness::percentDelta(0.75, 1.0), "-25.0%");
+    EXPECT_EQ(harness::percentDelta(1.0, 0.0), "n/a");
+    EXPECT_EQ(harness::withCommas(1234567), "1,234,567");
+    EXPECT_EQ(harness::withCommas(12), "12");
+    EXPECT_EQ(harness::withCommas(0), "0");
+}
+
+TEST(Report, GeoMean)
+{
+    EXPECT_DOUBLE_EQ(harness::geoMean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(harness::geoMean({}), 1.0);
+    EXPECT_EQ(harness::geoMeanDelta({0.5, 0.5}), "-50.0%");
+}
+
+TEST(Placement, PlansMatchMemoryMap)
+{
+    using harness::Placement;
+    auto unified = harness::makePlacement(Placement::Unified);
+    EXPECT_EQ(unified.layout.text_base, 0x8000);
+    EXPECT_FALSE(unified.stack_in_sram);
+    EXPECT_EQ(unified.stack_top, 0xFF80);
+
+    auto standard = harness::makePlacement(Placement::Standard);
+    EXPECT_EQ(*standard.layout.data_base, 0x2000);
+    EXPECT_TRUE(standard.stack_in_sram);
+
+    auto sram_code = harness::makePlacement(Placement::SramCode);
+    EXPECT_EQ(sram_code.layout.text_base, 0x2000);
+    EXPECT_EQ(*sram_code.layout.const_base, 0x8000);
+
+    for (auto p : {Placement::Unified, Placement::Standard,
+                   Placement::SramCode, Placement::SramAll,
+                   Placement::Split}) {
+        EXPECT_FALSE(harness::placementName(p).empty());
+    }
+}
+
+TEST(Placement, DnfWhenProgramTooBig)
+{
+    // A text section bigger than SRAM cannot use the SramAll placement.
+    std::string big = "        .text\n        .func main\n";
+    for (int i = 0; i < 1200; ++i)
+        big += "        MOV #0x1234, R5\n"; // 4 bytes each: ~4.8 KiB
+    big += "        RET\n        .endfunc\n"
+           "        .data\n        .align 2\nbench_result: .word 0\n";
+    workloads::Workload w;
+    w.name = "big";
+    w.display = "BIG";
+    w.source = big;
+    harness::RunSpec spec;
+    spec.workload = &w;
+    spec.include_lib = false;
+    spec.placement = harness::Placement::SramAll;
+    auto m = harness::runOne(spec);
+    EXPECT_FALSE(m.fits);
+    EXPECT_NE(m.fit_note.find("SRAM"), std::string::npos);
+}
+
+} // namespace

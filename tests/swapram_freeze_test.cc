@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the thrash-mitigation extension (§5.4 future work): when
+ * misses repeatedly abort against an active caller — the paper's
+ * §3.3.3 pathological case — the runtime freezes the cache and serves
+ * misses from NVM without the full eviction scan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "masm/parser.hh"
+#include "swapram/builder.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace swapram;
+
+/** hot() loops calling leaf(); hot is padded so the cache fits hot but
+ *  never hot+leaf — every leaf call must try to evict its own active
+ *  caller and abort. */
+workloads::Workload
+pathologicalWorkload()
+{
+    std::ostringstream os;
+    os << R"(
+        .text
+        .func main
+        CALL #hot
+        MOV &pw_acc, R12
+        MOV R12, &bench_result
+        RET
+        .endfunc
+        .func hot
+        PUSH R10
+        MOV #300, R10
+pw_loop:
+        CALL #leaf
+        DEC R10
+        JNZ pw_loop
+        POP R10
+        RET
+        ; dead padding: inflates hot's cached footprint only
+)";
+    for (int i = 0; i < 100; ++i)
+        os << "        NOP\n";
+    os << R"(
+        .endfunc
+        .func leaf
+        ADD #3, &pw_acc
+        RET
+        .endfunc
+        .data
+        .align 2
+pw_acc: .word 0
+bench_result: .word 0
+)";
+    workloads::Workload w;
+    w.name = "pathological";
+    w.display = "PATH";
+    w.source = os.str();
+    w.expected = 900;
+    return w;
+}
+
+harness::RunSpec
+thrashSpec(const workloads::Workload &w)
+{
+    // Size the cache to hot's instrumented footprint plus a sliver, so
+    // leaf can never be placed without overlapping hot.
+    std::string source = harness::startupSource(0xFF80) + w.source;
+    auto program = masm::parse(source);
+    cache::Options probe;
+    probe.blacklist = {"main", "__start"};
+    auto info = cache::build(program, masm::LayoutSpec{}, probe);
+    std::uint16_t hot_size = info.assembled.function("hot").size;
+
+    harness::RunSpec spec;
+    spec.workload = &w;
+    spec.system = harness::System::SwapRam;
+    spec.include_lib = false;
+    spec.swap.blacklist = {"main", "__start"};
+    spec.swap.cache_base = 0x2000;
+    spec.swap.cache_end =
+        static_cast<std::uint16_t>(0x2000 + ((hot_size + 4) & ~1));
+    return spec;
+}
+
+TEST(SwapRamFreeze, PathologicalCaseThrashesWithoutFreeze)
+{
+    auto w = pathologicalWorkload();
+    auto spec = thrashSpec(w);
+    auto m = harness::runOne(spec);
+    ASSERT_TRUE(m.done);
+    EXPECT_EQ(m.checksum, w.expected);
+    // Every leaf call runs the full miss handler: its share is large.
+    auto handler =
+        m.stats.instr_by_owner[int(sim::CodeOwner::Handler)];
+    EXPECT_GT(handler, m.stats.instructions / 3);
+    // And leaf executes from FRAM (the abort fallback).
+    EXPECT_GT(m.stats.instr_by_owner[int(sim::CodeOwner::AppFram)], 0u);
+}
+
+TEST(SwapRamFreeze, FreezeReducesThrashCost)
+{
+    auto w = pathologicalWorkload();
+    auto base_spec = thrashSpec(w);
+    auto thrash = harness::runOne(base_spec);
+
+    auto frozen_spec = base_spec;
+    frozen_spec.swap.freeze_threshold = 3;
+    frozen_spec.swap.freeze_window = 32;
+    auto frozen = harness::runOne(frozen_spec);
+
+    ASSERT_TRUE(thrash.done && frozen.done);
+    EXPECT_EQ(frozen.checksum, w.expected);
+    // Same results, markedly fewer cycles and handler instructions.
+    EXPECT_LT(frozen.stats.totalCycles(),
+              thrash.stats.totalCycles() * 8 / 10);
+    EXPECT_LT(frozen.stats.instr_by_owner[int(sim::CodeOwner::Handler)],
+              thrash.stats.instr_by_owner[int(sim::CodeOwner::Handler)]);
+    EXPECT_EQ(frozen.data_snapshot, thrash.data_snapshot);
+}
+
+TEST(SwapRamFreeze, FreezeIsHarmlessOnHealthyWorkloads)
+{
+    // With no thrash, freezing never triggers: identical results and
+    // near-identical cost on a normal benchmark.
+    auto w = workloads::makeCrc();
+    harness::RunSpec spec;
+    spec.workload = &w;
+    spec.system = harness::System::SwapRam;
+    auto plain = harness::runOne(spec);
+    spec.swap.freeze_threshold = 3;
+    auto frozen = harness::runOne(spec);
+    ASSERT_TRUE(plain.done && frozen.done);
+    EXPECT_EQ(plain.checksum, frozen.checksum);
+    EXPECT_EQ(plain.data_snapshot, frozen.data_snapshot);
+    // Only the handler's size changes slightly; dynamic cost within 1%.
+    double ratio = static_cast<double>(frozen.stats.totalCycles()) /
+                   static_cast<double>(plain.stats.totalCycles());
+    EXPECT_GT(ratio, 0.99);
+    EXPECT_LT(ratio, 1.01);
+}
+
+TEST(SwapRamFreeze, UnfreezesAndRecachesLater)
+{
+    // After the pathological phase ends, a frozen cache must recover:
+    // main later calls leaf in a loop with hot inactive — leaf should
+    // get cached again and run from SRAM.
+    const char *source = R"(
+        .text
+        .func main
+        PUSH R10
+        CALL #hot
+        MOV #200, R10
+pm_loop:
+        CALL #leaf
+        DEC R10
+        JNZ pm_loop
+        MOV &pw_acc, R12
+        MOV R12, &bench_result
+        POP R10
+        RET
+        .endfunc
+        .func hot
+        PUSH R10
+        MOV #100, R10
+ph_loop:
+        CALL #leaf
+        DEC R10
+        JNZ ph_loop
+        POP R10
+        RET
+)";
+    std::ostringstream os;
+    os << source;
+    for (int i = 0; i < 100; ++i)
+        os << "        NOP\n";
+    os << R"(
+        .endfunc
+        .func leaf
+        ADD #3, &pw_acc
+        RET
+        .endfunc
+        .data
+        .align 2
+pw_acc: .word 0
+bench_result: .word 0
+)";
+    workloads::Workload w;
+    w.name = "recover";
+    w.display = "REC";
+    w.source = os.str();
+    w.expected = 900;
+
+    auto spec = thrashSpec(w);
+    spec.workload = &w;
+    spec.swap.freeze_threshold = 3;
+    spec.swap.freeze_window = 16;
+    auto m = harness::runOne(spec);
+    ASSERT_TRUE(m.done);
+    EXPECT_EQ(m.checksum, w.expected);
+    // The post-thrash phase runs leaf from SRAM.
+    EXPECT_GT(m.stats.instr_by_owner[int(sim::CodeOwner::AppSram)],
+              200u);
+}
+
+} // namespace

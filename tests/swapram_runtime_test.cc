@@ -1,0 +1,314 @@
+/**
+ * @file
+ * White-box tests of the generated SwapRAM runtime: the metadata
+ * protocol of Figures 4/5 — redirect cells flipping between the miss
+ * handler and SRAM copies, cached-address bookkeeping, circular-queue
+ * tail movement and wrap, and relocation cells being set on caching
+ * and reset on eviction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "masm/parser.hh"
+#include "sim/machine.hh"
+#include "support/platform.hh"
+#include "swapram/builder.hh"
+
+namespace {
+
+using namespace swapram;
+
+struct Built {
+    cache::BuildInfo info;
+    std::unique_ptr<sim::Machine> machine;
+
+    std::uint16_t
+    cell(const std::string &table, int func_id) const
+    {
+        return machine->peek16(static_cast<std::uint16_t>(
+            info.assembled.symbol(table) + 2 * func_id));
+    }
+    int
+    funcId(const std::string &name) const
+    {
+        return info.funcs.ids.at(name);
+    }
+};
+
+Built
+buildAndRun(const std::string &body, cache::Options opt)
+{
+    std::string source = harness::startupSource(0xFF80) + body;
+    Built b;
+    b.info = cache::build(masm::parse(source), masm::LayoutSpec{}, opt);
+    b.machine = std::make_unique<sim::Machine>();
+    b.machine->load(b.info.assembled.image, 0xFF80);
+    b.machine->addOwnerRange(b.info.handler_addr, b.info.handler_end,
+                             sim::CodeOwner::Handler);
+    b.machine->addOwnerRange(b.info.memcpy_addr, b.info.memcpy_end,
+                             sim::CodeOwner::Memcpy);
+    auto r = b.machine->run();
+    EXPECT_TRUE(r.done);
+    return b;
+}
+
+const char *kSmall = R"(
+        .text
+        .func main
+        CALL #f_a
+        CALL #f_b
+        MOV &acc, R12
+        MOV R12, &bench_result
+        RET
+        .endfunc
+        .func f_a
+        ADD #5, &acc
+        RET
+        .endfunc
+        .func f_b
+        XOR #0x77, &acc
+        RET
+        .endfunc
+        .data
+        .align 2
+acc: .word 0
+bench_result: .word 0
+)";
+
+TEST(SwapRamRuntime, RedirectCellsPointAtSramCopies)
+{
+    cache::Options opt; // full 4 KiB cache: nothing evicts
+    auto b = buildAndRun(kSmall, opt);
+
+    std::uint16_t miss = b.info.assembled.symbol("__swp_miss");
+    for (const char *name : {"main", "f_a", "f_b"}) {
+        int id = b.funcId(name);
+        std::uint16_t cached = b.cell("__swp_cached", id);
+        std::uint16_t redirect = b.cell("__swp_redirect", id);
+        EXPECT_NE(cached, 0xFFFF) << name;
+        EXPECT_GE(cached, platform::kSramBase) << name;
+        EXPECT_LT(cached, platform::kSramEnd) << name;
+        EXPECT_EQ(redirect, cached) << name;
+        EXPECT_NE(redirect, miss) << name;
+    }
+    // __start was never called: still a miss-handler redirect.
+    int start_id = b.funcId("__start");
+    EXPECT_EQ(b.cell("__swp_cached", start_id), 0xFFFF);
+    EXPECT_EQ(b.cell("__swp_redirect", start_id), miss);
+}
+
+TEST(SwapRamRuntime, QueuePacksFunctionsContiguously)
+{
+    cache::Options opt;
+    auto b = buildAndRun(kSmall, opt);
+    // Call order main, f_a, f_b: consecutive placements from the base.
+    std::uint16_t main_at = b.cell("__swp_cached", b.funcId("main"));
+    std::uint16_t fa_at = b.cell("__swp_cached", b.funcId("f_a"));
+    std::uint16_t fb_at = b.cell("__swp_cached", b.funcId("f_b"));
+    EXPECT_EQ(main_at, platform::kSramBase);
+    std::uint16_t main_size =
+        b.info.assembled.function("main").size;
+    EXPECT_EQ(fa_at, main_at + main_size);
+    std::uint16_t fa_size = b.info.assembled.function("f_a").size;
+    EXPECT_EQ(fb_at, fa_at + fa_size);
+    // Tail sits right after the last placement.
+    std::uint16_t tail =
+        b.machine->peek16(b.info.assembled.symbol("__swp_tail"));
+    std::uint16_t fb_size = b.info.assembled.function("f_b").size;
+    EXPECT_EQ(tail, fb_at + fb_size);
+}
+
+TEST(SwapRamRuntime, SramCopyMatchesNvmBytes)
+{
+    cache::Options opt;
+    auto b = buildAndRun(kSmall, opt);
+    const auto &f = b.info.assembled.function("f_a");
+    std::uint16_t copy = b.cell("__swp_cached", b.funcId("f_a"));
+    for (std::uint16_t i = 0; i < f.size; ++i) {
+        EXPECT_EQ(b.machine->peek8(static_cast<std::uint16_t>(copy + i)),
+                  b.machine->peek8(static_cast<std::uint16_t>(f.addr + i)))
+            << "byte " << i;
+    }
+}
+
+TEST(SwapRamRuntime, EvictionResetsMetadata)
+{
+    // Cache sized so f_a and f_b cannot coexist with main blacklisted;
+    // calling them alternately evicts the other.
+    const char *body = R"(
+        .text
+        .func main
+        PUSH R10
+        MOV #5, R10
+ml:     CALL #f_a
+        CALL #f_b
+        DEC R10
+        JNZ ml
+        MOV &acc, R12
+        MOV R12, &bench_result
+        POP R10
+        RET
+        .endfunc
+        .func f_a
+        ADD #5, &acc
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        RET
+        .endfunc
+        .func f_b
+        XOR #0x77, &acc
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        RET
+        .endfunc
+        .data
+        .align 2
+acc: .word 0
+bench_result: .word 0
+)";
+    cache::Options opt;
+    opt.blacklist = {"main", "__start"};
+    opt.cache_base = 0x2000;
+    opt.cache_end = 0x2020; // 32 B: fits one of the ~26 B functions
+    auto b = buildAndRun(body, opt);
+
+    // The last call was f_b: it is cached; f_a was evicted.
+    std::uint16_t miss = b.info.assembled.symbol("__swp_miss");
+    EXPECT_EQ(b.cell("__swp_cached", b.funcId("f_a")), 0xFFFF);
+    EXPECT_EQ(b.cell("__swp_redirect", b.funcId("f_a")), miss);
+    EXPECT_NE(b.cell("__swp_cached", b.funcId("f_b")), 0xFFFF);
+    // Both went through many misses: the handler ran repeatedly.
+    EXPECT_GT(b.machine->stats().instr_by_owner[int(
+                  sim::CodeOwner::Memcpy)],
+              50u);
+}
+
+TEST(SwapRamRuntime, RelocationCellsTrackResidency)
+{
+    // f_br contains an absolute branch; its rval cell must hold the
+    // SRAM target while cached and the NVM target after eviction.
+    const char *body = R"(
+        .text
+        .func main
+        PUSH R10
+        MOV #3, R10
+ml:     CALL #f_br
+        CALL #f_other
+        DEC R10
+        JNZ ml
+        MOV &acc, R12
+        MOV R12, &bench_result
+        POP R10
+        RET
+        .endfunc
+        .func f_br
+        BIT #1, &acc
+        JZ fb_skip
+        BR #fb_skip
+fb_skip:
+        ADD #9, &acc
+        NOP
+        NOP
+        NOP
+        NOP
+        RET
+        .endfunc
+        .func f_other
+        XOR #0x101, &acc
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        NOP
+        RET
+        .endfunc
+        .data
+        .align 2
+acc: .word 0
+bench_result: .word 0
+)";
+    cache::Options opt;
+    opt.blacklist = {"main", "__start"};
+    opt.cache_base = 0x2000;
+    opt.cache_end = 0x2028; // fits one function at a time
+    auto b = buildAndRun(body, opt);
+    ASSERT_EQ(b.info.reloc_count, 1);
+
+    // After the run, f_other was called last: f_br is evicted, so its
+    // reloc value must be back at the NVM target (inside f_br's NVM
+    // image).
+    std::uint16_t rval =
+        b.machine->peek16(b.info.assembled.symbol("__swp_rval"));
+    const auto &f = b.info.assembled.function("f_br");
+    EXPECT_EQ(b.cell("__swp_cached", b.funcId("f_br")), 0xFFFF);
+    EXPECT_GE(rval, f.addr);
+    EXPECT_LT(rval, f.addr + f.size);
+}
+
+TEST(SwapRamRuntime, TailWrapsCircularly)
+{
+    // Several functions cycled through a cache that holds ~2 of them:
+    // the tail must wrap back toward the base at least once and stay
+    // inside the cache region.
+    const char *body = R"(
+        .text
+        .func main
+        PUSH R10
+        MOV #4, R10
+ml:     CALL #g1
+        CALL #g2
+        CALL #g3
+        DEC R10
+        JNZ ml
+        MOV &acc, R12
+        MOV R12, &bench_result
+        POP R10
+        RET
+        .endfunc
+)";
+    std::string src = body;
+    for (int g = 1; g <= 3; ++g) {
+        src += "        .func g" + std::to_string(g) + "\n";
+        src += "        ADD #" + std::to_string(g) + ", &acc\n";
+        for (int i = 0; i < 6; ++i)
+            src += "        NOP\n";
+        src += "        RET\n        .endfunc\n";
+    }
+    src += "        .data\n        .align 2\n"
+           "acc: .word 0\nbench_result: .word 0\n";
+
+    cache::Options opt;
+    opt.blacklist = {"main", "__start"};
+    opt.cache_base = 0x2000;
+    opt.cache_end = 0x2030; // 48 B: about two of the ~20 B functions
+    auto b = buildAndRun(src, opt);
+    std::uint16_t tail =
+        b.machine->peek16(b.info.assembled.symbol("__swp_tail"));
+    EXPECT_GE(tail, opt.cache_base);
+    EXPECT_LE(tail, opt.cache_end);
+    // All three cached at least once (memcpy ran well beyond 3 copies).
+    EXPECT_GT(b.machine->stats().instr_by_owner[int(
+                  sim::CodeOwner::Memcpy)],
+              100u);
+    EXPECT_EQ(b.machine->peek16(
+                  b.info.assembled.symbol("bench_result")),
+              4 * (1 + 2 + 3));
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for unit tests: assemble a snippet, run it on a
+ * machine, and expose the pieces for inspection.
+ */
+
+#ifndef SWAPRAM_TESTS_TESTUTIL_HH
+#define SWAPRAM_TESTS_TESTUTIL_HH
+
+#include <memory>
+#include <string>
+
+#include "masm/assembler.hh"
+#include "masm/parser.hh"
+#include "sim/machine.hh"
+
+namespace swapram::test {
+
+/** An assembled-and-executed snippet. */
+struct MiniRun {
+    masm::AssembleResult assembled;
+    std::unique_ptr<sim::Machine> machine;
+    sim::RunResult result;
+
+    std::uint16_t reg(isa::Reg r) { return machine->cpu().reg(r); }
+    const sim::Stats &stats() const { return machine->stats(); }
+};
+
+/** Wrap a body in a standard startup that halts via __DONE. The body
+ *  starts executing directly with SP = 0x3000. */
+inline std::string
+wrapBody(const std::string &body)
+{
+    return "        .text\n"
+           "__start:\n"
+           "        MOV #0x3000, SP\n" +
+           body +
+           "\n        MOV.B #0, &__DONE\n"
+           "__halt: JMP __halt\n";
+}
+
+/** Assemble full source and run it. Data sections default to SRAM. */
+inline MiniRun
+runSource(const std::string &source, sim::MachineConfig config = {},
+          masm::LayoutSpec layout = {})
+{
+    if (!layout.data_base)
+        layout.data_base = 0x2000;
+    MiniRun run;
+    run.assembled = masm::assemble(masm::parse(source), layout);
+    run.machine = std::make_unique<sim::Machine>(config);
+    run.machine->load(run.assembled.image, 0x3000);
+    run.result = run.machine->run();
+    return run;
+}
+
+/** Wrap @p body with the standard prologue and run it. */
+inline MiniRun
+runBody(const std::string &body, sim::MachineConfig config = {},
+        masm::LayoutSpec layout = {})
+{
+    return runSource(wrapBody(body), config, layout);
+}
+
+} // namespace swapram::test
+
+#endif // SWAPRAM_TESTS_TESTUTIL_HH

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Command-line front end for the SwapRAM toolchain — the equivalent of
+ * the instrumentation/transformation scripts the paper releases (§4).
+ *
+ *   swapram_tool assemble  <file.s|--workload name> [options]
+ *   swapram_tool transform <file.s|--workload name> [options]
+ *   swapram_tool run       <file.s|--workload name> [options]
+ *   swapram_tool disasm    <file.s|--workload name> --func NAME
+ *
+ * Common options:
+ *   --workload NAME          use a built-in benchmark instead of a file
+ *   --system baseline|swapram|block      (default baseline; run/transform)
+ *   --placement unified|standard|sram-code|sram-all|split
+ *   --clock MHZ              8 or 24 (default 24)
+ *   --cache-base A --cache-end B         SwapRAM/block cache region
+ *   --policy queue|stack     SwapRAM replacement structure
+ *   --blacklist f1,f2        functions excluded from caching
+ *   --listing                print the address-annotated listing
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "blockcache/builder.hh"
+#include "harness/runner.hh"
+#include "masm/parser.hh"
+#include "masm/printer.hh"
+#include "masm/reimport.hh"
+#include "sim/machine.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "swapram/builder.hh"
+#include "workloads/workload.hh"
+
+using namespace swapram;
+
+namespace {
+
+struct Args {
+    std::string command;
+    std::string file;
+    std::string workload;
+    std::string func;
+    harness::System system = harness::System::Baseline;
+    harness::Placement placement = harness::Placement::Unified;
+    std::uint32_t clock_hz = 24'000'000;
+    cache::Options swap;
+    bb::Options block;
+    bool listing = false;
+    std::uint64_t trace = 0; ///< instructions to trace during run
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: swapram_tool <assemble|transform|run|disasm>\n"
+        "                    <file.s | --workload NAME> [options]\n"
+        "options: --system baseline|swapram|block   --placement "
+        "unified|standard|sram-code|sram-all|split\n"
+        "         --clock 8|24   --cache-base N --cache-end N\n"
+        "         --policy queue|stack   --blacklist f1,f2\n"
+        "         --func NAME (disasm)   --listing   --trace N\n");
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    Args args;
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (a == "--workload") {
+            args.workload = next();
+        } else if (a == "--system") {
+            std::string v = next();
+            if (v == "baseline")
+                args.system = harness::System::Baseline;
+            else if (v == "swapram")
+                args.system = harness::System::SwapRam;
+            else if (v == "block")
+                args.system = harness::System::BlockCache;
+            else
+                usage();
+        } else if (a == "--placement") {
+            std::string v = next();
+            if (v == "unified")
+                args.placement = harness::Placement::Unified;
+            else if (v == "standard")
+                args.placement = harness::Placement::Standard;
+            else if (v == "sram-code")
+                args.placement = harness::Placement::SramCode;
+            else if (v == "sram-all")
+                args.placement = harness::Placement::SramAll;
+            else if (v == "split")
+                args.placement = harness::Placement::Split;
+            else
+                usage();
+        } else if (a == "--clock") {
+            args.clock_hz = static_cast<std::uint32_t>(
+                                std::stoul(next())) *
+                            1'000'000u;
+        } else if (a == "--cache-base") {
+            args.swap.cache_base = static_cast<std::uint16_t>(
+                std::stoul(next(), nullptr, 0));
+            args.block.cache_base = args.swap.cache_base;
+        } else if (a == "--cache-end") {
+            args.swap.cache_end = static_cast<std::uint16_t>(
+                std::stoul(next(), nullptr, 0));
+            args.block.cache_end = args.swap.cache_end;
+        } else if (a == "--policy") {
+            args.swap.policy = next() == "stack"
+                                   ? cache::Policy::Stack
+                                   : cache::Policy::CircularQueue;
+        } else if (a == "--blacklist") {
+            args.swap.blacklist = support::split(next(), ',');
+        } else if (a == "--func") {
+            args.func = next();
+        } else if (a == "--listing") {
+            args.listing = true;
+        } else if (a == "--trace") {
+            args.trace = std::stoull(next());
+        } else if (!a.empty() && a[0] != '-') {
+            args.file = a;
+        } else {
+            usage();
+        }
+    }
+    return args;
+}
+
+/** Load assembly source from a file or a built-in workload. */
+std::string
+loadSource(const Args &args, const workloads::Workload **wl_out)
+{
+    *wl_out = nullptr;
+    if (!args.workload.empty()) {
+        const auto *w = workloads::find(args.workload);
+        if (!w)
+            support::fatal("unknown workload '", args.workload, "'");
+        *wl_out = w;
+        return w->source + workloads::libSource();
+    }
+    if (args.file.empty())
+        usage();
+    std::ifstream in(args.file);
+    if (!in)
+        support::fatal("cannot open '", args.file, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** The full program: startup (if `main` is used as entry) + source. */
+masm::Program
+buildProgram(const Args &args, const harness::PlacementPlan &plan,
+             const std::string &source)
+{
+    (void)args;
+    if (source.find("__start") != std::string::npos)
+        return masm::parse(source);
+    return masm::parse(harness::startupSource(plan.stack_top) + source);
+}
+
+int
+cmdAssemble(const Args &args)
+{
+    const workloads::Workload *wl = nullptr;
+    std::string source = loadSource(args, &wl);
+    auto plan = harness::makePlacement(args.placement);
+    auto program = buildProgram(args, plan, source);
+    auto assembled = masm::assemble(program, plan.layout);
+    std::printf("%s", masm::sectionSummary(assembled.image).c_str());
+    std::printf("entry %s, %zu symbols, %zu functions\n",
+                support::hex16(assembled.image.entry).c_str(),
+                assembled.symbols.size(), assembled.functions.size());
+    if (args.listing)
+        std::printf("\n%s", masm::listing(assembled).c_str());
+    return 0;
+}
+
+int
+cmdTransform(const Args &args)
+{
+    const workloads::Workload *wl = nullptr;
+    std::string source = loadSource(args, &wl);
+    auto plan = harness::makePlacement(args.placement);
+    auto program = buildProgram(args, plan, source);
+    if (args.system == harness::System::BlockCache) {
+        auto info = bb::build(program, plan.layout, args.block);
+        std::fprintf(stderr,
+                     "block cache: %d blocks, %d stubs, app %u B, "
+                     "runtime %u B, metadata %u B\n",
+                     info.n_blocks, info.n_stubs, info.app_text_bytes,
+                     info.runtime_bytes, info.metadata_bytes);
+        std::printf("%s", args.listing
+                              ? masm::listing(info.assembled).c_str()
+                              : info.assembled.relaxed.text().c_str());
+        return 0;
+    }
+    auto info = cache::build(program, plan.layout, args.swap);
+    std::fprintf(stderr,
+                 "swapram: %d functions, %d relocatable branches, "
+                 "%d call sites; app %u B, runtime %u B, metadata %u B\n",
+                 info.funcs.count(), info.reloc_count,
+                 info.pass_stats.call_sites_instrumented,
+                 info.app_text_bytes, info.runtime_text_bytes,
+                 info.metadata_bytes);
+    std::printf("%s", args.listing
+                          ? masm::listing(info.assembled).c_str()
+                          : info.assembled.relaxed.text().c_str());
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const workloads::Workload *wl = nullptr;
+    std::string source = loadSource(args, &wl);
+
+    workloads::Workload scratch;
+    scratch.name = args.file.empty() ? args.workload : args.file;
+    scratch.display = scratch.name;
+    scratch.source = source;
+    if (wl)
+        scratch.expected = wl->expected;
+
+    harness::RunSpec spec;
+    spec.workload = &scratch;
+    spec.system = args.system;
+    spec.placement = args.placement;
+    spec.clock_hz = args.clock_hz;
+    spec.swap = args.swap;
+    spec.block = args.block;
+    spec.include_lib = false; // already appended for workloads
+    if (args.trace) {
+        spec.trace_limit = args.trace;
+        spec.trace_hook = [](std::uint16_t pc, const std::string &text) {
+            std::printf("%s  %s\n", support::hex16(pc).c_str(),
+                        text.c_str());
+        };
+    }
+    auto m = harness::runOne(spec);
+    if (!m.fits) {
+        std::printf("DNF: %s\n", m.fit_note.c_str());
+        return 1;
+    }
+    if (!m.done) {
+        std::printf("did not finish within the cycle budget\n");
+        return 1;
+    }
+    if (!m.console.empty())
+        std::printf("--- console ---\n%s\n--- end ---\n",
+                    m.console.c_str());
+    std::printf("instructions  %llu\n",
+                static_cast<unsigned long long>(m.stats.instructions));
+    std::printf("cycles        %llu (base %llu + stalls %llu)\n",
+                static_cast<unsigned long long>(m.stats.totalCycles()),
+                static_cast<unsigned long long>(m.stats.base_cycles),
+                static_cast<unsigned long long>(m.stats.stall_cycles));
+    std::printf("fram accesses %llu (cache hits %llu, misses %llu)\n",
+                static_cast<unsigned long long>(m.stats.framAccesses()),
+                static_cast<unsigned long long>(m.stats.fram_cache_hits),
+                static_cast<unsigned long long>(
+                    m.stats.fram_cache_misses));
+    std::printf("runtime       %.3f ms @ %u MHz\n", m.seconds * 1e3,
+                args.clock_hz / 1'000'000);
+    std::printf("energy        %.2f uJ\n", m.energy_pj / 1e6);
+    for (int o = 0; o < sim::kNumOwners; ++o) {
+        std::printf("instr[%s] %llu\n",
+                    sim::ownerName(static_cast<sim::CodeOwner>(o))
+                        .c_str(),
+                    static_cast<unsigned long long>(
+                        m.stats.instr_by_owner[o]));
+    }
+    std::printf("checksum      0x%04X%s\n", m.checksum,
+                wl ? (m.checksum == wl->expected ? " (golden ok)"
+                                                 : " (GOLDEN MISMATCH)")
+                   : "");
+    return wl && m.checksum != wl->expected ? 1 : 0;
+}
+
+int
+cmdDisasm(const Args &args)
+{
+    const workloads::Workload *wl = nullptr;
+    std::string source = loadSource(args, &wl);
+    auto plan = harness::makePlacement(args.placement);
+    auto program = buildProgram(args, plan, source);
+    auto assembled = masm::assemble(program, plan.layout);
+    if (args.func.empty()) {
+        auto all = masm::reimportAllFunctions(assembled);
+        std::printf("%s", all.text().c_str());
+        return 0;
+    }
+    std::unordered_map<std::uint16_t, std::string> names;
+    for (const auto &f : assembled.functions)
+        names[f.addr] = f.name;
+    auto one = masm::reimportFunction(
+        assembled.image, assembled.function(args.func), names);
+    std::printf("%s", one.text().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Args args = parseArgs(argc, argv);
+        if (args.command == "assemble")
+            return cmdAssemble(args);
+        if (args.command == "transform")
+            return cmdTransform(args);
+        if (args.command == "run")
+            return cmdRun(args);
+        if (args.command == "disasm")
+            return cmdDisasm(args);
+        usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
