@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_table1_runs "/root/repo/build/bench/bench_table1")
+set_tests_properties(bench_table1_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig1_runs "/root/repo/build/bench/bench_fig1")
+set_tests_properties(bench_fig1_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table2_runs "/root/repo/build/bench/bench_table2")
+set_tests_properties(bench_table2_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig7_runs "/root/repo/build/bench/bench_fig7")
+set_tests_properties(bench_fig7_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig8_runs "/root/repo/build/bench/bench_fig8")
+set_tests_properties(bench_fig8_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig9_runs "/root/repo/build/bench/bench_fig9")
+set_tests_properties(bench_fig9_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig10_runs "/root/repo/build/bench/bench_fig10")
+set_tests_properties(bench_fig10_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ablation_runs "/root/repo/build/bench/bench_ablation")
+set_tests_properties(bench_ablation_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;13;add_test;/root/repo/bench/CMakeLists.txt;0;")

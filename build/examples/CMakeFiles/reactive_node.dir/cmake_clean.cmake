@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactive_node.dir/reactive_node.cpp.o"
+  "CMakeFiles/reactive_node.dir/reactive_node.cpp.o.d"
+  "reactive_node"
+  "reactive_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactive_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

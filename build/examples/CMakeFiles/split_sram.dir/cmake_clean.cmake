@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_sram.dir/split_sram.cpp.o"
+  "CMakeFiles/split_sram.dir/split_sram.cpp.o.d"
+  "split_sram"
+  "split_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

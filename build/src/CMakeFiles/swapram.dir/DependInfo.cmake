@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockcache/blocks.cc" "src/CMakeFiles/swapram.dir/blockcache/blocks.cc.o" "gcc" "src/CMakeFiles/swapram.dir/blockcache/blocks.cc.o.d"
+  "/root/repo/src/blockcache/builder.cc" "src/CMakeFiles/swapram.dir/blockcache/builder.cc.o" "gcc" "src/CMakeFiles/swapram.dir/blockcache/builder.cc.o.d"
+  "/root/repo/src/blockcache/pass.cc" "src/CMakeFiles/swapram.dir/blockcache/pass.cc.o" "gcc" "src/CMakeFiles/swapram.dir/blockcache/pass.cc.o.d"
+  "/root/repo/src/blockcache/runtime_gen.cc" "src/CMakeFiles/swapram.dir/blockcache/runtime_gen.cc.o" "gcc" "src/CMakeFiles/swapram.dir/blockcache/runtime_gen.cc.o.d"
+  "/root/repo/src/harness/placement.cc" "src/CMakeFiles/swapram.dir/harness/placement.cc.o" "gcc" "src/CMakeFiles/swapram.dir/harness/placement.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/swapram.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/swapram.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/swapram.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/swapram.dir/harness/runner.cc.o.d"
+  "/root/repo/src/isa/cycles.cc" "src/CMakeFiles/swapram.dir/isa/cycles.cc.o" "gcc" "src/CMakeFiles/swapram.dir/isa/cycles.cc.o.d"
+  "/root/repo/src/isa/decode.cc" "src/CMakeFiles/swapram.dir/isa/decode.cc.o" "gcc" "src/CMakeFiles/swapram.dir/isa/decode.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/swapram.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/swapram.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/encode.cc" "src/CMakeFiles/swapram.dir/isa/encode.cc.o" "gcc" "src/CMakeFiles/swapram.dir/isa/encode.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/CMakeFiles/swapram.dir/isa/opcodes.cc.o" "gcc" "src/CMakeFiles/swapram.dir/isa/opcodes.cc.o.d"
+  "/root/repo/src/isa/registers.cc" "src/CMakeFiles/swapram.dir/isa/registers.cc.o" "gcc" "src/CMakeFiles/swapram.dir/isa/registers.cc.o.d"
+  "/root/repo/src/masm/assembler.cc" "src/CMakeFiles/swapram.dir/masm/assembler.cc.o" "gcc" "src/CMakeFiles/swapram.dir/masm/assembler.cc.o.d"
+  "/root/repo/src/masm/ast.cc" "src/CMakeFiles/swapram.dir/masm/ast.cc.o" "gcc" "src/CMakeFiles/swapram.dir/masm/ast.cc.o.d"
+  "/root/repo/src/masm/lexer.cc" "src/CMakeFiles/swapram.dir/masm/lexer.cc.o" "gcc" "src/CMakeFiles/swapram.dir/masm/lexer.cc.o.d"
+  "/root/repo/src/masm/parser.cc" "src/CMakeFiles/swapram.dir/masm/parser.cc.o" "gcc" "src/CMakeFiles/swapram.dir/masm/parser.cc.o.d"
+  "/root/repo/src/masm/printer.cc" "src/CMakeFiles/swapram.dir/masm/printer.cc.o" "gcc" "src/CMakeFiles/swapram.dir/masm/printer.cc.o.d"
+  "/root/repo/src/masm/reimport.cc" "src/CMakeFiles/swapram.dir/masm/reimport.cc.o" "gcc" "src/CMakeFiles/swapram.dir/masm/reimport.cc.o.d"
+  "/root/repo/src/sim/bus.cc" "src/CMakeFiles/swapram.dir/sim/bus.cc.o" "gcc" "src/CMakeFiles/swapram.dir/sim/bus.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/CMakeFiles/swapram.dir/sim/cpu.cc.o" "gcc" "src/CMakeFiles/swapram.dir/sim/cpu.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/CMakeFiles/swapram.dir/sim/energy.cc.o" "gcc" "src/CMakeFiles/swapram.dir/sim/energy.cc.o.d"
+  "/root/repo/src/sim/hw_cache.cc" "src/CMakeFiles/swapram.dir/sim/hw_cache.cc.o" "gcc" "src/CMakeFiles/swapram.dir/sim/hw_cache.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/swapram.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/swapram.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/swapram.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/swapram.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/mmio.cc" "src/CMakeFiles/swapram.dir/sim/mmio.cc.o" "gcc" "src/CMakeFiles/swapram.dir/sim/mmio.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/swapram.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/swapram.dir/sim/stats.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/swapram.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/swapram.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/strings.cc" "src/CMakeFiles/swapram.dir/support/strings.cc.o" "gcc" "src/CMakeFiles/swapram.dir/support/strings.cc.o.d"
+  "/root/repo/src/swapram/builder.cc" "src/CMakeFiles/swapram.dir/swapram/builder.cc.o" "gcc" "src/CMakeFiles/swapram.dir/swapram/builder.cc.o.d"
+  "/root/repo/src/swapram/pass.cc" "src/CMakeFiles/swapram.dir/swapram/pass.cc.o" "gcc" "src/CMakeFiles/swapram.dir/swapram/pass.cc.o.d"
+  "/root/repo/src/swapram/reloc.cc" "src/CMakeFiles/swapram.dir/swapram/reloc.cc.o" "gcc" "src/CMakeFiles/swapram.dir/swapram/reloc.cc.o.d"
+  "/root/repo/src/swapram/runtime_gen.cc" "src/CMakeFiles/swapram.dir/swapram/runtime_gen.cc.o" "gcc" "src/CMakeFiles/swapram.dir/swapram/runtime_gen.cc.o.d"
+  "/root/repo/src/workloads/aes.cc" "src/CMakeFiles/swapram.dir/workloads/aes.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/aes.cc.o.d"
+  "/root/repo/src/workloads/arith.cc" "src/CMakeFiles/swapram.dir/workloads/arith.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/arith.cc.o.d"
+  "/root/repo/src/workloads/bitcount.cc" "src/CMakeFiles/swapram.dir/workloads/bitcount.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/bitcount.cc.o.d"
+  "/root/repo/src/workloads/crc.cc" "src/CMakeFiles/swapram.dir/workloads/crc.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/crc.cc.o.d"
+  "/root/repo/src/workloads/dijkstra.cc" "src/CMakeFiles/swapram.dir/workloads/dijkstra.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/dijkstra.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/CMakeFiles/swapram.dir/workloads/fft.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/fft.cc.o.d"
+  "/root/repo/src/workloads/lib_asm.cc" "src/CMakeFiles/swapram.dir/workloads/lib_asm.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/lib_asm.cc.o.d"
+  "/root/repo/src/workloads/lzfx.cc" "src/CMakeFiles/swapram.dir/workloads/lzfx.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/lzfx.cc.o.d"
+  "/root/repo/src/workloads/rc4.cc" "src/CMakeFiles/swapram.dir/workloads/rc4.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/rc4.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/swapram.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/rsa.cc" "src/CMakeFiles/swapram.dir/workloads/rsa.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/rsa.cc.o.d"
+  "/root/repo/src/workloads/stringsearch.cc" "src/CMakeFiles/swapram.dir/workloads/stringsearch.cc.o" "gcc" "src/CMakeFiles/swapram.dir/workloads/stringsearch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ast_interpreter.cc" "tests/CMakeFiles/swapram_tests.dir/ast_interpreter.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/ast_interpreter.cc.o.d"
+  "/root/repo/tests/blockcache_test.cc" "tests/CMakeFiles/swapram_tests.dir/blockcache_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/blockcache_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/swapram_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/fuzz_systems_test.cc" "tests/CMakeFiles/swapram_tests.dir/fuzz_systems_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/fuzz_systems_test.cc.o.d"
+  "/root/repo/tests/interrupt_test.cc" "tests/CMakeFiles/swapram_tests.dir/interrupt_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/interrupt_test.cc.o.d"
+  "/root/repo/tests/isa_cycles_test.cc" "tests/CMakeFiles/swapram_tests.dir/isa_cycles_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/isa_cycles_test.cc.o.d"
+  "/root/repo/tests/isa_encode_test.cc" "tests/CMakeFiles/swapram_tests.dir/isa_encode_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/isa_encode_test.cc.o.d"
+  "/root/repo/tests/lib_asm_test.cc" "tests/CMakeFiles/swapram_tests.dir/lib_asm_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/lib_asm_test.cc.o.d"
+  "/root/repo/tests/masm_assembler_test.cc" "tests/CMakeFiles/swapram_tests.dir/masm_assembler_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/masm_assembler_test.cc.o.d"
+  "/root/repo/tests/masm_lexer_test.cc" "tests/CMakeFiles/swapram_tests.dir/masm_lexer_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/masm_lexer_test.cc.o.d"
+  "/root/repo/tests/masm_parser_test.cc" "tests/CMakeFiles/swapram_tests.dir/masm_parser_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/masm_parser_test.cc.o.d"
+  "/root/repo/tests/methodology_test.cc" "tests/CMakeFiles/swapram_tests.dir/methodology_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/methodology_test.cc.o.d"
+  "/root/repo/tests/reimport_test.cc" "tests/CMakeFiles/swapram_tests.dir/reimport_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/reimport_test.cc.o.d"
+  "/root/repo/tests/sim_cache_test.cc" "tests/CMakeFiles/swapram_tests.dir/sim_cache_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/sim_cache_test.cc.o.d"
+  "/root/repo/tests/sim_cpu_more_test.cc" "tests/CMakeFiles/swapram_tests.dir/sim_cpu_more_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/sim_cpu_more_test.cc.o.d"
+  "/root/repo/tests/sim_cpu_test.cc" "tests/CMakeFiles/swapram_tests.dir/sim_cpu_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/sim_cpu_test.cc.o.d"
+  "/root/repo/tests/sim_machine_test.cc" "tests/CMakeFiles/swapram_tests.dir/sim_machine_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/sim_machine_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/swapram_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/swapram_dyncall_test.cc" "tests/CMakeFiles/swapram_tests.dir/swapram_dyncall_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/swapram_dyncall_test.cc.o.d"
+  "/root/repo/tests/swapram_freeze_test.cc" "tests/CMakeFiles/swapram_tests.dir/swapram_freeze_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/swapram_freeze_test.cc.o.d"
+  "/root/repo/tests/swapram_runtime_test.cc" "tests/CMakeFiles/swapram_tests.dir/swapram_runtime_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/swapram_runtime_test.cc.o.d"
+  "/root/repo/tests/swapram_test.cc" "tests/CMakeFiles/swapram_tests.dir/swapram_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/swapram_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/swapram_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/swapram_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/swapram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapram_tool.dir/swapram_tool.cc.o"
+  "CMakeFiles/swapram_tool.dir/swapram_tool.cc.o.d"
+  "swapram_tool"
+  "swapram_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapram_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_run_swapram "/root/repo/build/tools/swapram_tool" "run" "--workload" "crc" "--system" "swapram")
+set_tests_properties(tool_run_swapram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_block_8mhz "/root/repo/build/tools/swapram_tool" "run" "--workload" "rc4" "--system" "block" "--clock" "8")
+set_tests_properties(tool_run_block_8mhz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_split "/root/repo/build/tools/swapram_tool" "run" "--workload" "rsa" "--system" "swapram" "--placement" "split")
+set_tests_properties(tool_run_split PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_transform_listing "/root/repo/build/tools/swapram_tool" "transform" "--workload" "bitcount" "--system" "swapram" "--listing")
+set_tests_properties(tool_transform_listing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_transform_block "/root/repo/build/tools/swapram_tool" "transform" "--workload" "crc" "--system" "block")
+set_tests_properties(tool_transform_block PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_assemble "/root/repo/build/tools/swapram_tool" "assemble" "--workload" "fft" "--listing")
+set_tests_properties(tool_assemble PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_disasm "/root/repo/build/tools/swapram_tool" "disasm" "--workload" "crc" "--func" "crc_block")
+set_tests_properties(tool_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
