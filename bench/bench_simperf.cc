@@ -14,6 +14,8 @@
 #include "masm/parser.hh"
 #include "sim/machine.hh"
 #include "swapram/builder.hh"
+#include "trace/profile.hh"
+#include "trace/trace.hh"
 #include "workloads/workload.hh"
 
 using namespace swapram;
@@ -40,6 +42,34 @@ BM_SimulatorThroughput(benchmark::State &state)
         machine.load(assembled.image, 0xFF80);
         auto result = machine.run();
         benchmark::DoNotOptimize(result.done);
+        instructions += machine.stats().instructions;
+    }
+    state.counters["sim_instr_per_s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
+/** Same run with the full observability stack attached, to size the
+ *  cost of tracing relative to BM_SimulatorThroughput (the disabled
+ *  path is a null-pointer check and must stay within noise of it). */
+void
+BM_SimulatorThroughputTraced(benchmark::State &state)
+{
+    auto assembled =
+        masm::assemble(masm::parse(crcSource()), masm::LayoutSpec{});
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::Machine machine;
+        machine.load(assembled.image, 0xFF80);
+        trace::TraceEngine engine(trace::kCatAll);
+        trace::FunctionProfiler profiler;
+        for (const auto &f : assembled.functions)
+            profiler.addFunction(f.name, f.addr, f.size);
+        profiler.seal();
+        machine.setTraceEngine(&engine);
+        machine.setProfiler(&profiler);
+        auto result = machine.run();
+        benchmark::DoNotOptimize(result.done);
+        benchmark::DoNotOptimize(engine.emitted());
         instructions += machine.stats().instructions;
     }
     state.counters["sim_instr_per_s"] = benchmark::Counter(
@@ -87,6 +117,7 @@ BM_BlockCacheBuild(benchmark::State &state)
 }
 
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatorThroughputTraced)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Parse)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Assemble)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SwapRamBuild)->Unit(benchmark::kMillisecond);

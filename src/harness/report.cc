@@ -4,8 +4,11 @@
 
 #include "support/logging.hh"
 #include "support/strings.hh"
+#include "trace/event.hh"
 
 namespace swapram::harness {
+
+namespace json = support::json;
 
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))
@@ -97,6 +100,236 @@ std::string
 geoMeanDelta(const std::vector<double> &ratios)
 {
     return percentDelta(geoMean(ratios), 1.0);
+}
+
+namespace {
+
+json::Value
+accessJson(const sim::AccessCounts &a)
+{
+    return json::Object{{"fetch", a.fetch},
+                        {"read", a.read},
+                        {"write", a.write}};
+}
+
+json::Value
+statsJson(const sim::Stats &s)
+{
+    json::Object owners;
+    for (int i = 0; i < sim::kNumOwners; ++i) {
+        owners.emplace(
+            sim::ownerName(static_cast<sim::CodeOwner>(i)),
+            s.instr_by_owner[static_cast<std::size_t>(i)]);
+    }
+    return json::Object{
+        {"instructions", s.instructions},
+        {"base_cycles", s.base_cycles},
+        {"stall_cycles", s.stall_cycles},
+        {"total_cycles", s.totalCycles()},
+        {"sram", accessJson(s.sram)},
+        {"fram", accessJson(s.fram)},
+        {"mmio", accessJson(s.mmio)},
+        {"fram_cache_hits", s.fram_cache_hits},
+        {"fram_cache_misses", s.fram_cache_misses},
+        {"code_space_accesses", s.code_space_accesses},
+        {"data_space_accesses", s.data_space_accesses},
+        {"instr_by_owner", std::move(owners)},
+        {"interrupts", s.interrupts},
+    };
+}
+
+json::Value
+profileRowJson(const trace::ProfileRow &r)
+{
+    return json::Object{
+        {"name", r.name},
+        {"addr", r.addr},
+        {"size", r.size},
+        {"instructions", r.instructions},
+        {"base_cycles", r.base_cycles},
+        {"stall_cycles", r.stall_cycles},
+        {"total_cycles", r.totalCycles()},
+        {"fram_fetch", r.fram_fetch},
+        {"fram_read", r.fram_read},
+        {"fram_write", r.fram_write},
+        {"sram_fetch", r.sram_fetch},
+        {"sram_read", r.sram_read},
+        {"sram_write", r.sram_write},
+        {"sram_resident_instructions", r.sram_resident_instructions},
+        {"energy_pj", r.energy_pj},
+    };
+}
+
+json::Value
+swapEventJson(const trace::SwapEvent &e)
+{
+    json::Object o{{"kind", trace::kindName(e.kind)},
+                   {"cycle", e.cycle}};
+    switch (e.kind) {
+      case trace::EventKind::CopyIn:
+      case trace::EventKind::Evict:
+        o.emplace("func", e.func);
+        o.emplace("cache_addr", e.cache_addr);
+        o.emplace("nvm_addr", e.nvm_addr);
+        o.emplace("bytes", e.bytes);
+        break;
+      case trace::EventKind::MissExit:
+        o.emplace("handler_cycles", e.handler_cycles);
+        break;
+      default: break;
+    }
+    return o;
+}
+
+} // namespace
+
+RunReport
+RunReport::make(const RunSpec &spec, Metrics metrics)
+{
+    RunReport report;
+    report.workload = spec.workload ? spec.workload->name : "";
+    report.system = systemName(spec.system);
+    report.placement = placementName(spec.placement);
+    report.clock_hz = spec.clock_hz;
+    report.main_repeats = spec.main_repeats;
+    report.metrics = std::move(metrics);
+    return report;
+}
+
+json::Value
+RunReport::json() const
+{
+    const Metrics &m = metrics;
+    json::Object root{
+        {"schema", kSchema},
+        {"workload", workload},
+        {"system", system},
+        {"placement", placement},
+        {"clock_hz", clock_hz},
+        {"main_repeats", main_repeats},
+        {"fits", m.fits},
+        {"done", m.done},
+        {"checksum", m.checksum},
+    };
+    if (!m.fits) {
+        root.emplace("fit_note", m.fit_note);
+        return root;
+    }
+    root.emplace("stats", statsJson(m.stats));
+    root.emplace("energy_pj", m.energy_pj);
+    root.emplace("seconds", m.seconds);
+    if (!m.console.empty())
+        root.emplace("console", m.console);
+    root.emplace(
+        "sizes",
+        json::Object{
+            {"text_bytes", m.text_bytes},
+            {"const_bytes", m.const_bytes},
+            {"data_bytes", m.data_bytes},
+            {"bss_bytes", m.bss_bytes},
+            {"app_text_bytes", m.app_text_bytes},
+            {"runtime_bytes", m.runtime_bytes},
+            {"metadata_bytes", m.metadata_bytes},
+            {"handler_bytes", m.handler_bytes},
+            {"ram_bytes", m.ram_bytes},
+            {"total_nvm_bytes", m.totalNvmBytes()},
+            {"n_funcs", m.n_funcs},
+            {"reloc_count", m.reloc_count},
+        });
+    if (!m.profile.empty()) {
+        json::Array rows;
+        for (const trace::ProfileRow &r : m.profile)
+            rows.push_back(profileRowJson(r));
+        root.emplace("profile", std::move(rows));
+    }
+    if (!m.swap_events.empty() || m.swap_summary.misses) {
+        json::Array events;
+        for (const trace::SwapEvent &e : m.swap_events)
+            events.push_back(swapEventJson(e));
+        json::Array occupancy;
+        for (const trace::OccupancySample &s : m.occupancy) {
+            occupancy.push_back(json::Object{
+                {"cycle", s.cycle},
+                {"resident_bytes", s.resident_bytes},
+                {"resident_functions", s.resident_functions}});
+        }
+        const trace::SwapSummary &sum = m.swap_summary;
+        root.emplace(
+            "swap",
+            json::Object{
+                {"misses", sum.misses},
+                {"copy_ins", sum.copy_ins},
+                {"evictions", sum.evictions},
+                {"bytes_copied", sum.bytes_copied},
+                {"handler_cycles", sum.handler_cycles},
+                {"peak_resident_bytes", sum.peak_resident_bytes},
+                {"events", std::move(events)},
+                {"occupancy", std::move(occupancy)},
+            });
+    }
+    if (m.trace_emitted || m.trace_dropped) {
+        root.emplace("trace",
+                     json::Object{{"emitted", m.trace_emitted},
+                                  {"dropped", m.trace_dropped}});
+    }
+    return root;
+}
+
+std::string
+RunReport::text(std::size_t profile_rows) const
+{
+    const Metrics &m = metrics;
+    std::string out = support::cat(
+        "run: workload=", workload, " system=", system,
+        " placement=", placement, " clock=", clock_hz / 1'000'000,
+        "MHz repeats=", main_repeats, "\n");
+    if (!m.fits)
+        return out + "result: DNF (" + m.fit_note + ")\n";
+    out += support::cat(
+        "result: ", m.done ? "done" : "TIMEOUT",
+        " checksum=", support::hex16(m.checksum),
+        " cycles=", withCommas(m.stats.totalCycles()),
+        " (stall ", withCommas(m.stats.stall_cycles),
+        ") instructions=", withCommas(m.stats.instructions),
+        " energy=", support::fixed(m.energy_pj / 1e6, 3), "uJ\n");
+    if (m.swap_summary.misses || m.swap_summary.copy_ins) {
+        const trace::SwapSummary &s = m.swap_summary;
+        out += support::cat(
+            "swap: misses=", withCommas(s.misses),
+            " copy_ins=", withCommas(s.copy_ins),
+            " evictions=", withCommas(s.evictions),
+            " bytes_copied=", withCommas(s.bytes_copied),
+            " handler_cycles=", withCommas(s.handler_cycles),
+            " peak_resident=", s.peak_resident_bytes, "B\n");
+    }
+    if (!m.profile.empty()) {
+        Table table({"function", "instrs", "cycles", "stall", "fram",
+                     "sram", "energy(nJ)", "cycle%"});
+        double total =
+            static_cast<double>(m.stats.totalCycles());
+        std::size_t shown = 0;
+        for (const trace::ProfileRow &r : m.profile) {
+            if (profile_rows && shown++ >= profile_rows)
+                break;
+            double pct =
+                total ? 100.0 * static_cast<double>(r.totalCycles()) /
+                            total
+                      : 0.0;
+            table.addRow({r.name, withCommas(r.instructions),
+                          withCommas(r.totalCycles()),
+                          withCommas(r.stall_cycles),
+                          withCommas(r.framAccesses()),
+                          withCommas(r.sramAccesses()),
+                          support::fixed(r.energy_pj / 1e3, 1),
+                          support::fixed(pct, 1)});
+        }
+        out += "\n" + table.text();
+        if (profile_rows && m.profile.size() > profile_rows) {
+            out += support::cat("(", m.profile.size() - profile_rows,
+                                " more rows; use --json for all)\n");
+        }
+    }
+    return out;
 }
 
 } // namespace swapram::harness

@@ -1,8 +1,10 @@
 /**
  * @file
- * Table/series formatting shared by the bench binaries: fixed-width
- * columns, percent deltas, geometric means — matching the way the
- * paper reports Table 2 and Figures 7-10.
+ * Reporting: fixed-width text tables, percent deltas, and geometric
+ * means shared by the bench binaries (the way the paper reports
+ * Table 2 and Figures 7-10) — plus RunReport, the machine-readable
+ * record of one experiment (JSON schema "swapram-run-report/v1")
+ * consumed by swapram_tool's --json mode and the CI smoke check.
  */
 
 #ifndef SWAPRAM_HARNESS_REPORT_HH
@@ -11,6 +13,9 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "harness/runner.hh"
+#include "support/json.hh"
 
 namespace swapram::harness {
 
@@ -42,6 +47,33 @@ double geoMean(const std::vector<double> &ratios);
 
 /** Geometric-mean delta string for value/reference ratio lists. */
 std::string geoMeanDelta(const std::vector<double> &ratios);
+
+/**
+ * Everything one run produced, in serializable form: the configuration
+ * that was run plus the Metrics it yielded. Build with make(), then
+ * json() for machines or text() for humans.
+ */
+struct RunReport {
+    /** Schema identifier emitted as the "schema" key. */
+    static constexpr const char *kSchema = "swapram-run-report/v1";
+
+    std::string workload;
+    std::string system;    ///< systemName()
+    std::string placement; ///< placementName()
+    std::uint32_t clock_hz = 0;
+    int main_repeats = 1;
+    Metrics metrics;
+
+    /** Capture spec identity + results into a report. */
+    static RunReport make(const RunSpec &spec, Metrics metrics);
+
+    /** Full machine-readable report. */
+    support::json::Value json() const;
+
+    /** Human-readable summary (stats + top profile rows + swap
+     *  summary), for the tool's default non-JSON output. */
+    std::string text(std::size_t profile_rows = 20) const;
+};
 
 } // namespace swapram::harness
 

@@ -1,16 +1,19 @@
 #include "harness/runner.hh"
 
+#include <memory>
 #include <sstream>
 
 #include "blockcache/builder.hh"
 #include "isa/decode.hh"
 #include "isa/disasm.hh"
+#include "masm/assembler.hh"
 #include "masm/parser.hh"
 #include "sim/machine.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/platform.hh"
 #include "swapram/builder.hh"
+#include "trace/sinks.hh"
 
 namespace swapram::harness {
 
@@ -212,27 +215,104 @@ runOne(const RunSpec &spec)
         machine.addOwnerRange(memcpy_base, memcpy_end,
                               sim::CodeOwner::Memcpy);
     }
-    sim::RunResult result;
-    if (spec.trace_hook && spec.trace_limit) {
-        std::uint64_t traced = 0;
-        while (!machine.mmio().done() &&
-               machine.stats().totalCycles() < config.max_cycles) {
-            if (traced < spec.trace_limit) {
-                std::uint16_t pc = machine.cpu().pc();
-                std::uint16_t words[3] = {
-                    machine.peek16(pc),
-                    machine.peek16(static_cast<std::uint16_t>(pc + 2)),
-                    machine.peek16(static_cast<std::uint16_t>(pc + 4)),
-                };
-                auto decoded = isa::decodeAt(words, pc);
-                spec.trace_hook(pc, isa::disasm(decoded.instr));
-                ++traced;
-            }
-            machine.step();
+
+    // Observability wiring (the runner owns the engine's lifecycle;
+    // none of this is constructed for plain runs).
+    const ObserveSpec &obs = spec.observe;
+    bool want_timeline =
+        obs.swap_timeline ||
+        (spec.system != System::Baseline &&
+         (obs.profile || (obs.categories & trace::kCatSwap)));
+    std::unique_ptr<trace::TraceEngine> engine;
+    std::unique_ptr<trace::FunctionProfiler> profiler;
+    std::unique_ptr<trace::SwapTimeline> timeline;
+    std::unique_ptr<trace::StreamSink> stream;
+    std::unique_ptr<masm::FunctionIndex> index;
+    if (obs.any() || want_timeline) {
+        engine = std::make_unique<trace::TraceEngine>(
+            obs.categories, obs.ring_capacity);
+        index = std::make_unique<masm::FunctionIndex>(
+            assembled.functions);
+        if (obs.profile) {
+            profiler = std::make_unique<trace::FunctionProfiler>();
+            for (const masm::FunctionInfo &f : assembled.functions)
+                profiler->addFunction(f.name, f.addr, f.size);
+            profiler->seal();
+            machine.setProfiler(profiler.get());
         }
-        result = {machine.mmio().done(), machine.mmio().exitCode()};
-    } else {
-        result = machine.run();
+        if (obs.out && obs.format != ObserveSpec::Format::None) {
+            switch (obs.format) {
+              case ObserveSpec::Format::Text:
+                stream = std::make_unique<trace::TextSink>(*obs.out);
+                break;
+              case ObserveSpec::Format::Csv:
+                stream = std::make_unique<trace::CsvSink>(*obs.out);
+                break;
+              case ObserveSpec::Format::Chrome:
+                stream = std::make_unique<trace::ChromeTraceSink>(
+                    *obs.out, spec.clock_hz);
+                break;
+              case ObserveSpec::Format::None: break;
+            }
+            stream->setLimit(obs.limit);
+            stream->setSymbolizer([idx = index.get()](
+                                      std::uint16_t addr) {
+                return idx->label(addr);
+            });
+            if (obs.disasm) {
+                stream->setAnnotator([&machine](
+                                         const trace::Event &event) {
+                    if (event.kind != trace::EventKind::InstrRetire)
+                        return std::string();
+                    std::uint16_t pc = event.addr;
+                    std::uint16_t words[3] = {
+                        machine.peek16(pc),
+                        machine.peek16(
+                            static_cast<std::uint16_t>(pc + 2)),
+                        machine.peek16(
+                            static_cast<std::uint16_t>(pc + 4)),
+                    };
+                    return isa::disasm(isa::decodeAt(words, pc).instr);
+                });
+            }
+            engine->addSink(stream.get(),
+                            obs.categories ? obs.categories
+                                           : trace::kCatAll);
+        }
+        if (want_timeline) {
+            // The timeline must be registered after the stream sink so
+            // derived events follow their triggers in the output.
+            bool is_block = spec.system == System::BlockCache;
+            timeline = std::make_unique<trace::SwapTimeline>(
+                is_block ? block.cache_base : swap.cache_base,
+                is_block ? block.cache_end : swap.cache_end);
+            for (const masm::FunctionInfo &f : assembled.functions)
+                timeline->addFunction(f.name, f.addr, f.size);
+            timeline->setEngine(engine.get());
+            if (profiler)
+                timeline->setProfiler(profiler.get());
+            engine->addSink(timeline.get(),
+                            trace::kCatSwap | trace::kCatAccess);
+        }
+        machine.setTraceEngine(engine.get());
+        support::debug("observe: categories=",
+                       trace::categoryNames(engine->mask()),
+                       " profile=", obs.profile,
+                       " timeline=", want_timeline);
+    }
+
+    sim::RunResult result = machine.run();
+    if (engine) {
+        engine->finish();
+        m.trace_emitted = engine->emitted();
+        m.trace_dropped = engine->dropped();
+    }
+    if (profiler)
+        m.profile = profiler->rows(sim::EnergyModel{}, spec.clock_hz);
+    if (timeline) {
+        m.swap_events = timeline->events();
+        m.occupancy = timeline->occupancy();
+        m.swap_summary = timeline->summary();
     }
     m.done = result.done;
     m.console = machine.mmio().console();

@@ -3,13 +3,21 @@
  * Experiment runner: assemble a workload under a system (baseline /
  * SwapRAM / block cache) and placement, execute it, and collect every
  * metric the paper's tables and figures report.
+ *
+ * The runner also owns the observability pipeline (ISSUE 1): when a
+ * RunSpec requests it, a trace::TraceEngine is wired into the machine
+ * (with an optional streaming sink), a per-function profiler
+ * attributes cycles/stalls/energy to the image's functions, and a
+ * SwapTimeline reconstructs the cache runtime's misses, copy-ins, and
+ * evictions. Results land in Metrics; report.hh turns them into a
+ * machine-readable RunReport.
  */
 
 #ifndef SWAPRAM_HARNESS_RUNNER_HH
 #define SWAPRAM_HARNESS_RUNNER_HH
 
 #include <cstdint>
-#include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -19,6 +27,9 @@
 #include "sim/energy.hh"
 #include "sim/stats.hh"
 #include "swapram/options.hh"
+#include "trace/profile.hh"
+#include "trace/swap_timeline.hh"
+#include "trace/trace.hh"
 #include "workloads/workload.hh"
 
 namespace swapram::harness {
@@ -28,6 +39,45 @@ enum class System { Baseline, SwapRam, BlockCache };
 
 /** Printable name ("baseline", "swapram", "block"). */
 std::string systemName(System system);
+
+/** What to observe during a run (all off by default — and when off,
+ *  the simulator's hot path pays a single branch per instruction). */
+struct ObserveSpec {
+    /** trace::Category bitmask recorded by the engine's ring buffer
+     *  and written to the stream sink; 0 = event tracing off. */
+    std::uint32_t categories = trace::kCatNone;
+
+    /** Ring-buffer capacity in events (bounds trace memory). */
+    std::size_t ring_capacity = trace::TraceEngine::kDefaultCapacity;
+
+    /** Streaming sink format for `out`. */
+    enum class Format { None, Text, Csv, Chrome };
+    Format format = Format::None;
+
+    /** Stream target for traced events (not owned; may be null). */
+    std::ostream *out = nullptr;
+
+    /** Stop streaming after this many events (0 = unlimited). */
+    std::uint64_t limit = 0;
+
+    /** Annotate instruction retires with disassembly (Text format). */
+    bool disasm = false;
+
+    /** Per-function cycle/stall/access/energy attribution. */
+    bool profile = false;
+
+    /** Reconstruct SwapRAM cache events and the residency timeline
+     *  (auto-enabled for non-baseline systems when profiling or when
+     *  `categories` includes trace::kCatSwap). */
+    bool swap_timeline = false;
+
+    bool tracing() const { return categories != trace::kCatNone; }
+    bool
+    any() const
+    {
+        return tracing() || profile || swap_timeline;
+    }
+};
 
 /** One experiment configuration. */
 struct RunSpec {
@@ -47,10 +97,8 @@ struct RunSpec {
      */
     int main_repeats = 1;
 
-    /** Optional instruction trace: called with (pc, disassembly) for
-     *  the first trace_limit instructions (tooling/debugging). */
-    std::function<void(std::uint16_t, const std::string &)> trace_hook;
-    std::uint64_t trace_limit = 0;
+    /** Observability: tracing, profiling, cache timeline. */
+    ObserveSpec observe;
 };
 
 /** Everything measured from one run (or a DNF marker). */
@@ -84,6 +132,14 @@ struct Metrics {
     /** Everything the program wrote to the console UART (§5.1 compares
      *  printed benchmark output across systems). */
     std::string console;
+
+    // Observability results (filled per RunSpec::observe).
+    std::vector<trace::ProfileRow> profile; ///< most expensive first
+    std::vector<trace::SwapEvent> swap_events;
+    std::vector<trace::OccupancySample> occupancy;
+    trace::SwapSummary swap_summary;
+    std::uint64_t trace_emitted = 0; ///< events accepted by the engine
+    std::uint64_t trace_dropped = 0; ///< ring-buffer overwrites
 
     std::uint32_t
     totalNvmBytes() const

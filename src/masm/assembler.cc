@@ -1,5 +1,6 @@
 #include "masm/assembler.hh"
 
+#include <algorithm>
 #include <array>
 
 #include "isa/encode.hh"
@@ -405,6 +406,42 @@ AssembleResult::function(const std::string &name) const
             return f;
     }
     fatal("unknown function '", name, "'");
+}
+
+FunctionIndex::FunctionIndex(std::vector<FunctionInfo> functions)
+    : funcs_(std::move(functions))
+{
+    std::sort(funcs_.begin(), funcs_.end(),
+              [](const FunctionInfo &a, const FunctionInfo &b) {
+                  return a.addr < b.addr;
+              });
+}
+
+const FunctionInfo *
+FunctionIndex::at(std::uint16_t addr) const
+{
+    auto it = std::upper_bound(
+        funcs_.begin(), funcs_.end(), addr,
+        [](std::uint16_t v, const FunctionInfo &f) {
+            return v < f.addr;
+        });
+    if (it == funcs_.begin())
+        return nullptr;
+    --it;
+    if (addr < static_cast<std::uint32_t>(it->addr) + it->size)
+        return &*it;
+    return nullptr;
+}
+
+std::string
+FunctionIndex::label(std::uint16_t addr) const
+{
+    const FunctionInfo *f = at(addr);
+    if (!f)
+        return {};
+    if (addr == f->addr)
+        return f->name;
+    return support::cat(f->name, "+0x", std::hex, addr - f->addr);
 }
 
 AssembleResult

@@ -80,6 +80,29 @@ struct AssembleResult {
     const FunctionInfo &function(const std::string &name) const;
 };
 
+/**
+ * Address-sorted index over an image's function table, for fast
+ * PC-to-function resolution (profiler attribution, trace
+ * symbolization). Does not own the AssembleResult's data.
+ */
+class FunctionIndex
+{
+  public:
+    explicit FunctionIndex(std::vector<FunctionInfo> functions);
+
+    /** Function whose [addr, addr+size) contains @p addr, or null. */
+    const FunctionInfo *at(std::uint16_t addr) const;
+
+    /** "name+0x12"-style label for @p addr ("" if unmapped). */
+    std::string label(std::uint16_t addr) const;
+
+    /** All functions, sorted by address. */
+    const std::vector<FunctionInfo> &sorted() const { return funcs_; }
+
+  private:
+    std::vector<FunctionInfo> funcs_;
+};
+
 /** Assemble @p program with section placement @p layout. */
 AssembleResult assemble(const Program &program, const LayoutSpec &layout);
 

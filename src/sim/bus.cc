@@ -65,22 +65,35 @@ Bus::account(std::uint16_t addr, AccessKind kind, bool byte)
         std::uint32_t contention =
             contends ? config_.contention_stall : 0;
 
+        std::uint32_t stall = 0;
         if (kind == AccessKind::Write) {
             // Writes go to the FRAM array directly (write-through
             // controller); they pay the wait states but do not disturb
             // the read cache's tag state.
-            stats_.stall_cycles += std::max(ws, contention);
+            stall = std::max(ws, contention);
         } else if (config_.hw_cache_enabled) {
-            if (hw_cache_.access(addr)) {
+            bool hit = hw_cache_.access(addr);
+            if (hit) {
                 ++stats_.fram_cache_hits;
-                stats_.stall_cycles += contention;
+                stall = contention;
             } else {
                 ++stats_.fram_cache_misses;
-                stats_.stall_cycles += std::max(ws, contention);
+                stall = std::max(ws, contention);
+            }
+            if (trace_ && trace_->wants(trace::kCatHwCache)) {
+                trace_->emit({now(),
+                              hit ? trace::EventKind::HwCacheHit
+                                  : trace::EventKind::HwCacheMiss,
+                              0, addr, 0, 0});
             }
         } else {
             ++stats_.fram_cache_misses;
-            stats_.stall_cycles += std::max(ws, contention);
+            stall = std::max(ws, contention);
+        }
+        stats_.stall_cycles += stall;
+        if (stall && trace_ && trace_->wants(trace::kCatStall)) {
+            trace_->emit({now(), trace::EventKind::FramStall, 0, addr,
+                          0, stall});
         }
     }
 }
@@ -92,16 +105,11 @@ Bus::read16(std::uint16_t addr, AccessKind kind)
         support::fatal("unaligned word read at ", support::hex16(addr));
     account(addr, kind, false);
     std::uint16_t value;
-    if (regionOf(addr) == RegionKind::Mmio) {
-        std::uint64_t cycles =
-            stats_.stall_cycles +
-            (base_cycles_probe_ ? *base_cycles_probe_ : 0);
-        value = mmio_.read(addr, cycles);
-    } else {
+    if (regionOf(addr) == RegionKind::Mmio)
+        value = mmio_.read(addr, now());
+    else
         value = memory_.read16(addr);
-    }
-    if (trace_)
-        trace_({addr, value, kind, false});
+    traceAccess(addr, value, kind, false);
     return value;
 }
 
@@ -110,16 +118,11 @@ Bus::read8(std::uint16_t addr, AccessKind kind)
 {
     account(addr, kind, true);
     std::uint8_t value;
-    if (regionOf(addr) == RegionKind::Mmio) {
-        std::uint64_t cycles =
-            stats_.stall_cycles +
-            (base_cycles_probe_ ? *base_cycles_probe_ : 0);
-        value = static_cast<std::uint8_t>(mmio_.read(addr, cycles));
-    } else {
+    if (regionOf(addr) == RegionKind::Mmio)
+        value = static_cast<std::uint8_t>(mmio_.read(addr, now()));
+    else
         value = memory_.read8(addr);
-    }
-    if (trace_)
-        trace_({addr, value, AccessKind::Read, true});
+    traceAccess(addr, value, AccessKind::Read, true);
     return value;
 }
 
@@ -129,32 +132,22 @@ Bus::write16(std::uint16_t addr, std::uint16_t value)
     if (addr & 1)
         support::fatal("unaligned word write at ", support::hex16(addr));
     account(addr, AccessKind::Write, false);
-    if (regionOf(addr) == RegionKind::Mmio) {
-        std::uint64_t cycles =
-            stats_.stall_cycles +
-            (base_cycles_probe_ ? *base_cycles_probe_ : 0);
-        mmio_.write(addr, value, cycles);
-    } else {
+    if (regionOf(addr) == RegionKind::Mmio)
+        mmio_.write(addr, value, now());
+    else
         memory_.write16(addr, value);
-    }
-    if (trace_)
-        trace_({addr, value, AccessKind::Write, false});
+    traceAccess(addr, value, AccessKind::Write, false);
 }
 
 void
 Bus::write8(std::uint16_t addr, std::uint8_t value)
 {
     account(addr, AccessKind::Write, true);
-    if (regionOf(addr) == RegionKind::Mmio) {
-        std::uint64_t cycles =
-            stats_.stall_cycles +
-            (base_cycles_probe_ ? *base_cycles_probe_ : 0);
-        mmio_.write(addr, value, cycles);
-    } else {
+    if (regionOf(addr) == RegionKind::Mmio)
+        mmio_.write(addr, value, now());
+    else
         memory_.write8(addr, value);
-    }
-    if (trace_)
-        trace_({addr, value, AccessKind::Write, true});
+    traceAccess(addr, value, AccessKind::Write, true);
 }
 
 } // namespace swapram::sim

@@ -4,32 +4,29 @@
  * charges FRAM wait-state and contention stalls, and maintains all
  * access statistics (region counts, code/data-space classification,
  * hardware-cache hits/misses).
+ *
+ * When a trace::TraceEngine is attached, the bus emits structured
+ * events for every access, FRAM stall, and hardware-cache hit/miss.
+ * With no engine attached (the default) each site is a single
+ * null-pointer branch — no allocation, no virtual call.
  */
 
 #ifndef SWAPRAM_SIM_BUS_HH
 #define SWAPRAM_SIM_BUS_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/config.hh"
 #include "sim/hw_cache.hh"
 #include "sim/memory.hh"
 #include "sim/mmio.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace swapram::sim {
 
 /** Kind of one bus access. */
 enum class AccessKind : std::uint8_t { Fetch, Read, Write };
-
-/** One observed access (trace hook payload). */
-struct AccessEvent {
-    std::uint16_t addr;
-    std::uint16_t value;
-    AccessKind kind;
-    bool byte;
-};
 
 /** The CPU's window onto memory. */
 class Bus
@@ -61,16 +58,39 @@ class Bus
         base_cycles_probe_ = base_cycles;
     }
 
-    /** Optional per-access trace hook (testing/debugging). */
-    void setTraceHook(std::function<void(const AccessEvent &)> hook)
+    /** Attach (or detach, with nullptr) the trace engine. */
+    void setTraceEngine(trace::TraceEngine *engine)
     {
-        trace_ = std::move(hook);
+        trace_ = engine;
     }
 
     HwCache &hwCache() { return hw_cache_; }
 
   private:
     void account(std::uint16_t addr, AccessKind kind, bool byte);
+
+    /** Total cycles right now (stall + externally probed base). */
+    std::uint64_t
+    now() const
+    {
+        return stats_.stall_cycles +
+               (base_cycles_probe_ ? *base_cycles_probe_ : 0);
+    }
+
+    /** Emit one access event if anyone is listening. */
+    void
+    traceAccess(std::uint16_t addr, std::uint16_t value,
+                AccessKind kind, bool byte)
+    {
+        if (trace_ && trace_->wants(trace::kCatAccess)) {
+            trace::EventKind ek =
+                kind == AccessKind::Fetch  ? trace::EventKind::Fetch
+                : kind == AccessKind::Read ? trace::EventKind::Read
+                                           : trace::EventKind::Write;
+            trace_->emit({now(), ek, static_cast<std::uint8_t>(byte),
+                          addr, value, 0});
+        }
+    }
 
     Memory &memory_;
     Mmio &mmio_;
@@ -83,7 +103,7 @@ class Bus
     std::uint32_t fram_accesses_this_instr_ = 0;
     std::uint32_t last_fram_line_ = 0;
     const std::uint64_t *base_cycles_probe_ = nullptr;
-    std::function<void(const AccessEvent &)> trace_;
+    trace::TraceEngine *trace_ = nullptr;
 };
 
 } // namespace swapram::sim

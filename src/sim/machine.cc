@@ -1,8 +1,43 @@
 #include "sim/machine.hh"
 
 #include "support/logging.hh"
+#include "trace/profile.hh"
 
 namespace swapram::sim {
+
+namespace {
+
+/** Stats fields the profiler attributes per instruction. */
+struct StatSnapshot {
+    std::uint64_t base_cycles, stall_cycles;
+    std::uint64_t fram_fetch, fram_read, fram_write;
+    std::uint64_t sram_fetch, sram_read, sram_write;
+
+    explicit StatSnapshot(const Stats &s)
+        : base_cycles(s.base_cycles), stall_cycles(s.stall_cycles),
+          fram_fetch(s.fram.fetch), fram_read(s.fram.read),
+          fram_write(s.fram.write), sram_fetch(s.sram.fetch),
+          sram_read(s.sram.read), sram_write(s.sram.write)
+    {
+    }
+
+    trace::StepCosts
+    deltaTo(const Stats &s) const
+    {
+        trace::StepCosts d;
+        d.base_cycles = s.base_cycles - base_cycles;
+        d.stall_cycles = s.stall_cycles - stall_cycles;
+        d.fram_fetch = s.fram.fetch - fram_fetch;
+        d.fram_read = s.fram.read - fram_read;
+        d.fram_write = s.fram.write - fram_write;
+        d.sram_fetch = s.sram.fetch - sram_fetch;
+        d.sram_read = s.sram.read - sram_read;
+        d.sram_write = s.sram.write - sram_write;
+        return d;
+    }
+};
+
+} // namespace
 
 Machine::Machine(const MachineConfig &config)
     : config_(config), bus_(memory_, mmio_, stats_, config_), cpu_(bus_)
@@ -25,6 +60,13 @@ Machine::addOwnerRange(std::uint16_t base, std::uint32_t end,
     owner_ranges_.push_back({base, end, owner});
 }
 
+void
+Machine::setTraceEngine(trace::TraceEngine *engine)
+{
+    trace_ = engine;
+    bus_.setTraceEngine(engine);
+}
+
 CodeOwner
 Machine::classifyPc(std::uint16_t pc) const
 {
@@ -39,6 +81,50 @@ Machine::classifyPc(std::uint16_t pc) const
 }
 
 void
+Machine::stepObserved(std::uint16_t pc, CodeOwner owner)
+{
+    auto owner8 = static_cast<std::uint8_t>(owner);
+    if (trace_ && owner8 != last_owner_) {
+        if (trace_->wants(trace::kCatSwap)) {
+            trace_->emit({stats_.totalCycles(),
+                          trace::EventKind::OwnerChange, 0, pc, owner8,
+                          last_owner_});
+        }
+        last_owner_ = owner8;
+    }
+    StatSnapshot pre(stats_);
+    cpu_.step(stats_);
+    trace::StepCosts costs = pre.deltaTo(stats_);
+    if (profiler_)
+        profiler_->record(pc, owner8, costs);
+    if (trace_ && trace_->wants(trace::kCatInstr)) {
+        trace_->emit({stats_.totalCycles(),
+                      trace::EventKind::InstrRetire, 0, pc,
+                      static_cast<std::uint16_t>(costs.base_cycles),
+                      static_cast<std::uint32_t>(costs.stall_cycles)});
+    }
+}
+
+void
+Machine::interruptObserved(std::uint16_t pc)
+{
+    // Entry costs (pushes, vector fetch) are charged to the
+    // interrupted function so profile totals stay exact.
+    StatSnapshot pre(stats_);
+    cpu_.interrupt(platform::kTimerVector, stats_);
+    if (profiler_) {
+        profiler_->record(
+            pc, static_cast<std::uint8_t>(classifyPc(pc)),
+            pre.deltaTo(stats_));
+    }
+    if (trace_ && trace_->wants(trace::kCatInterrupt)) {
+        trace_->emit({stats_.totalCycles(),
+                      trace::EventKind::InterruptEnter, 0,
+                      platform::kTimerVector, pc, 0});
+    }
+}
+
+void
 Machine::step()
 {
     if (config_.timer_period_cycles) {
@@ -49,11 +135,19 @@ Machine::step()
             timer_pending_ = false;
             while (timer_next_fire_ <= now)
                 timer_next_fire_ += config_.timer_period_cycles;
-            cpu_.interrupt(platform::kTimerVector, stats_);
+            if (trace_ || profiler_)
+                interruptObserved(cpu_.pc());
+            else
+                cpu_.interrupt(platform::kTimerVector, stats_);
             return; // interrupt entry consumes this step
         }
     }
-    ++stats_.instr_by_owner[static_cast<int>(classifyPc(cpu_.pc()))];
+    CodeOwner owner = classifyPc(cpu_.pc());
+    ++stats_.instr_by_owner[static_cast<int>(owner)];
+    if (trace_ || profiler_) {
+        stepObserved(cpu_.pc(), owner);
+        return;
+    }
     cpu_.step(stats_);
 }
 

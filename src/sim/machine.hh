@@ -3,6 +3,13 @@
  * Machine: composes memory, bus, MMIO, and CPU; loads an assembled
  * image; runs to completion; attributes instructions to code owners
  * (application FRAM/SRAM, miss handler, memcpy) for Figure 8.
+ *
+ * Observability: an attached trace::TraceEngine receives instruction
+ * retires, code-owner changes, and interrupt entries (the bus adds
+ * accesses/stalls); an attached trace::FunctionProfiler receives the
+ * exact stat deltas of every executed instruction, so per-function
+ * cycle attribution sums to Stats::totalCycles(). Both default to
+ * nullptr and cost one branch per step when absent.
  */
 
 #ifndef SWAPRAM_SIM_MACHINE_HH
@@ -19,6 +26,10 @@
 #include "sim/memory.hh"
 #include "sim/mmio.hh"
 #include "sim/stats.hh"
+
+namespace swapram::trace {
+class FunctionProfiler;
+} // namespace swapram::trace
 
 namespace swapram::sim {
 
@@ -46,6 +57,16 @@ class Machine
     void addOwnerRange(std::uint16_t base, std::uint32_t end,
                        CodeOwner owner);
 
+    /** Attach the trace engine (this machine and its bus emit into
+     *  it); nullptr detaches. */
+    void setTraceEngine(trace::TraceEngine *engine);
+
+    /** Attach a per-function profiler; nullptr detaches. */
+    void setProfiler(trace::FunctionProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
     /** Run until the program signals completion or max_cycles pass. */
     RunResult run();
 
@@ -72,6 +93,10 @@ class Machine
   private:
     CodeOwner classifyPc(std::uint16_t pc) const;
 
+    /** step()/interrupt with observability hooks engaged. */
+    void stepObserved(std::uint16_t pc, CodeOwner owner);
+    void interruptObserved(std::uint16_t pc);
+
     MachineConfig config_;
     Memory memory_;
     Mmio mmio_;
@@ -81,6 +106,10 @@ class Machine
 
     std::uint64_t timer_next_fire_ = 0;
     bool timer_pending_ = false;
+
+    trace::TraceEngine *trace_ = nullptr;
+    trace::FunctionProfiler *profiler_ = nullptr;
+    std::uint8_t last_owner_ = 0xFF; ///< 0xFF = no owner seen yet
 
     struct OwnerRange {
         std::uint16_t base;

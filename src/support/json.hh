@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Minimal JSON value, writer, and validating parser.
+ *
+ * Just enough JSON for the observability layer: machine-readable run
+ * reports (harness), Chrome trace_event output validation (tests), and
+ * the CI smoke check. Numbers are stored as doubles except integers,
+ * which keep 64-bit precision so cycle counts round-trip exactly.
+ */
+
+#ifndef SWAPRAM_SUPPORT_JSON_HH
+#define SWAPRAM_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace swapram::support::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/** std::map keeps report keys deterministically ordered. */
+using Object = std::map<std::string, Value>;
+
+/** One JSON value (null / bool / number / string / array / object). */
+class Value
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() : kind_(Kind::Null) {}
+    Value(std::nullptr_t) : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(int v) : kind_(Kind::Int), int_(v) {}
+    Value(unsigned v) : kind_(Kind::Int), int_(v) {}
+    Value(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+    Value(std::uint64_t v)
+        : kind_(Kind::Int), int_(static_cast<std::int64_t>(v))
+    {
+    }
+    Value(double v) : kind_(Kind::Double), double_(v) {}
+    Value(const char *s) : kind_(Kind::String), string_(s) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Value(Array a)
+        : kind_(Kind::Array), array_(std::make_shared<Array>(std::move(a)))
+    {
+    }
+    Value(Object o)
+        : kind_(Kind::Object),
+          object_(std::make_shared<Object>(std::move(o)))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Object member lookup; null Value if absent or not an object. */
+    const Value &operator[](const std::string &key) const;
+    /** Array element; null Value if out of range or not an array. */
+    const Value &at(std::size_t index) const;
+
+    /** Serialize. @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0;
+    std::string string_;
+    std::shared_ptr<Array> array_;
+    std::shared_ptr<Object> object_;
+};
+
+/** Append @p text to a JSON output with quoting and escapes. */
+void escape(std::string &out, const std::string &text);
+
+/**
+ * Parse one JSON document. fatal()s (support::FatalError) on malformed
+ * input — the test suite relies on this to validate emitted traces.
+ */
+Value parse(const std::string &text);
+
+} // namespace swapram::support::json
+
+#endif // SWAPRAM_SUPPORT_JSON_HH

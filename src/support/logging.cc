@@ -1,11 +1,40 @@
 #include "support/logging.hh"
 
+#include <cstdlib>
 #include <iostream>
+
+#include "support/strings.hh"
 
 namespace swapram::support {
 
 namespace {
-bool verbose_enabled = false;
+
+/** Resolve the initial level from SWAPRAM_LOG (once, lazily). */
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("SWAPRAM_LOG");
+    if (!env)
+        return LogLevel::Warn;
+    std::string v = toLower(env);
+    if (v == "debug" || v == "2")
+        return LogLevel::Debug;
+    if (v == "info" || v == "verbose" || v == "1")
+        return LogLevel::Info;
+    if (v == "warn" || v == "quiet" || v == "0" || v.empty())
+        return LogLevel::Warn;
+    std::cerr << "warn: SWAPRAM_LOG='" << env
+              << "' not recognized (want warn|info|debug)\n";
+    return LogLevel::Warn;
+}
+
+LogLevel &
+levelSlot()
+{
+    static LogLevel level = levelFromEnv();
+    return level;
+}
+
 } // namespace
 
 void
@@ -17,14 +46,39 @@ warnStr(const std::string &message)
 void
 informStr(const std::string &message)
 {
-    if (verbose_enabled)
+    if (logLevel() >= LogLevel::Info)
         std::cerr << "info: " << message << "\n";
+}
+
+void
+debugStr(const std::string &message)
+{
+    if (debugEnabled())
+        std::cerr << "debug: " << message << "\n";
 }
 
 void
 setVerbose(bool verbose)
 {
-    verbose_enabled = verbose;
+    setLogLevel(verbose ? LogLevel::Info : LogLevel::Warn);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelSlot() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return levelSlot();
+}
+
+bool
+debugEnabled()
+{
+    return logLevel() >= LogLevel::Debug;
 }
 
 } // namespace swapram::support

@@ -77,6 +77,27 @@ void informStr(const std::string &message);
 /** Enable/disable inform() output globally (quiet test runs). */
 void setVerbose(bool verbose);
 
+/**
+ * Diagnostic verbosity. The default is Warn so test runs stay quiet;
+ * the SWAPRAM_LOG environment variable ("warn" / "info" / "debug",
+ * read on first use) or setLogLevel() raises it. inform() maps to
+ * Info; debug() to Debug. setVerbose(true) is kept as a shorthand for
+ * setLogLevel(LogLevel::Info).
+ */
+enum class LogLevel : int { Warn = 0, Info = 1, Debug = 2 };
+
+/** Override the log level (beats SWAPRAM_LOG). */
+void setLogLevel(LogLevel level);
+
+/** Current effective log level (resolves SWAPRAM_LOG once). */
+LogLevel logLevel();
+
+/** Cheap check for guarding expensive debug-message construction. */
+bool debugEnabled();
+
+/** Print a debug diagnostic to stderr (only at LogLevel::Debug). */
+void debugStr(const std::string &message);
+
 template <typename... Args>
 void
 warn(const Args &...args)
@@ -89,6 +110,14 @@ void
 inform(const Args &...args)
 {
     informStr(cat(args...));
+}
+
+template <typename... Args>
+void
+debug(const Args &...args)
+{
+    if (debugEnabled())
+        debugStr(cat(args...));
 }
 
 } // namespace swapram::support

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-function profiler: attributes instructions, cycles, stalls,
+ * memory accesses, and modeled energy to the functions of the
+ * assembled image — the function-granularity generalization of the
+ * paper's Figure 8 owner breakdown.
+ *
+ * Static attribution uses the masm::Image function table (NVM
+ * addresses). Under SwapRAM, code executes from the SRAM cache after a
+ * copy-in, so the profiler also maintains a dynamic overlay of
+ * cache-resident ranges (driven by trace::SwapTimeline): a PC inside
+ * the SRAM cache is attributed to the function currently resident
+ * there. Every recorded instruction lands in exactly one row, so row
+ * cycle totals sum to Stats::totalCycles() by construction.
+ */
+
+#ifndef SWAPRAM_TRACE_PROFILE_HH
+#define SWAPRAM_TRACE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/energy.hh"
+
+namespace swapram::trace {
+
+/** Accumulated costs of one function (or pseudo-bucket). */
+struct ProfileRow {
+    std::string name;
+    std::uint16_t addr = 0; ///< NVM home address (0 for pseudo rows)
+    std::uint16_t size = 0;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t base_cycles = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t fram_fetch = 0, fram_read = 0, fram_write = 0;
+    std::uint64_t sram_fetch = 0, sram_read = 0, sram_write = 0;
+    /** Instructions executed while this function ran from the cache. */
+    std::uint64_t sram_resident_instructions = 0;
+    double energy_pj = 0;
+
+    std::uint64_t totalCycles() const
+    {
+        return base_cycles + stall_cycles;
+    }
+    std::uint64_t framAccesses() const
+    {
+        return fram_fetch + fram_read + fram_write;
+    }
+    std::uint64_t sramAccesses() const
+    {
+        return sram_fetch + sram_read + sram_write;
+    }
+};
+
+/** Stat deltas of one executed instruction (or interrupt entry). */
+struct StepCosts {
+    std::uint64_t base_cycles = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t fram_fetch = 0, fram_read = 0, fram_write = 0;
+    std::uint64_t sram_fetch = 0, sram_read = 0, sram_write = 0;
+};
+
+/** Attributes per-instruction costs to function address ranges. */
+class FunctionProfiler
+{
+  public:
+    /** Register one static function range (NVM address space). */
+    void addFunction(const std::string &name, std::uint16_t addr,
+                     std::uint16_t size);
+
+    /** Sort ranges; call once after the last addFunction(). */
+    void seal();
+
+    /** Overlay: @p home's body is now cache-resident at
+     *  [base, base+bytes) (SwapTimeline calls this on copy-in). */
+    void mapResident(std::uint16_t base, std::uint32_t bytes,
+                     std::uint16_t home);
+
+    /** Overlay: the range starting at @p base is no longer resident. */
+    void unmapResident(std::uint16_t base);
+
+    /** Attribute one instruction at @p pc. @p owner is the
+     *  sim::CodeOwner the machine classified the PC as. */
+    void record(std::uint16_t pc, std::uint8_t owner,
+                const StepCosts &costs);
+
+    /**
+     * Snapshot rows, most-expensive first, with energy filled in from
+     * @p model at @p clock_hz. All-zero rows are dropped.
+     */
+    std::vector<ProfileRow>
+    rows(const sim::EnergyModel &model, std::uint32_t clock_hz) const;
+
+    /** Sum of cycle attribution across every row (== totalCycles()). */
+    std::uint64_t attributedCycles() const;
+
+  private:
+    struct Range {
+        std::uint16_t addr;
+        std::uint16_t size;
+        std::size_t row; ///< index into rows_
+    };
+    struct Overlay {
+        std::uint16_t base;
+        std::uint32_t end;
+        std::size_t row;
+    };
+
+    std::size_t lookup(std::uint16_t pc, std::uint8_t owner);
+    std::size_t pseudoRow(std::uint8_t owner);
+
+    std::vector<ProfileRow> rows_;
+    std::vector<Range> ranges_; ///< sorted by addr after seal()
+    std::vector<Overlay> overlays_;
+    std::size_t pseudo_[8] = {}; ///< per-owner fallback rows (1-based)
+    std::size_t last_hit_ = SIZE_MAX;
+    bool sealed_ = false;
+};
+
+} // namespace swapram::trace
+
+#endif // SWAPRAM_TRACE_PROFILE_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SwapTimeline: reconstructs cache-runtime behaviour (miss-handler
+ * spans, function copy-ins, evictions, SRAM-cache residency and
+ * occupancy over time) from the primitive trace stream.
+ *
+ * The SwapRAM runtime is generated assembly executing *inside* the
+ * simulator, so there is no API to hook; instead the timeline watches
+ * the existing CodeOwner classification (handler / memcpy ranges
+ * registered by the builder) and the bus traffic while the copy loop
+ * runs: FRAM reads identify the source function, SRAM writes into the
+ * cache region identify the destination and size. Derived events are
+ * re-emitted into the engine under Category::Swap so file sinks and
+ * the ring record them alongside the primitive stream.
+ */
+
+#ifndef SWAPRAM_TRACE_SWAP_TIMELINE_HH
+#define SWAPRAM_TRACE_SWAP_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace swapram::trace {
+
+class FunctionProfiler;
+
+/** One reconstructed cache-runtime event (report form). */
+struct SwapEvent {
+    EventKind kind = EventKind::MissEnter;
+    std::uint64_t cycle = 0;
+    std::string func;              ///< copy-in/evict: function name
+    std::uint16_t cache_addr = 0;  ///< SRAM address (copy-in/evict)
+    std::uint16_t nvm_addr = 0;    ///< FRAM home (copy-in/evict)
+    std::uint32_t bytes = 0;       ///< body bytes (copy-in/evict)
+    std::uint64_t handler_cycles = 0; ///< miss-exit: span length
+};
+
+/** Cache occupancy after each copy-in/evict. */
+struct OccupancySample {
+    std::uint64_t cycle = 0;
+    std::uint32_t resident_bytes = 0;
+    int resident_functions = 0;
+};
+
+/** Roll-up counters for the report. */
+struct SwapSummary {
+    std::uint64_t misses = 0;       ///< miss-handler entries
+    std::uint64_t copy_ins = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t handler_cycles = 0; ///< cycles inside handler+memcpy
+    std::uint32_t peak_resident_bytes = 0;
+};
+
+/** Streaming analyzer; subscribe with kCatSwap | kCatAccess. */
+class SwapTimeline : public Sink
+{
+  public:
+    /** @p cache_base/@p cache_end bound the SRAM code-cache region. */
+    SwapTimeline(std::uint16_t cache_base, std::uint16_t cache_end);
+
+    /** Register a function's NVM range for copy-in identification. */
+    void addFunction(const std::string &name, std::uint16_t addr,
+                     std::uint16_t size);
+
+    /** Re-emit derived events into @p engine (register this sink
+     *  last so other sinks see trigger-then-derived order). */
+    void setEngine(TraceEngine *engine) { engine_ = engine; }
+
+    /** Keep @p profiler's residency overlay in sync with copy-ins. */
+    void setProfiler(FunctionProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
+    void event(const Event &event) override;
+    void finish() override;
+
+    const std::vector<SwapEvent> &events() const { return events_; }
+    const std::vector<OccupancySample> &occupancy() const
+    {
+        return occupancy_;
+    }
+    const SwapSummary &summary() const { return summary_; }
+
+  private:
+    struct Func {
+        std::string name;
+        std::uint16_t addr;
+        std::uint16_t size;
+    };
+    struct Resident {
+        std::uint16_t base;
+        std::uint32_t end;
+        std::size_t func; ///< index into funcs_ (SIZE_MAX = unknown)
+    };
+
+    const Func *functionAt(std::uint16_t addr) const;
+    void ownerChange(const Event &event);
+    void finishCopy(std::uint64_t cycle);
+    void derive(Event event);
+    void sample(std::uint64_t cycle);
+
+    std::uint16_t cache_base_, cache_end_;
+    std::vector<Func> funcs_;
+    TraceEngine *engine_ = nullptr;
+    FunctionProfiler *profiler_ = nullptr;
+
+    // Owner-state machine.
+    bool in_miss_ = false;
+    bool in_copy_ = false;
+    std::uint64_t miss_begin_ = 0;
+    std::uint16_t miss_site_ = 0;
+    std::uint32_t copies_this_miss_ = 0;
+
+    // Current copy episode.
+    std::size_t copy_src_func_ = SIZE_MAX;
+    std::uint16_t copy_dst_min_ = 0xFFFF;
+    std::uint32_t copy_dst_max_ = 0;
+
+    std::vector<Resident> resident_;
+    std::vector<SwapEvent> events_;
+    std::vector<OccupancySample> occupancy_;
+    SwapSummary summary_;
+};
+
+} // namespace swapram::trace
+
+#endif // SWAPRAM_TRACE_SWAP_TIMELINE_HH

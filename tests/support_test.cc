@@ -13,6 +13,7 @@
 #include "masm/assembler.hh"
 #include "masm/parser.hh"
 #include "masm/printer.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/strings.hh"
@@ -191,6 +192,61 @@ TEST(Placement, DnfWhenProgramTooBig)
     auto m = harness::runOne(spec);
     EXPECT_FALSE(m.fits);
     EXPECT_NE(m.fit_note.find("SRAM"), std::string::npos);
+}
+
+TEST(Json, BuildAndDump)
+{
+    namespace json = support::json;
+    json::Value v = json::Object{
+        {"int", std::int64_t{1234567890123}},
+        {"str", "he\"llo\n"},
+        {"arr", json::Array{1, 2.5, true, nullptr}},
+        {"obj", json::Object{{"k", "v"}}},
+    };
+    EXPECT_EQ(v.dump(),
+              "{\"arr\":[1,2.5,true,null],\"int\":1234567890123,"
+              "\"obj\":{\"k\":\"v\"},\"str\":\"he\\\"llo\\n\"}");
+    // Pretty-printing parses back to the same structure.
+    json::Value again = json::parse(v.dump(2));
+    EXPECT_EQ(again["int"].asInt(), 1234567890123);
+    EXPECT_EQ(again["str"].asString(), "he\"llo\n");
+    EXPECT_EQ(again["arr"].asArray().size(), 4u);
+    EXPECT_TRUE(again["arr"].at(2).asBool());
+    EXPECT_TRUE(again["arr"].at(3).isNull());
+    EXPECT_EQ(again["obj"]["k"].asString(), "v");
+    // Absent keys / out-of-range indices degrade to null.
+    EXPECT_TRUE(again["missing"].isNull());
+    EXPECT_TRUE(again["arr"].at(99).isNull());
+}
+
+TEST(Json, ParseAcceptsEscapesAndNumbers)
+{
+    namespace json = support::json;
+    json::Value v = json::parse(
+        "  {\"u\": \"a\\u0041\\t\", \"neg\": -42, \"f\": 1.5e2} ");
+    EXPECT_EQ(v["u"].asString(), "aA\t");
+    EXPECT_EQ(v["neg"].asInt(), -42);
+    EXPECT_DOUBLE_EQ(v["f"].asDouble(), 150.0);
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    namespace json = support::json;
+    EXPECT_THROW(json::parse("{"), support::FatalError);
+    EXPECT_THROW(json::parse("[1,]"), support::FatalError);
+    EXPECT_THROW(json::parse("{\"a\":1} trailing"),
+                 support::FatalError);
+    EXPECT_THROW(json::parse("\"unterminated"), support::FatalError);
+    EXPECT_THROW(json::parse("nul"), support::FatalError);
+}
+
+TEST(Logging, DebugChannelIsLevelGated)
+{
+    support::setLogLevel(support::LogLevel::Warn);
+    EXPECT_FALSE(support::debugEnabled());
+    support::setLogLevel(support::LogLevel::Debug);
+    EXPECT_TRUE(support::debugEnabled());
+    support::setLogLevel(support::LogLevel::Warn);
 }
 
 } // namespace

@@ -6,6 +6,8 @@
  *   swapram_tool assemble  <file.s|--workload name> [options]
  *   swapram_tool transform <file.s|--workload name> [options]
  *   swapram_tool run       <file.s|--workload name> [options]
+ *   swapram_tool profile   <file.s|--workload name> [options]
+ *   swapram_tool trace     <file.s|--workload name> [options]
  *   swapram_tool disasm    <file.s|--workload name> --func NAME
  *
  * Common options:
@@ -17,6 +19,19 @@
  *   --policy queue|stack     SwapRAM replacement structure
  *   --blacklist f1,f2        functions excluded from caching
  *   --listing                print the address-annotated listing
+ *
+ * Observability options (run/profile/trace):
+ *   --json                   emit a swapram-run-report/v1 JSON document
+ *   --trace-categories LIST  comma list (instr,access,stall,hwcache,
+ *                            interrupt,swap) or "all"
+ *   --trace-out FILE         write the event stream to FILE
+ *   --trace-format FMT       text|csv|chrome (default from FILE
+ *                            extension: .json=chrome, .csv=csv)
+ *   --trace-limit N          stop streaming after N events
+ *   --disasm                 annotate instruction events (text format)
+ *   --trace N                deprecated alias for
+ *                            "--trace-categories instr --trace-limit N
+ *                            --disasm"
  */
 
 #include <cstdio>
@@ -26,6 +41,7 @@
 #include <string>
 
 #include "blockcache/builder.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "masm/parser.hh"
 #include "masm/printer.hh"
@@ -34,6 +50,7 @@
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "swapram/builder.hh"
+#include "trace/event.hh"
 #include "workloads/workload.hh"
 
 using namespace swapram;
@@ -51,7 +68,12 @@ struct Args {
     cache::Options swap;
     bb::Options block;
     bool listing = false;
-    std::uint64_t trace = 0; ///< instructions to trace during run
+    bool json = false;
+    bool disasm = false;
+    std::uint32_t trace_categories = trace::kCatNone;
+    std::string trace_out;
+    std::string trace_format;
+    std::uint64_t trace_limit = 0;
 };
 
 [[noreturn]] void
@@ -59,13 +81,17 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: swapram_tool <assemble|transform|run|disasm>\n"
+        "usage: swapram_tool <assemble|transform|run|profile|trace|"
+        "disasm>\n"
         "                    <file.s | --workload NAME> [options]\n"
         "options: --system baseline|swapram|block   --placement "
         "unified|standard|sram-code|sram-all|split\n"
         "         --clock 8|24   --cache-base N --cache-end N\n"
         "         --policy queue|stack   --blacklist f1,f2\n"
-        "         --func NAME (disasm)   --listing   --trace N\n");
+        "         --func NAME (disasm)   --listing   --json\n"
+        "         --trace-categories LIST   --trace-out FILE\n"
+        "         --trace-format text|csv|chrome   --trace-limit N\n"
+        "         --disasm   --trace N (deprecated)\n");
     std::exit(2);
 }
 
@@ -131,8 +157,25 @@ parseArgs(int argc, char **argv)
             args.func = next();
         } else if (a == "--listing") {
             args.listing = true;
+        } else if (a == "--json") {
+            args.json = true;
+        } else if (a == "--disasm") {
+            args.disasm = true;
+        } else if (a == "--trace-categories") {
+            args.trace_categories = trace::parseCategories(next());
+        } else if (a == "--trace-out") {
+            args.trace_out = next();
+        } else if (a == "--trace-format") {
+            args.trace_format = next();
+        } else if (a == "--trace-limit") {
+            args.trace_limit = std::stoull(next());
         } else if (a == "--trace") {
-            args.trace = std::stoull(next());
+            support::warn("--trace N is deprecated; use "
+                          "--trace-categories instr --trace-limit N "
+                          "--disasm");
+            args.trace_categories |= trace::kCatInstr;
+            args.trace_limit = std::stoull(next());
+            args.disasm = true;
         } else if (!a.empty() && a[0] != '-') {
             args.file = a;
         } else {
@@ -225,6 +268,30 @@ cmdTransform(const Args &args)
     return 0;
 }
 
+/** Pick a stream-sink format from --trace-format or the extension. */
+harness::ObserveSpec::Format
+streamFormat(const Args &args)
+{
+    using Format = harness::ObserveSpec::Format;
+    if (!args.trace_format.empty()) {
+        if (args.trace_format == "text")
+            return Format::Text;
+        if (args.trace_format == "csv")
+            return Format::Csv;
+        if (args.trace_format == "chrome")
+            return Format::Chrome;
+        support::fatal("unknown trace format '", args.trace_format,
+                       "' (expected text|csv|chrome)");
+    }
+    if (args.trace_out.size() > 5 &&
+        args.trace_out.ends_with(".json"))
+        return Format::Chrome;
+    if (args.trace_out.size() > 4 && args.trace_out.ends_with(".csv"))
+        return Format::Csv;
+    return Format::Text;
+}
+
+/** Shared driver for run / profile / trace. */
 int
 cmdRun(const Args &args)
 {
@@ -246,51 +313,92 @@ cmdRun(const Args &args)
     spec.swap = args.swap;
     spec.block = args.block;
     spec.include_lib = false; // already appended for workloads
-    if (args.trace) {
-        spec.trace_limit = args.trace;
-        spec.trace_hook = [](std::uint16_t pc, const std::string &text) {
-            std::printf("%s  %s\n", support::hex16(pc).c_str(),
-                        text.c_str());
-        };
+
+    harness::ObserveSpec &obs = spec.observe;
+    obs.categories = args.trace_categories;
+    obs.limit = args.trace_limit;
+    obs.disasm = args.disasm;
+    if (args.command == "profile" || args.json)
+        obs.profile = true;
+    if (args.command == "trace" && !obs.categories)
+        obs.categories = trace::kCatAll;
+
+    // The event stream goes to --trace-out, or stdout for the trace
+    // subcommand (report text then goes to stderr to stay separable).
+    std::ofstream trace_file;
+    bool stream_stdout =
+        args.trace_out.empty() &&
+        (args.command == "trace" || obs.categories);
+    if (!args.trace_out.empty()) {
+        trace_file.open(args.trace_out);
+        if (!trace_file)
+            support::fatal("cannot write '", args.trace_out, "'");
+        obs.out = &trace_file;
+        obs.format = streamFormat(args);
+    } else if (stream_stdout && obs.categories) {
+        obs.out = &std::cout;
+        obs.format = streamFormat(args);
     }
+
     auto m = harness::runOne(spec);
-    if (!m.fits) {
-        std::printf("DNF: %s\n", m.fit_note.c_str());
+    auto report = harness::RunReport::make(spec, std::move(m));
+    const harness::Metrics &rm = report.metrics;
+    if (trace_file.is_open()) {
+        trace_file.close();
+        support::inform("trace written to ", args.trace_out, " (",
+                        rm.trace_emitted, " events)");
+    }
+
+    if (args.json) {
+        std::printf("%s\n", report.json().dump(2).c_str());
+    } else if (!rm.fits) {
+        std::printf("DNF: %s\n", rm.fit_note.c_str());
+    } else if (args.command == "profile") {
+        std::printf("%s", report.text().c_str());
+    } else if (args.command == "trace") {
+        std::fprintf(stderr, "%s", report.text(0).c_str());
+    } else {
+        if (!rm.console.empty())
+            std::printf("--- console ---\n%s\n--- end ---\n",
+                        rm.console.c_str());
+        const sim::Stats &stats = rm.stats;
+        std::printf(
+            "instructions  %llu\n",
+            static_cast<unsigned long long>(stats.instructions));
+        std::printf(
+            "cycles        %llu (base %llu + stalls %llu)\n",
+            static_cast<unsigned long long>(stats.totalCycles()),
+            static_cast<unsigned long long>(stats.base_cycles),
+            static_cast<unsigned long long>(stats.stall_cycles));
+        std::printf(
+            "fram accesses %llu (cache hits %llu, misses %llu)\n",
+            static_cast<unsigned long long>(stats.framAccesses()),
+            static_cast<unsigned long long>(stats.fram_cache_hits),
+            static_cast<unsigned long long>(stats.fram_cache_misses));
+        std::printf("runtime       %.3f ms @ %u MHz\n",
+                    rm.seconds * 1e3, args.clock_hz / 1'000'000);
+        std::printf("energy        %.2f uJ\n", rm.energy_pj / 1e6);
+        for (int o = 0; o < sim::kNumOwners; ++o) {
+            std::printf("instr[%s] %llu\n",
+                        sim::ownerName(static_cast<sim::CodeOwner>(o))
+                            .c_str(),
+                        static_cast<unsigned long long>(
+                            stats.instr_by_owner[o]));
+        }
+        std::printf("checksum      0x%04X%s\n", rm.checksum,
+                    wl ? (rm.checksum == wl->expected
+                              ? " (golden ok)"
+                              : " (GOLDEN MISMATCH)")
+                       : "");
+    }
+    if (!rm.fits)
+        return 1;
+    if (!rm.done) {
+        std::fprintf(stderr,
+                     "did not finish within the cycle budget\n");
         return 1;
     }
-    if (!m.done) {
-        std::printf("did not finish within the cycle budget\n");
-        return 1;
-    }
-    if (!m.console.empty())
-        std::printf("--- console ---\n%s\n--- end ---\n",
-                    m.console.c_str());
-    std::printf("instructions  %llu\n",
-                static_cast<unsigned long long>(m.stats.instructions));
-    std::printf("cycles        %llu (base %llu + stalls %llu)\n",
-                static_cast<unsigned long long>(m.stats.totalCycles()),
-                static_cast<unsigned long long>(m.stats.base_cycles),
-                static_cast<unsigned long long>(m.stats.stall_cycles));
-    std::printf("fram accesses %llu (cache hits %llu, misses %llu)\n",
-                static_cast<unsigned long long>(m.stats.framAccesses()),
-                static_cast<unsigned long long>(m.stats.fram_cache_hits),
-                static_cast<unsigned long long>(
-                    m.stats.fram_cache_misses));
-    std::printf("runtime       %.3f ms @ %u MHz\n", m.seconds * 1e3,
-                args.clock_hz / 1'000'000);
-    std::printf("energy        %.2f uJ\n", m.energy_pj / 1e6);
-    for (int o = 0; o < sim::kNumOwners; ++o) {
-        std::printf("instr[%s] %llu\n",
-                    sim::ownerName(static_cast<sim::CodeOwner>(o))
-                        .c_str(),
-                    static_cast<unsigned long long>(
-                        m.stats.instr_by_owner[o]));
-    }
-    std::printf("checksum      0x%04X%s\n", m.checksum,
-                wl ? (m.checksum == wl->expected ? " (golden ok)"
-                                                 : " (GOLDEN MISMATCH)")
-                   : "");
-    return wl && m.checksum != wl->expected ? 1 : 0;
+    return wl && rm.checksum != wl->expected ? 1 : 0;
 }
 
 int
@@ -326,7 +434,8 @@ main(int argc, char **argv)
             return cmdAssemble(args);
         if (args.command == "transform")
             return cmdTransform(args);
-        if (args.command == "run")
+        if (args.command == "run" || args.command == "profile" ||
+            args.command == "trace")
             return cmdRun(args);
         if (args.command == "disasm")
             return cmdDisasm(args);
