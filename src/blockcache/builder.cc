@@ -35,12 +35,16 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
         static_cast<std::uint16_t>(stubs.addr + stubs.size);
     info.memcpy_addr = info.assembled.symbol("__bb_copy_loop");
     info.memcpy_end = info.assembled.symbol("__bb_chain");
+    const auto &recover = info.assembled.function("__bb_recover");
+    info.recover_addr = recover.addr;
+    info.recover_end =
+        static_cast<std::uint16_t>(recover.addr + recover.size);
 
-    info.runtime_bytes = miss.size + ret.size;
+    info.runtime_bytes = miss.size + ret.size + recover.size;
     std::uint32_t stub_bytes = stubs.size;
     const int e = hashEntries(options);
     std::uint32_t table_bytes =
-        10 + 10 // cells + save area
+        10 + 10 + 2 // cells + save area + boot flag
         + 2 * 2 * static_cast<std::uint32_t>(info.n_blocks) // baddr+bsize
         + 2 * 2 * static_cast<std::uint32_t>(e);            // hash
     info.metadata_bytes = stub_bytes + table_bytes;

@@ -33,6 +33,9 @@ struct BuildInfo {
     // stubs) counts as Handler; the copy loop as Memcpy.
     std::uint16_t runtime_addr = 0, runtime_end = 0;
     std::uint16_t memcpy_addr = 0, memcpy_end = 0;
+
+    // Boot-recovery routine range (Stats::recovery_cycles attribution).
+    std::uint16_t recover_addr = 0, recover_end = 0;
 };
 
 /** Build a block-cache-enabled binary from an application program. */

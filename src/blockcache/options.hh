@@ -25,6 +25,15 @@ struct Options {
     /** Fixed slot size in bytes; transformed blocks are split to fit. */
     std::uint16_t slot_bytes = 64;
 
+    /**
+     * Have the startup stub call the generated __bb_recover routine
+     * before main. The block hash table persists in FRAM across power
+     * loss while the SRAM slots it maps to decay; recovery re-runs the
+     * flush path so every lookup misses cold. Disable only to
+     * demonstrate the stale-mapping crash (regression tests).
+     */
+    bool boot_recovery = true;
+
     std::uint16_t
     slotCount() const
     {

@@ -280,6 +280,21 @@ transform(const Program &program, const Options &options)
                     break;
                   }
                   case CfiKind::Call: {
+                    // A call whose target is not a transformed block
+                    // (e.g. the startup stub calling the runtime's own
+                    // __bb_recover) stays a plain CALL: the callee
+                    // returns with a hardware RET to the next word,
+                    // which is this block's fallthrough re-entry into
+                    // the runtime. Cost parity with the internal form
+                    // holds (CALL 4 + stub CALL 4 = PUSH 4 + CALL 4).
+                    if (blk.term.target->isSymbol() &&
+                        !label_block.count(blk.term.target->symbol())) {
+                        out.program.stmts.push_back(
+                            absolutized(program.stmts[blk.term_stmt]));
+                        out.program.stmts.push_back(
+                            call_stub_stmt(require_next(), line));
+                        break;
+                    }
                     ++out.call_sites;
                     int vret_gid = require_next();
                     out.program.stmts.push_back(Statement::makeInstr(

@@ -39,6 +39,7 @@ generateRuntimeAsm(const TransformResult &transformed,
           "__bb_site:   .word 0\n"
           "__bb_slot:   .word 0\n"
           "__bb_next:   .word " << cbase << "\n"
+          "__bb_boot:   .word 0\n"
           "__bb_save:   .space 10\n";
     os << "__bb_baddr:\n";
     for (const BlockInfo &b : transformed.blocks)
@@ -211,6 +212,40 @@ generateRuntimeAsm(const TransformResult &transformed,
     if (n_stubs == 0)
         os << "        RET\n";
     os << "        .endfunc\n";
+
+    // ---- Boot recovery (crash consistency) ----
+    // The hash table and allocation cursor persist in FRAM, but the
+    // SRAM slots (and the chains patched into them) do not: after a
+    // reboot every __bb_hval entry points at zeroed memory. Recovery
+    // is the flush path run cold: clear the keys, reset the cursor,
+    // and forget the pending chain site. A persistent boot flag makes
+    // the clean first boot skip the walk (the crt0 "dirty bit" idiom),
+    // and R12 is preserved so the startup stub stays transparent to
+    // main. Placed after __bb_stubs so it sits outside the Handler
+    // owner range and is attributed via Stats::recovery_cycles
+    // instead.
+    os << "        .func __bb_recover\n"
+          "        TST &__bb_boot\n"
+          "        JNZ __bb_rc_go\n"
+          "        MOV #1, &__bb_boot\n"
+          "        RET\n"
+          "__bb_rc_go:\n"
+          "        PUSH R12\n"
+          "        MOV #__bb_hkey, R12\n"
+          "__bb_rc_loop:\n"
+          "        CMP #__bb_hkey_end, R12\n"
+          "        JHS __bb_rc_done\n"
+          "        CLR 0(R12)\n"
+          "        INCD R12\n"
+          "        JMP __bb_rc_loop\n"
+          "__bb_rc_done:\n"
+          "        MOV #" << cbase << ", R12\n"
+          "        MOV R12, &__bb_next\n"
+          "        CLR &__bb_site\n"
+          "        CLR &__bb_target\n"
+          "        POP R12\n"
+          "        RET\n"
+          "        .endfunc\n";
 
     return os.str();
 }

@@ -135,6 +135,8 @@ statsJson(const sim::Stats &s)
         {"data_space_accesses", s.data_space_accesses},
         {"instr_by_owner", std::move(owners)},
         {"interrupts", s.interrupts},
+        {"reboots", s.reboots},
+        {"recovery_cycles", s.recovery_cycles},
     };
 }
 
@@ -175,6 +177,12 @@ swapEventJson(const trace::SwapEvent &e)
         break;
       case trace::EventKind::MissExit:
         o.emplace("handler_cycles", e.handler_cycles);
+        break;
+      case trace::EventKind::PowerFail:
+        o.emplace("pc", e.cache_addr);
+        break;
+      case trace::EventKind::RecoveryExit:
+        o.emplace("recovery_cycles", e.handler_cycles);
         break;
       default: break;
     }
@@ -263,6 +271,8 @@ RunReport::json() const
                 {"bytes_copied", sum.bytes_copied},
                 {"handler_cycles", sum.handler_cycles},
                 {"peak_resident_bytes", sum.peak_resident_bytes},
+                {"power_failures", sum.power_failures},
+                {"recovery_cycles", sum.recovery_cycles},
                 {"events", std::move(events)},
                 {"occupancy", std::move(occupancy)},
             });
@@ -292,6 +302,12 @@ RunReport::text(std::size_t profile_rows) const
         " (stall ", withCommas(m.stats.stall_cycles),
         ") instructions=", withCommas(m.stats.instructions),
         " energy=", support::fixed(m.energy_pj / 1e6, 3), "uJ\n");
+    if (m.stats.reboots) {
+        out += support::cat(
+            "power: reboots=", withCommas(m.stats.reboots),
+            " recovery_cycles=", withCommas(m.stats.recovery_cycles),
+            "\n");
+    }
     if (m.swap_summary.misses || m.swap_summary.copy_ins) {
         const trace::SwapSummary &s = m.swap_summary;
         out += support::cat(

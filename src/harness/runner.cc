@@ -31,12 +31,21 @@ systemName(System system)
 }
 
 std::string
-startupSource(std::uint16_t stack_top, int repeats)
+startupSource(std::uint16_t stack_top, int repeats,
+              const std::string &recover)
 {
     std::ostringstream os;
     os << "        .text\n"
           "        .func __start\n"
           "        MOV #" << stack_top << ", SP\n";
+    // The recovery call is padded to one FRAM prefetch line (8 bytes)
+    // so later functions keep their alignment — and their hardware
+    // cache stall pattern — whether or not the call is emitted.
+    if (!recover.empty()) {
+        os << "        CALL #" << recover << "\n"
+              "        NOP\n"
+              "        NOP\n";
+    }
     if (repeats <= 1) {
         os << "        CALL #main\n";
     } else {
@@ -96,12 +105,22 @@ runOne(const RunSpec &spec)
 
     PlacementPlan plan = makePlacement(spec.placement);
 
-    std::string source =
-        startupSource(plan.stack_top, spec.main_repeats) +
-        spec.workload->source;
+    // Crash consistency: the cache runtimes' startup stub calls their
+    // generated recovery routine before main (harmless on the first
+    // boot, essential after a power failure).
+    std::string recover;
+    if (spec.system == System::SwapRam && spec.swap.boot_recovery)
+        recover = "__swp_recover";
+    else if (spec.system == System::BlockCache &&
+             spec.block.boot_recovery)
+        recover = "__bb_recover";
+
+    std::string body = spec.workload->source;
     if (spec.include_lib)
-        source += workloads::libSource();
-    masm::Program program = masm::parse(source);
+        body += workloads::libSource();
+    masm::Program program = masm::parse(
+        startupSource(plan.stack_top, spec.main_repeats, recover) +
+        body);
 
     // For the Split placement, size the data region first with a
     // baseline assembly, then carve the cache from the SRAM left over.
@@ -109,7 +128,17 @@ runOne(const RunSpec &spec)
     bb::Options block = spec.block;
     std::uint16_t stack_top = plan.stack_top;
     if (spec.placement == Placement::Split) {
-        masm::AssembleResult probe = masm::assemble(program, plan.layout);
+        // The probe is a plain baseline assembly, which does not
+        // define the recovery symbol; assemble without the call (a
+        // text-only difference, so the data/bss sizing is identical).
+        masm::Program probe_program =
+            recover.empty()
+                ? program
+                : masm::parse(startupSource(plan.stack_top,
+                                            spec.main_repeats) +
+                              body);
+        masm::AssembleResult probe =
+            masm::assemble(probe_program, plan.layout);
         std::uint32_t bss_end = probe.image.bss.end();
         std::uint32_t top = (bss_end + spec.workload->stack_bytes + 1) &
                             ~1u;
@@ -129,6 +158,7 @@ runOne(const RunSpec &spec)
     masm::AssembleResult assembled;
     std::uint16_t handler_base = 0, handler_end = 0;
     std::uint16_t memcpy_base = 0, memcpy_end = 0;
+    std::uint16_t recover_base = 0, recover_end = 0;
     switch (spec.system) {
       case System::Baseline: {
         assembled = masm::assemble(program, plan.layout);
@@ -148,6 +178,8 @@ runOne(const RunSpec &spec)
         handler_end = info.handler_end;
         memcpy_base = info.memcpy_addr;
         memcpy_end = info.memcpy_end;
+        recover_base = info.recover_addr;
+        recover_end = info.recover_end;
         break;
       }
       case System::BlockCache: {
@@ -161,6 +193,8 @@ runOne(const RunSpec &spec)
         handler_end = info.runtime_end;
         memcpy_base = info.memcpy_addr;
         memcpy_end = info.memcpy_end;
+        recover_base = info.recover_addr;
+        recover_end = info.recover_end;
         break;
       }
     }
@@ -205,6 +239,7 @@ runOne(const RunSpec &spec)
     sim::MachineConfig config;
     config.clock_hz = spec.clock_hz;
     config.max_cycles = spec.max_cycles;
+    config.timer_period_cycles = spec.workload->timer_period_cycles;
     sim::Machine machine(config);
     machine.load(image, stack_top);
     if (handler_end > handler_base) {
@@ -215,6 +250,11 @@ runOne(const RunSpec &spec)
         machine.addOwnerRange(memcpy_base, memcpy_end,
                               sim::CodeOwner::Memcpy);
     }
+    if (recover_end > recover_base)
+        machine.setRecoveryRange(recover_base, recover_end);
+    sim::FaultInjector injector(spec.intermittent.plan);
+    if (spec.intermittent.enabled())
+        machine.setFaultInjector(&injector);
 
     // Observability wiring (the runner owns the engine's lifecycle;
     // none of this is constructed for plain runs).
@@ -292,7 +332,8 @@ runOne(const RunSpec &spec)
             if (profiler)
                 timeline->setProfiler(profiler.get());
             engine->addSink(timeline.get(),
-                            trace::kCatSwap | trace::kCatAccess);
+                            trace::kCatSwap | trace::kCatAccess |
+                                trace::kCatPower);
         }
         machine.setTraceEngine(engine.get());
         support::debug("observe: categories=",
@@ -332,6 +373,17 @@ runOne(const RunSpec &spec)
         m.data_snapshot.push_back(
             machine.peek8(static_cast<std::uint16_t>(a)));
     return m;
+}
+
+IntermittentCheck
+checkIntermittent(const RunSpec &spec)
+{
+    IntermittentCheck check;
+    RunSpec quiet = spec;
+    quiet.intermittent = IntermittentSpec{};
+    check.reference = runOne(quiet);
+    check.faulted = runOne(spec);
+    return check;
 }
 
 Metrics

@@ -25,6 +25,7 @@
 #include "harness/placement.hh"
 #include "sim/config.hh"
 #include "sim/energy.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 #include "swapram/options.hh"
 #include "trace/profile.hh"
@@ -79,6 +80,14 @@ struct ObserveSpec {
     }
 };
 
+/** Intermittent execution: inject power failures during the run. */
+struct IntermittentSpec {
+    /** When power dies (Kind::None = uninterrupted run). */
+    sim::FaultPlan plan;
+
+    bool enabled() const { return plan.enabled(); }
+};
+
 /** One experiment configuration. */
 struct RunSpec {
     const workloads::Workload *workload = nullptr;
@@ -99,6 +108,9 @@ struct RunSpec {
 
     /** Observability: tracing, profiling, cache timeline. */
     ObserveSpec observe;
+
+    /** Power-failure injection (off by default). */
+    IntermittentSpec intermittent;
 };
 
 /** Everything measured from one run (or a DNF marker). */
@@ -149,12 +161,35 @@ struct Metrics {
     }
 };
 
-/** Startup stub: sets SP, calls main @p repeats times, signals
+/** Startup stub: sets SP, calls the boot-recovery routine
+ *  @p recover (if non-empty), calls main @p repeats times, signals
  *  completion. */
-std::string startupSource(std::uint16_t stack_top, int repeats = 1);
+std::string startupSource(std::uint16_t stack_top, int repeats = 1,
+                          const std::string &recover = "");
 
 /** Run one experiment. */
 Metrics runOne(const RunSpec &spec);
+
+/** One intermittent run checked against its uninterrupted twin. */
+struct IntermittentCheck {
+    Metrics reference; ///< same spec, no faults
+    Metrics faulted;   ///< spec.intermittent applied
+
+    /** Both completed with identical final state and console. */
+    bool
+    match() const
+    {
+        return reference.fits && faulted.fits && reference.done &&
+               faulted.done &&
+               reference.checksum == faulted.checksum &&
+               reference.data_snapshot == faulted.data_snapshot &&
+               reference.console == faulted.console;
+    }
+};
+
+/** Run @p spec twice — once uninterrupted, once with its fault plan —
+ *  and pair the results (the ISSUE-2 convergence criterion). */
+IntermittentCheck checkIntermittent(const RunSpec &spec);
 
 /** Shorthand: run @p workload under @p system in a placement/clock. */
 Metrics run(const workloads::Workload &workload, System system,

@@ -1,0 +1,67 @@
+#include "sim/fault.hh"
+
+#include "support/logging.hh"
+
+namespace swapram::sim {
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan), rng_(plan.seed)
+{
+    switch (plan_.kind) {
+      case FaultPlan::Kind::None:
+        break;
+      case FaultPlan::Kind::Once:
+        next_ = plan_.first_cycle;
+        break;
+      case FaultPlan::Kind::Periodic:
+        if (plan_.period == 0)
+            support::fatal("FaultPlan: periodic plan needs a period");
+        next_ = plan_.first_cycle ? plan_.first_cycle : plan_.period;
+        break;
+      case FaultPlan::Kind::Random:
+        if (plan_.max_gap < plan_.min_gap || plan_.max_gap == 0)
+            support::fatal("FaultPlan: bad random gap bounds");
+        next_ = gap();
+        break;
+    }
+}
+
+std::uint64_t
+FaultInjector::gap()
+{
+    std::uint64_t span = plan_.max_gap - plan_.min_gap + 1;
+    if (span > UINT32_MAX)
+        span = UINT32_MAX;
+    return plan_.min_gap + rng_.below(static_cast<std::uint32_t>(span));
+}
+
+bool
+FaultInjector::shouldFail(std::uint64_t now_cycles)
+{
+    if (next_ == UINT64_MAX || now_cycles < next_)
+        return false;
+    ++failures_;
+    if (plan_.max_failures && failures_ >= plan_.max_failures) {
+        next_ = UINT64_MAX;
+        return true;
+    }
+    switch (plan_.kind) {
+      case FaultPlan::Kind::Once:
+        next_ = UINT64_MAX;
+        break;
+      case FaultPlan::Kind::Periodic:
+        // Each boot gets `period` cycles of uptime, measured from the
+        // reboot point rather than the absolute cycle grid.
+        next_ = now_cycles + plan_.period;
+        break;
+      case FaultPlan::Kind::Random:
+        next_ = now_cycles + gap();
+        break;
+      case FaultPlan::Kind::None:
+        next_ = UINT64_MAX;
+        break;
+    }
+    return true;
+}
+
+} // namespace swapram::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Power-failure fault injection for intermittent-execution testing.
+ *
+ * A FaultPlan describes *when* power is lost (a fixed cycle, a fixed
+ * period per boot, or seeded-random gaps); a FaultInjector walks the
+ * plan against the machine's cycle counter and tells Machine::run()
+ * when to power-cycle. What a power loss *does* — zero SRAM, reset the
+ * CPU and volatile devices, preserve FRAM byte-for-byte, re-run the
+ * crt0-style data initialisation — lives in Machine::powerCycle().
+ */
+
+#ifndef SWAPRAM_SIM_FAULT_HH
+#define SWAPRAM_SIM_FAULT_HH
+
+#include <cstdint>
+
+#include "support/rng.hh"
+
+namespace swapram::sim {
+
+/** When power is lost during a run. */
+struct FaultPlan {
+    enum class Kind : std::uint8_t {
+        None,     ///< never fail (the default)
+        Once,     ///< fail exactly once at `first_cycle`
+        Periodic, ///< fail every `period` cycles of uptime per boot
+        Random,   ///< seeded-random uptime gaps in [min_gap, max_gap]
+    };
+
+    Kind kind = Kind::None;
+
+    /** Once: the failure cycle. Periodic: first boot's uptime budget
+     *  (0 = use `period`). */
+    std::uint64_t first_cycle = 0;
+
+    /** Periodic: cycles of uptime each boot gets before power dies. */
+    std::uint64_t period = 0;
+
+    /** Random: inclusive bounds on each boot's uptime. */
+    std::uint64_t min_gap = 0;
+    std::uint64_t max_gap = 0;
+
+    /** Random: RNG seed for the gap sequence. */
+    std::uint32_t seed = 1;
+
+    /** Stop injecting after this many failures (0 = unbounded). A
+     *  bounded plan guarantees the final boot runs to completion. */
+    std::uint64_t max_failures = 0;
+
+    bool enabled() const { return kind != Kind::None; }
+
+    static FaultPlan
+    once(std::uint64_t cycle)
+    {
+        FaultPlan p;
+        p.kind = Kind::Once;
+        p.first_cycle = cycle;
+        p.max_failures = 1;
+        return p;
+    }
+
+    static FaultPlan
+    periodic(std::uint64_t period, std::uint64_t max_failures = 0)
+    {
+        FaultPlan p;
+        p.kind = Kind::Periodic;
+        p.period = period;
+        p.max_failures = max_failures;
+        return p;
+    }
+
+    static FaultPlan
+    random(std::uint64_t min_gap, std::uint64_t max_gap,
+           std::uint32_t seed, std::uint64_t max_failures = 0)
+    {
+        FaultPlan p;
+        p.kind = Kind::Random;
+        p.min_gap = min_gap;
+        p.max_gap = max_gap;
+        p.seed = seed;
+        p.max_failures = max_failures;
+        return p;
+    }
+};
+
+/** Walks a FaultPlan against total-cycle time. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /**
+     * True exactly when a scheduled power loss is due at @p now_cycles
+     * (total cycles since the original power-on). A true return
+     * consumes the event and schedules the next one.
+     */
+    bool shouldFail(std::uint64_t now_cycles);
+
+    /** Failures injected so far. */
+    std::uint64_t failures() const { return failures_; }
+
+    /** Next scheduled failure cycle (UINT64_MAX = none pending). */
+    std::uint64_t nextFailureCycle() const { return next_; }
+
+  private:
+    std::uint64_t gap();
+
+    FaultPlan plan_;
+    support::Rng rng_;
+    std::uint64_t next_ = UINT64_MAX;
+    std::uint64_t failures_ = 0;
+};
+
+} // namespace swapram::sim
+
+#endif // SWAPRAM_SIM_FAULT_HH

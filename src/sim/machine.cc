@@ -51,6 +51,56 @@ Machine::load(const masm::Image &image, std::uint16_t stack_top)
     memory_.loadImage(image);
     bus_.setCodeRange(image.text.base, image.text.end());
     cpu_.reset(image.entry, stack_top);
+    image_ = image;
+    stack_top_ = stack_top;
+}
+
+void
+Machine::powerCycle()
+{
+    std::uint16_t pc_at_failure = cpu_.pc();
+    ++stats_.reboots;
+
+    // SRAM decays; FRAM keeps every byte.
+    for (std::uint32_t a = platform::kSramBase; a < platform::kSramEnd;
+         ++a)
+        memory_.write8(static_cast<std::uint16_t>(a), 0);
+    bus_.hwCache().reset();
+
+    // The crt0 model: re-copy image chunks that live in SRAM (code or
+    // data placed there) and the .data initialisers wherever they are;
+    // re-zero .bss. .text and .const chunks in FRAM are NOT restored —
+    // runtime metadata kept there persists exactly as the failure left
+    // it, which is what boot recovery must repair.
+    for (const masm::Chunk &chunk : image_.chunks) {
+        bool in_sram = chunk.base >= platform::kSramBase &&
+                       chunk.base < platform::kSramEnd;
+        bool is_data = image_.data.size &&
+                       chunk.base >= image_.data.base &&
+                       chunk.base < image_.data.end();
+        if (!in_sram && !is_data)
+            continue;
+        for (std::size_t i = 0; i < chunk.bytes.size(); ++i) {
+            memory_.write8(static_cast<std::uint16_t>(chunk.base + i),
+                           chunk.bytes[i]);
+        }
+    }
+    for (std::uint32_t a = image_.bss.base; a < image_.bss.end(); ++a)
+        memory_.write8(static_cast<std::uint16_t>(a), 0);
+
+    // Volatile device and CPU state.
+    mmio_.powerCycle();
+    cpu_.reset(image_.entry, stack_top_);
+    timer_pending_ = false;
+    timer_next_fire_ = stats_.totalCycles();
+    in_recovery_ = false;
+    last_owner_ = 0xFF;
+
+    if (trace_ && trace_->wants(trace::kCatPower)) {
+        trace_->emit({stats_.totalCycles(), trace::EventKind::PowerFail,
+                      0, pc_at_failure,
+                      static_cast<std::uint16_t>(stats_.reboots), 0});
+    }
 }
 
 void
@@ -144,6 +194,35 @@ Machine::step()
     }
     CodeOwner owner = classifyPc(cpu_.pc());
     ++stats_.instr_by_owner[static_cast<int>(owner)];
+    if (recovery_end_) {
+        std::uint16_t pc = cpu_.pc();
+        bool in = pc >= recovery_base_ &&
+                  static_cast<std::uint32_t>(pc) < recovery_end_;
+        if (in != in_recovery_) {
+            in_recovery_ = in;
+            std::uint64_t now = stats_.totalCycles();
+            if (in)
+                recovery_enter_cycle_ = now;
+            if (trace_ && trace_->wants(trace::kCatPower)) {
+                trace_->emit({now,
+                              in ? trace::EventKind::RecoveryEnter
+                                 : trace::EventKind::RecoveryExit,
+                              0, pc, 0,
+                              in ? 0
+                                 : static_cast<std::uint32_t>(
+                                       now - recovery_enter_cycle_)});
+            }
+        }
+        if (in) {
+            std::uint64_t before = stats_.totalCycles();
+            if (trace_ || profiler_)
+                stepObserved(pc, owner);
+            else
+                cpu_.step(stats_);
+            stats_.recovery_cycles += stats_.totalCycles() - before;
+            return;
+        }
+    }
     if (trace_ || profiler_) {
         stepObserved(cpu_.pc(), owner);
         return;
@@ -157,6 +236,10 @@ Machine::run()
     while (!mmio_.done()) {
         if (stats_.totalCycles() >= config_.max_cycles) {
             return {false, 0};
+        }
+        if (fault_ && fault_->shouldFail(stats_.totalCycles())) {
+            powerCycle();
+            continue;
         }
         step();
     }

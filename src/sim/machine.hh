@@ -23,6 +23,7 @@
 #include "sim/bus.hh"
 #include "sim/config.hh"
 #include "sim/cpu.hh"
+#include "sim/fault.hh"
 #include "sim/memory.hh"
 #include "sim/mmio.hh"
 #include "sim/stats.hh"
@@ -67,6 +68,30 @@ class Machine
         profiler_ = profiler;
     }
 
+    /** Attach a power-failure injector checked before every step of
+     *  run(); nullptr detaches. Not owned. */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        fault_ = injector;
+    }
+
+    /** Attribute cycles spent with PC in [base, end) to
+     *  Stats::recovery_cycles (the generated boot-recovery routine). */
+    void setRecoveryRange(std::uint16_t base, std::uint32_t end)
+    {
+        recovery_base_ = base;
+        recovery_end_ = end;
+    }
+
+    /**
+     * Power loss + reboot: SRAM decays to zero, the CPU / MMIO devices
+     * / hardware FRAM cache reset, FRAM is preserved byte-for-byte,
+     * and the crt0 model re-runs — image chunks targeting SRAM and the
+     * .data initialisers are re-copied and .bss is re-zeroed, while
+     * .text and .const keep whatever FRAM held at the failure point.
+     */
+    void powerCycle();
+
     /** Run until the program signals completion or max_cycles pass. */
     RunResult run();
 
@@ -109,7 +134,17 @@ class Machine
 
     trace::TraceEngine *trace_ = nullptr;
     trace::FunctionProfiler *profiler_ = nullptr;
+    FaultInjector *fault_ = nullptr;
     std::uint8_t last_owner_ = 0xFF; ///< 0xFF = no owner seen yet
+
+    // Retained for powerCycle()'s crt0-style re-initialisation.
+    masm::Image image_;
+    std::uint16_t stack_top_ = 0;
+
+    std::uint16_t recovery_base_ = 0;
+    std::uint32_t recovery_end_ = 0; ///< 0 = no recovery range
+    bool in_recovery_ = false;
+    std::uint64_t recovery_enter_cycle_ = 0;
 
     struct OwnerRange {
         std::uint16_t base;

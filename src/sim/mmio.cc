@@ -30,6 +30,16 @@ Mmio::write(std::uint16_t addr, std::uint16_t value,
     }
 }
 
+void
+Mmio::powerCycle()
+{
+    done_ = false;
+    exit_code_ = 0;
+    console_.clear();
+    pin_toggles_ = 0;
+    latched_cycles_ = 0;
+}
+
 std::uint16_t
 Mmio::read(std::uint16_t addr, std::uint64_t cycles_now)
 {

@@ -24,6 +24,11 @@ class Mmio
     /** Handle a read from MMIO @p addr. */
     std::uint16_t read(std::uint16_t addr, std::uint64_t cycles_now);
 
+    /** Power loss: all device state is volatile and clears (console
+     *  output restarts, so a completed run's output reflects the final
+     *  boot only). */
+    void powerCycle();
+
     bool done() const { return done_; }
     std::uint8_t exitCode() const { return exit_code_; }
     const std::string &console() const { return console_; }

@@ -59,6 +59,11 @@ struct Stats {
     /** Timer interrupts serviced. */
     std::uint64_t interrupts = 0;
 
+    /** Power failures injected (each one is a reboot). */
+    std::uint64_t reboots = 0;
+    /** Cycles spent inside the registered boot-recovery routine. */
+    std::uint64_t recovery_cycles = 0;
+
     std::uint64_t totalCycles() const { return base_cycles + stall_cycles; }
     std::uint64_t framAccesses() const { return fram.total(); }
 };

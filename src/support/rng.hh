@@ -12,12 +12,25 @@
 
 namespace swapram::support {
 
-/** xorshift32 generator with an explicit seed. */
+/** xorshift32 generator with an explicit seed.
+ *
+ *  `below()` is versioned: version 1 is the original `next() % bound`,
+ *  which is modulo-biased when the bound does not divide 2^32 (low
+ *  values are up to 2x as likely for bounds near 2^31). Version 2 (the
+ *  default) rejection-samples from the largest bound-divisible prefix
+ *  of the 32-bit range, so every value in [0, bound) is exactly
+ *  equally likely. Callers whose generated data is pinned by golden
+ *  checksums or recorded fuzz seeds construct with kLegacyBelow to
+ *  keep their historical streams byte-identical. */
 class Rng
 {
   public:
-    explicit Rng(std::uint32_t seed = 0x5EED1234u)
-        : state_(seed ? seed : 1u)
+    static constexpr int kLegacyBelow = 1; ///< biased next() % bound
+    static constexpr int kUniformBelow = 2; ///< rejection sampling
+
+    explicit Rng(std::uint32_t seed = 0x5EED1234u,
+                 int version = kUniformBelow)
+        : state_(seed ? seed : 1u), version_(version)
     {}
 
     /** Next raw 32-bit value. */
@@ -36,7 +49,17 @@ class Rng
     std::uint32_t
     below(std::uint32_t bound)
     {
-        return next() % bound;
+        if (version_ == kLegacyBelow)
+            return next() % bound;
+        // Rejection sampling: accept only draws below the largest
+        // multiple of bound, then reduce. The loop terminates quickly
+        // (acceptance probability is always > 1/2).
+        std::uint32_t limit = ~0u - ~0u % bound;
+        std::uint32_t x;
+        do {
+            x = next();
+        } while (x >= limit);
+        return x % bound;
     }
 
     /** Uniform byte. */
@@ -47,6 +70,7 @@ class Rng
 
   private:
     std::uint32_t state_;
+    int version_ = kUniformBelow;
 };
 
 } // namespace swapram::support

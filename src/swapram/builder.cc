@@ -25,7 +25,8 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
     masm::LayoutSpec inter_layout = layout;
     for (const char *sym : {"__swp_active", "__swp_curid",
                             "__swp_redirect", "__swp_rval",
-                            "__swp_miss", "__swp_dyncall"}) {
+                            "__swp_miss", "__swp_dyncall",
+                            "__swp_recover"}) {
         inter_layout.predefined.emplace(sym, 0);
     }
     for (const std::string &name : info.funcs.names)
@@ -72,13 +73,17 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
     info.memcpy_addr = copier.addr;
     info.memcpy_end =
         static_cast<std::uint16_t>(copier.addr + copier.size);
-    info.runtime_text_bytes = handler.size + copier.size;
+    const auto &recover = info.assembled.function("__swp_recover");
+    info.recover_addr = recover.addr;
+    info.recover_end =
+        static_cast<std::uint16_t>(recover.addr + recover.size);
+    info.runtime_text_bytes = handler.size + copier.size + recover.size;
     info.app_text_bytes =
         info.assembled.image.text.size - info.runtime_text_bytes;
     // Metadata: the fixed cells and save area plus every table entry.
     const int n = std::max(info.funcs.count(), 1);
     const int r = std::max(info.reloc_count, 1);
-    info.metadata_bytes = 10 + 10 // cells + register save area
+    info.metadata_bytes = 10 + 10 + 2 // cells, save area, boot flag
                           + 7 * 2 * static_cast<std::uint32_t>(n)
                           + 2 * 2 * static_cast<std::uint32_t>(r);
     return info;

@@ -37,6 +37,9 @@ struct BuildInfo {
     std::uint16_t handler_addr = 0, handler_end = 0;
     std::uint16_t memcpy_addr = 0, memcpy_end = 0;
 
+    // Boot-recovery routine range (Stats::recovery_cycles attribution).
+    std::uint16_t recover_addr = 0, recover_end = 0;
+
     std::uint32_t
     totalNvmBytes() const
     {

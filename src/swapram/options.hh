@@ -60,6 +60,15 @@ struct Options {
     /** Misses served from NVM per freeze episode. */
     int freeze_window = 32;
 
+    /**
+     * Generate the __swp_recover boot routine and have the startup
+     * stub call it before main. Required for crash consistency under
+     * power loss: the redirect/relocation cells persist in FRAM while
+     * the SRAM copies they point into decay. Disable only to
+     * demonstrate the stale-redirection crash (regression tests).
+     */
+    bool boot_recovery = true;
+
     std::uint16_t cacheSize() const
     {
         return static_cast<std::uint16_t>(cache_end - cache_base);

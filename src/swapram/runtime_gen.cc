@@ -42,6 +42,7 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
     os << "__swp_end:     .word 0\n";
     os << "__swp_tail:    .word " << cache_base << "\n";
     os << "__swp_save:    .space 10\n";
+    os << "__swp_boot:    .word 0\n"; // set once; reboots see 1
     const bool freeze = options.freeze_threshold > 0;
     if (freeze) {
         os << "__swp_abort:   .word 0\n";
@@ -279,6 +280,66 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
           "        DECD R14\n"
           "        JMP __swp_mc_loop\n"
           "__swp_mc_done:\n"
+          "        RET\n"
+          "        .endfunc\n";
+
+    // ---- Boot recovery (crash consistency) ----
+    // The metadata tables live in FRAM and survive power loss, but the
+    // SRAM copies they point into do not: a redirect or relocation
+    // cell left pointing at the cache after a reboot is a dangling
+    // pointer into zeroed memory. The startup stub calls this routine
+    // before anything else; it resets every per-function cell to its
+    // cold NVM value (the same loop scan-pass 2 uses when evicting).
+    // A persistent boot flag makes the clean first boot skip the walk
+    // (the crt0 "dirty bit" idiom); any later boot must be a recovery
+    // boot. Registers are preserved so the stub stays transparent to
+    // main. Placed after __swp_memcpy so it sits outside the
+    // Handler/Memcpy owner ranges and is attributed via
+    // Stats::recovery_cycles instead.
+    os << "        .func __swp_recover\n"
+          "        TST &__swp_boot\n"
+          "        JNZ __swp_rc_go\n"
+          "        MOV #1, &__swp_boot\n"
+          "        RET\n"
+          "__swp_rc_go:\n"
+          "        PUSH R11\n"
+          "        PUSH R12\n"
+          "        PUSH R13\n"
+          "        PUSH R15\n"
+          "        CLR R11\n"
+          "__swp_rc_loop:\n"
+          "        CMP #" << (2 * n) << ", R11\n"
+          "        JHS __swp_rc_done\n"
+          "        MOV #0xFFFF, __swp_cached(R11)\n"
+          "        MOV #__swp_miss, __swp_redirect(R11)\n"
+          "        CLR __swp_active(R11)\n"
+          "        MOV __swp_rbase(R11), R13\n"
+          "        MOV R13, R15\n"
+          "        ADD __swp_rcnt(R11), R15\n"
+          "        ADD __swp_rcnt(R11), R15\n"
+          "__swp_rc_rst:\n"
+          "        CMP R15, R13\n"
+          "        JHS __swp_rc_next\n"
+          "        MOV __swp_fnvm(R11), R12\n"
+          "        ADD __swp_rofs(R13), R12\n"
+          "        MOV R12, __swp_rval(R13)\n"
+          "        INCD R13\n"
+          "        JMP __swp_rc_rst\n"
+          "__swp_rc_next:\n"
+          "        INCD R11\n"
+          "        JMP __swp_rc_loop\n"
+          "__swp_rc_done:\n"
+          "        MOV #" << cache_base << ", R12\n"
+          "        MOV R12, &__swp_tail\n"
+          "        CLR &__swp_curid\n";
+    if (freeze) {
+        os << "        CLR &__swp_abort\n"
+              "        CLR &__swp_freeze\n";
+    }
+    os << "        POP R15\n"
+          "        POP R13\n"
+          "        POP R12\n"
+          "        POP R11\n"
           "        RET\n"
           "        .endfunc\n";
 

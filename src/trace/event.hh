@@ -28,7 +28,8 @@ enum Category : std::uint32_t {
     kCatInterrupt = 1u << 4, ///< interrupt entries
     kCatSwap = 1u << 5,      ///< cache-runtime events (owner changes,
                              ///< miss spans, copy-ins, evictions)
-    kCatAll = (1u << 6) - 1,
+    kCatPower = 1u << 6,     ///< power failures and boot recovery
+    kCatAll = (1u << 7) - 1,
     kCatNone = 0,
 };
 
@@ -52,6 +53,11 @@ enum class EventKind : std::uint8_t {
     CopyIn,    ///< addr = SRAM dst, value = FRAM src, extra = bytes
     Evict,     ///< addr = SRAM base of evicted range, value = FRAM
                ///< home of the evicted function, extra = bytes
+
+    // Intermittent execution (emitted by the machine model).
+    PowerFail,     ///< addr = pc at failure, value = reboot ordinal
+    RecoveryEnter, ///< addr = pc entering the boot-recovery routine
+    RecoveryExit,  ///< addr = pc after recovery, extra = cycles spent
 };
 
 /** Category an event kind belongs to. */

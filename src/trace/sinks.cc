@@ -76,6 +76,12 @@ TextSink::event(const Event &event)
             out_ << " func=" << fn;
         break;
       }
+      case EventKind::PowerFail:
+        out_ << "  reboot=" << event.value;
+        break;
+      case EventKind::RecoveryExit:
+        out_ << "  recovery-cycles=" << event.extra;
+        break;
       default: break;
     }
     std::string note = annotation(event);

@@ -198,6 +198,37 @@ SwapTimeline::event(const Event &event)
                     (event.byte ? 1u : 2u));
         }
         return;
+      case EventKind::PowerFail: {
+        // SRAM is gone: drop all residency, abandon any half-tracked
+        // miss or copy episode, and mark the reboot in the timeline.
+        in_miss_ = false;
+        in_copy_ = false;
+        copy_src_func_ = SIZE_MAX;
+        copy_dst_min_ = 0xFFFF;
+        copy_dst_max_ = 0;
+        if (profiler_) {
+            for (const Resident &r : resident_)
+                profiler_->unmapResident(r.base);
+        }
+        resident_.clear();
+        ++summary_.power_failures;
+        SwapEvent record;
+        record.kind = event.kind;
+        record.cycle = event.cycle;
+        record.cache_addr = event.addr; // pc at the moment of failure
+        events_.push_back(std::move(record));
+        sample(event.cycle);
+        return;
+      }
+      case EventKind::RecoveryExit: {
+        summary_.recovery_cycles += event.extra;
+        SwapEvent record;
+        record.kind = event.kind;
+        record.cycle = event.cycle;
+        record.handler_cycles = event.extra; // recovery span length
+        events_.push_back(std::move(record));
+        return;
+      }
       default:
         return; // derived kinds (our own re-emissions) and others
     }

@@ -53,9 +53,12 @@ struct SwapSummary {
     std::uint64_t bytes_copied = 0;
     std::uint64_t handler_cycles = 0; ///< cycles inside handler+memcpy
     std::uint32_t peak_resident_bytes = 0;
+    std::uint64_t power_failures = 0;  ///< injected power losses seen
+    std::uint64_t recovery_cycles = 0; ///< cycles in boot recovery
 };
 
-/** Streaming analyzer; subscribe with kCatSwap | kCatAccess. */
+/** Streaming analyzer; subscribe with
+ *  kCatSwap | kCatAccess | kCatPower. */
 class SwapTimeline : public Sink
 {
   public:

@@ -22,6 +22,9 @@ categoryOf(EventKind kind)
       case EventKind::MissExit:
       case EventKind::CopyIn:
       case EventKind::Evict: return kCatSwap;
+      case EventKind::PowerFail:
+      case EventKind::RecoveryEnter:
+      case EventKind::RecoveryExit: return kCatPower;
     }
     support::panic("categoryOf: bad kind");
 }
@@ -43,6 +46,9 @@ kindName(EventKind kind)
       case EventKind::MissExit: return "miss-exit";
       case EventKind::CopyIn: return "copy-in";
       case EventKind::Evict: return "evict";
+      case EventKind::PowerFail: return "power-fail";
+      case EventKind::RecoveryEnter: return "recovery-enter";
+      case EventKind::RecoveryExit: return "recovery-exit";
     }
     support::panic("kindName: bad kind");
 }
@@ -58,6 +64,7 @@ constexpr CategoryName kCategoryNames[] = {
     {"instr", kCatInstr},     {"access", kCatAccess},
     {"stall", kCatStall},     {"hwcache", kCatHwCache},
     {"interrupt", kCatInterrupt}, {"swap", kCatSwap},
+    {"power", kCatPower},
 };
 
 } // namespace
@@ -86,7 +93,7 @@ parseCategories(const std::string &list)
         if (!found) {
             support::fatal("unknown trace category '", name,
                            "' (want instr,access,stall,hwcache,"
-                           "interrupt,swap,all)");
+                           "interrupt,swap,power,all)");
         }
     }
     return mask;

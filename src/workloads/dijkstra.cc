@@ -24,7 +24,7 @@ constexpr int kSources = 4;
 Workload
 makeDijkstra()
 {
-    support::Rng rng(0xD1285);
+    support::Rng rng(0xD1285, support::Rng::kLegacyBelow);
     // Byte weights; 0 means no edge.
     std::vector<std::uint8_t> adj(kNodes * kNodes, 0);
     for (int i = 0; i < kNodes; ++i) {

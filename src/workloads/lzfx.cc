@@ -71,7 +71,7 @@ makeLzfx()
 {
     // Partially repetitive input: duplicated chunks from a small
     // alphabet interleaved with noise.
-    support::Rng rng(0x12F8);
+    support::Rng rng(0x12F8, support::Rng::kLegacyBelow);
     std::vector<std::uint8_t> in;
     while (static_cast<int>(in.size()) < kInLen) {
         std::vector<std::uint8_t> chunk(24);

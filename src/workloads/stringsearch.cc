@@ -51,7 +51,7 @@ Workload
 makeStringsearch()
 {
     // Text: pseudo-random lowercase letters with a few planted words.
-    support::Rng rng(0x57A6);
+    support::Rng rng(0x57A6, support::Rng::kLegacyBelow);
     std::vector<std::uint8_t> text(kTextLen);
     for (auto &c : text)
         c = static_cast<std::uint8_t>('a' + rng.below(26));

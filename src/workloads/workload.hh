@@ -31,6 +31,10 @@ struct Workload {
     std::string source;      ///< assembly (no startup; defines main)
     std::uint16_t expected = 0;      ///< golden model's checksum
     std::uint32_t stack_bytes = 256; ///< stack reservation
+
+    /** Periodic timer interrupt the workload expects, in cycles
+     *  (0 = none). The runner copies this into MachineConfig. */
+    std::uint64_t timer_period_cycles = 0;
 };
 
 /** All nine paper benchmarks, in Table-1 order. */

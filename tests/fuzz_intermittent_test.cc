@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Intermittent-execution fuzzing (ISSUE 2 satellite): random programs
+ * x random fault schedules x execution systems must converge to the
+ * same final state the uninterrupted run produces.
+ *
+ * For every fuzz seed the version-2 generator (byte ops, occasional
+ * deterministic tick ISR) builds a program; each system first runs it
+ * uninterrupted (the oracle for that system — cross-system agreement
+ * is also asserted against the baseline), then under three fault
+ * schedules derived from the oracle's cycle count: periodic reboots,
+ * seeded-random gaps, and a single mid-run failure. Convergence means
+ * done + identical checksum, .data/.bss snapshot, and console output.
+ *
+ * The default shard (24 seeds x 3 systems x 3 schedules = 216 faulted
+ * runs) keeps CI fast; set SWAPRAM_FUZZ_EXTENDED=1 for the wide
+ * sweep (seeds 100..199).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "harness/runner.hh"
+#include "sim/fault.hh"
+#include "fuzz_programs.hh"
+
+namespace {
+
+using namespace swapram;
+
+struct Convergence {
+    int faulted_runs = 0;
+    std::uint64_t reboots = 0;
+};
+
+/** True when the faulted run reproduced the reference exactly. */
+bool
+converged(const harness::Metrics &ref, const harness::Metrics &got)
+{
+    return ref.done && got.done && ref.checksum == got.checksum &&
+           ref.data_snapshot == got.data_snapshot &&
+           ref.console == got.console;
+}
+
+/** Fault schedules derived from the uninterrupted run's length @p c
+ *  so every schedule actually interrupts the program. */
+std::vector<sim::FaultPlan>
+schedulesFor(std::uint64_t c, std::uint32_t seed)
+{
+    std::vector<sim::FaultPlan> plans;
+    plans.push_back(
+        sim::FaultPlan::periodic(std::max<std::uint64_t>(c / 4, 50), 6));
+    plans.push_back(sim::FaultPlan::random(
+        std::max<std::uint64_t>(c / 8, 30),
+        std::max<std::uint64_t>(c / 2, 60), seed, 8));
+    plans.push_back(
+        sim::FaultPlan::once(std::max<std::uint64_t>(c / 2, 25)));
+    return plans;
+}
+
+/** Run one seed through all systems and schedules; EXPECT on every
+ *  comparison and tally the faulted runs for the caller. */
+void
+fuzzOneSeed(std::uint32_t seed, Convergence &tally)
+{
+    test::FuzzOptions opts;
+    opts.version = 2;
+    opts.allow_interrupts = true;
+    workloads::Workload w = test::randomProgram(seed, opts);
+
+    const harness::System systems[] = {harness::System::Baseline,
+                                       harness::System::SwapRam,
+                                       harness::System::BlockCache};
+    std::uint16_t oracle_checksum = 0;
+    bool have_oracle = false;
+    for (harness::System system : systems) {
+        harness::RunSpec spec;
+        spec.workload = &w;
+        spec.system = system;
+
+        harness::Metrics ref = harness::runOne(spec);
+        if (!ref.fits)
+            continue; // cache too small for this program shape
+        ASSERT_TRUE(ref.done) << "seed " << seed << " system "
+                              << harness::systemName(system);
+        if (!have_oracle) {
+            oracle_checksum = ref.checksum;
+            have_oracle = true;
+        } else {
+            EXPECT_EQ(ref.checksum, oracle_checksum)
+                << "uninterrupted cross-system mismatch, seed "
+                << seed;
+        }
+
+        for (const sim::FaultPlan &plan :
+             schedulesFor(ref.stats.totalCycles(), seed)) {
+            harness::RunSpec faulted = spec;
+            faulted.intermittent.plan = plan;
+            harness::Metrics got = harness::runOne(faulted);
+            EXPECT_TRUE(converged(ref, got))
+                << "seed " << seed << " system "
+                << harness::systemName(system) << " plan kind "
+                << static_cast<int>(plan.kind)
+                << ": done=" << got.done << " checksum "
+                << got.checksum << " vs " << ref.checksum
+                << " console '" << got.console << "' vs '"
+                << ref.console << "'";
+            ++tally.faulted_runs;
+            tally.reboots += got.stats.reboots;
+        }
+    }
+}
+
+TEST(FuzzIntermittent, RandomProgramsConvergeAcrossFaultSchedules)
+{
+    Convergence tally;
+    for (std::uint32_t seed = 1; seed <= 24; ++seed)
+        fuzzOneSeed(seed, tally);
+    // 24 seeds x 3 systems x 3 schedules (minus any DNF configs).
+    EXPECT_GE(tally.faulted_runs, 200);
+    // The schedules are sized to actually interrupt the programs.
+    EXPECT_GT(tally.reboots, static_cast<std::uint64_t>(
+                                 tally.faulted_runs));
+}
+
+TEST(FuzzIntermittent, ExtendedSeedShard)
+{
+    const char *flag = std::getenv("SWAPRAM_FUZZ_EXTENDED");
+    if (!flag || flag[0] == '\0' || flag[0] == '0')
+        GTEST_SKIP()
+            << "set SWAPRAM_FUZZ_EXTENDED=1 for the wide sweep";
+    Convergence tally;
+    for (std::uint32_t seed = 100; seed < 200; ++seed)
+        fuzzOneSeed(seed, tally);
+    EXPECT_GE(tally.faulted_runs, 800);
+}
+
+} // namespace

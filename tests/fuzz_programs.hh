@@ -3,6 +3,13 @@
  * Shared random-program generator for the fuzz and differential
  * suites: random ALU bodies over global cells wired into a random
  * acyclic call graph with loops and occasional absolute branches.
+ *
+ * The generator is versioned so recorded seeds stay meaningful:
+ * version 1 reproduces the historical programs byte-for-byte (it pins
+ * the legacy biased Rng::below and the original op palette); version 2
+ * widens the palette with byte-sized (.B) ALU ops and can emit
+ * interrupt-driven configurations whose tick count is deterministic
+ * across execution systems and power failures.
  */
 
 #ifndef SWAPRAM_TESTS_FUZZ_PROGRAMS_HH
@@ -15,13 +22,21 @@
 
 namespace swapram::test {
 
-/** Emit a random flag-safe ALU instruction mutating R12/R13 or state.
- *  @p label_seq provides unique label names for conditional skips. */
+/** Generator configuration (see file header for the version story). */
+struct FuzzOptions {
+    int version = 1;            ///< 1 = historical, 2 = extended
+    bool allow_interrupts = false; ///< v2 only: maybe emit a tick ISR
+};
+
+/** Emit ALU case @p pick, mutating R12/R13 or state. Cases 0-11 are
+ *  the version-1 palette (their Rng consumption is pinned); 12-15 are
+ *  the version-2 byte-op extensions. @p label_seq provides unique
+ *  label names for conditional skips. */
 inline void
-emitAluOp(std::ostringstream &os, support::Rng &rng, int func_id,
-          int &label_seq)
+emitAluCase(std::ostringstream &os, int pick, support::Rng &rng,
+            int func_id, int &label_seq)
 {
-    switch (rng.below(12)) {
+    switch (pick) {
       case 0:
         os << "        ADD #" << rng.below(0x7FFF) << ", R12\n";
         break;
@@ -63,14 +78,44 @@ emitAluOp(std::ostringstream &os, support::Rng &rng, int func_id,
       case 10:
         os << "        ADD.B #" << rng.below(255) << ", R12\n";
         break;
-      default:
+      case 11:
         // Indexed access into the shared scratch array.
         os << "        MOV R12, R14\n"
               "        AND #6, R14\n"
            << (rng.below(2) ? "        XOR R13, fz_arr(R14)\n"
                             : "        ADD fz_arr(R14), R12\n");
         break;
+      // ---- version-2 byte-op extensions ----
+      case 12:
+        os << "        XOR.B #" << rng.below(255) << ", R12\n"
+              "        SXT R12\n";
+        break;
+      case 13:
+        // Indexed byte access into the byte scratch array.
+        os << "        MOV R13, R14\n"
+              "        AND #7, R14\n"
+           << (rng.below(2) ? "        XOR.B R12, fz_barr(R14)\n"
+                            : "        ADD.B fz_barr(R14), R12\n");
+        break;
+      case 14:
+        os << "        BIS.B #" << (1 + rng.below(254)) << ", R12\n"
+              "        BIC.B #" << (1 + rng.below(254)) << ", R13\n";
+        break;
+      default:
+        os << "        MOV.B R12, R14\n"
+              "        RRA.B R14\n"
+              "        ADD R14, R12\n";
+        break;
     }
+}
+
+/** Version-1 entry point (kept for callers with recorded seeds). */
+inline void
+emitAluOp(std::ostringstream &os, support::Rng &rng, int func_id,
+          int &label_seq)
+{
+    emitAluCase(os, static_cast<int>(rng.below(12)), rng, func_id,
+                label_seq);
 }
 
 /**
@@ -78,16 +123,49 @@ emitAluOp(std::ostringstream &os, support::Rng &rng, int func_id,
  * higher-numbered functions (acyclic); each has a small loop and
  * mutates its own global cell, so the final .data state captures the
  * whole execution history.
+ *
+ * Version-2 interrupt configurations are deterministic by
+ * construction: the raw-label ISR (untouched by either caching
+ * transform) counts ticks, clears the saved GIE bit at the K-th tick,
+ * and main spin-waits for exactly K ticks before folding the ISR
+ * state into the checksum — so every system and every reboot observes
+ * the same tick count regardless of interleaving.
  */
 inline workloads::Workload
-randomProgram(std::uint32_t seed)
+randomProgram(std::uint32_t seed, const FuzzOptions &opts)
 {
-    support::Rng rng(seed);
+    const bool v2 = opts.version >= 2;
+    // Version 1 pins the legacy biased below() so historical fuzz
+    // seeds keep producing byte-identical programs.
+    support::Rng rng(v2 ? seed ^ 0xF22Du : seed,
+                     v2 ? support::Rng::kUniformBelow
+                        : support::Rng::kLegacyBelow);
     int label_seq = 0;
     const int nfuncs = 3 + static_cast<int>(rng.below(6)); // 3..8
+    const int alu_cases = v2 ? 16 : 12;
+
+    bool interrupts = v2 && opts.allow_interrupts && rng.below(10) < 4;
+    const int isr_ticks = interrupts ? 2 + static_cast<int>(rng.below(6))
+                                     : 0;
+    const std::uint64_t isr_period =
+        interrupts ? 400 + rng.below(1200) : 0;
+    const unsigned isr_mix = interrupts ? rng.word() : 0;
 
     std::ostringstream os;
     os << "        .text\n";
+    if (interrupts) {
+        // Raw labels, not .func: neither caching system transforms or
+        // relocates the ISR, so it always runs from its FRAM home
+        // with deterministic latency (the paper's §3.1 rationale).
+        os << "fz_isr:\n"
+              "        ADD #1, &fz_ticks\n"
+              "        XOR #" << isr_mix << ", &fz_isr_acc\n"
+              "        CMP #" << isr_ticks << ", &fz_ticks\n"
+              "        JNE fz_isr_ret\n"
+              "        BIC #8, 0(SP)\n" // clear saved GIE: last tick
+              "fz_isr_ret:\n"
+              "        RETI\n";
+    }
     for (int f = nfuncs - 1; f >= 0; --f) {
         os << "        .func fz_f" << f << "\n";
         os << "        PUSH R10\n";
@@ -96,7 +174,8 @@ randomProgram(std::uint32_t seed)
         os << "fz_l" << f << ":\n";
         int body = 2 + rng.below(6);
         for (int i = 0; i < body; ++i)
-            emitAluOp(os, rng, f, label_seq);
+            emitAluCase(os, static_cast<int>(rng.below(alu_cases)),
+                        rng, f, label_seq);
         // Random calls to later functions (guaranteed acyclic).
         for (int c = 0; c < 2; ++c) {
             if (f + 1 < nfuncs && rng.below(10) < 6) {
@@ -122,8 +201,12 @@ randomProgram(std::uint32_t seed)
         os << "        .endfunc\n";
     }
 
-    os << "        .func main\n"
-          "        MOV #" << (1 + rng.below(4)) << ", R14\n"
+    os << "        .func main\n";
+    if (interrupts) {
+        os << "        MOV #fz_isr, &0xFFF0\n"
+              "        EINT\n";
+    }
+    os << "        MOV #" << (1 + rng.below(4)) << ", R14\n"
           "        MOV R14, &fz_reps\n"
           "fz_main_loop:\n"
           "        MOV #" << rng.word() << ", R12\n"
@@ -131,28 +214,63 @@ randomProgram(std::uint32_t seed)
           "        CALL #fz_f0\n"
           "        ADD R12, &fz_sum\n"
           "        SUB #1, &fz_reps\n"
-          "        JNZ fz_main_loop\n"
-          "        MOV &fz_sum, R12\n"
-          "        MOV R12, &bench_result\n"
-          "        RET\n"
+          "        JNZ fz_main_loop\n";
+    if (interrupts) {
+        // Wait for the self-limiting ISR to deliver all K ticks, then
+        // fold its (now final) state into the result.
+        os << "fz_wait:\n"
+              "        CMP #" << isr_ticks << ", &fz_ticks\n"
+              "        JNE fz_wait\n"
+              "        DINT\n"
+              "        ADD &fz_ticks, &fz_sum\n"
+              "        XOR &fz_isr_acc, &fz_sum\n";
+    }
+    os << "        MOV &fz_sum, R12\n"
+          "        MOV R12, &bench_result\n";
+    if (v2) {
+        // Byte the checksum out over the console UART so intermittent
+        // runs also validate console replay.
+        os << "        MOV.B R12, &0x0100\n"
+              "        SWPB R12\n"
+              "        MOV.B R12, &0x0100\n"
+              "        SWPB R12\n";
+    }
+    os << "        RET\n"
           "        .endfunc\n"
           "        .data\n        .align 2\n";
     for (int f = 0; f < nfuncs; ++f)
         os << "fz_g" << f << ": .word " << rng.word() << "\n";
     os << "fz_arr: .word " << rng.word() << ", " << rng.word() << ", "
        << rng.word() << ", " << rng.word() << "\n";
+    if (v2) {
+        os << "fz_barr: .byte";
+        for (int i = 0; i < 8; ++i)
+            os << (i ? ", " : " ") << static_cast<int>(rng.byte());
+        os << "\n        .align 2\n";
+    }
     os << "fz_sum:  .word 0\n"
-          "fz_reps: .word 0\n"
-          "bench_result: .word 0\n";
+          "fz_reps: .word 0\n";
+    if (interrupts) {
+        os << "fz_ticks: .word 0\n"
+              "fz_isr_acc: .word 0\n";
+    }
+    os << "bench_result: .word 0\n";
 
     workloads::Workload w;
     w.name = "fuzz" + std::to_string(seed);
     w.display = w.name;
     w.source = os.str();
     w.expected = 0; // baseline acts as the oracle
+    w.timer_period_cycles = isr_period;
     return w;
 }
 
+/** Version-1 entry point (historical programs, recorded seeds). */
+inline workloads::Workload
+randomProgram(std::uint32_t seed)
+{
+    return randomProgram(seed, FuzzOptions{});
+}
 
 } // namespace swapram::test
 

@@ -73,6 +73,50 @@ TEST(Rng, DeterministicAndBounded)
     EXPECT_NE(z.next(), 0u);
 }
 
+TEST(Rng, LegacyBelowStreamIsFrozen)
+{
+    // Golden stream: version 1 must keep producing the exact values the
+    // recorded fuzz seeds and workload input generators were built on
+    // (xorshift32 from seed 42, reduced mod 1000).
+    support::Rng legacy(42, support::Rng::kLegacyBelow);
+    for (std::uint32_t e : {432u, 348u, 59u, 16u, 556u, 134u, 840u, 334u})
+        EXPECT_EQ(legacy.below(1000), e);
+}
+
+TEST(Rng, RejectionSamplingRemovesModuloBias)
+{
+    // With bound = 3 * 2^30, `next() % bound` maps the top quarter of
+    // the 32-bit range back onto the first bucket, so the legacy
+    // version draws bucket 0 about half the time. The rejection
+    // sampler must keep all three buckets near 1/3.
+    const std::uint32_t bound = 0xC0000000u; // 3 * 2^30
+    const int draws = 30'000;
+    auto bucketShare = [&](int version) {
+        support::Rng rng(0xB1A5u, version);
+        int bucket0 = 0;
+        for (int i = 0; i < draws; ++i) {
+            if (rng.below(bound) < bound / 3)
+                ++bucket0;
+        }
+        return static_cast<double>(bucket0) / draws;
+    };
+    double legacy = bucketShare(support::Rng::kLegacyBelow);
+    double uniform = bucketShare(support::Rng::kUniformBelow);
+    // Legacy: P(bucket 0) = (2^30 + 2^30) / 2^32 = 1/2.
+    EXPECT_NEAR(legacy, 0.5, 0.02);
+    EXPECT_NEAR(uniform, 1.0 / 3.0, 0.02);
+}
+
+TEST(Rng, UniformBelowStaysInRangeForAwkwardBounds)
+{
+    support::Rng rng(99);
+    for (std::uint32_t bound : {1u, 2u, 3u, 7u, 0xFFFFu,
+                                0x80000001u, 0xFFFFFFFFu}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
 TEST(Logging, PanicAndFatalThrowDistinctTypes)
 {
     EXPECT_THROW(support::panic("x"), support::PanicError);

@@ -8,6 +8,7 @@
  *   swapram_tool run       <file.s|--workload name> [options]
  *   swapram_tool profile   <file.s|--workload name> [options]
  *   swapram_tool trace     <file.s|--workload name> [options]
+ *   swapram_tool faults    <file.s|--workload name> [options]
  *   swapram_tool disasm    <file.s|--workload name> --func NAME
  *
  * Common options:
@@ -32,6 +33,17 @@
  *   --trace N                deprecated alias for
  *                            "--trace-categories instr --trace-limit N
  *                            --disasm"
+ *
+ * Fault-injection options (faults):
+ *   --fault-periods LIST     comma list of power-failure periods in
+ *                            cycles (default: C/2,C/4,C/8,C/16 where C
+ *                            is the uninterrupted run's cycle count)
+ *   --fault-count N          power failures per run (default 8; the
+ *                            final boot always completes)
+ *   --fault-seed S           seeded-random gaps in [P/2, 3P/2) instead
+ *                            of a fixed period
+ *   --no-recovery            disable the generated boot-recovery call
+ *                            (demonstrates the stale-metadata crash)
  */
 
 #include <cstdio>
@@ -74,6 +86,10 @@ struct Args {
     std::string trace_out;
     std::string trace_format;
     std::uint64_t trace_limit = 0;
+    std::vector<std::uint64_t> fault_periods;
+    std::uint32_t fault_count = 8;
+    std::uint32_t fault_seed = 0; ///< 0 = fixed-period schedule
+    bool no_recovery = false;
 };
 
 [[noreturn]] void
@@ -82,7 +98,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: swapram_tool <assemble|transform|run|profile|trace|"
-        "disasm>\n"
+        "faults|disasm>\n"
         "                    <file.s | --workload NAME> [options]\n"
         "options: --system baseline|swapram|block   --placement "
         "unified|standard|sram-code|sram-all|split\n"
@@ -91,7 +107,9 @@ usage()
         "         --func NAME (disasm)   --listing   --json\n"
         "         --trace-categories LIST   --trace-out FILE\n"
         "         --trace-format text|csv|chrome   --trace-limit N\n"
-        "         --disasm   --trace N (deprecated)\n");
+        "         --disasm   --trace N (deprecated)\n"
+        "         --fault-periods N,N,...   --fault-count N\n"
+        "         --fault-seed S   --no-recovery   (faults)\n");
     std::exit(2);
 }
 
@@ -169,6 +187,17 @@ parseArgs(int argc, char **argv)
             args.trace_format = next();
         } else if (a == "--trace-limit") {
             args.trace_limit = std::stoull(next());
+        } else if (a == "--fault-periods") {
+            for (const std::string &p : support::split(next(), ','))
+                args.fault_periods.push_back(std::stoull(p, nullptr, 0));
+        } else if (a == "--fault-count") {
+            args.fault_count =
+                static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (a == "--fault-seed") {
+            args.fault_seed = static_cast<std::uint32_t>(
+                std::stoul(next(), nullptr, 0));
+        } else if (a == "--no-recovery") {
+            args.no_recovery = true;
         } else if (a == "--trace") {
             support::warn("--trace N is deprecated; use "
                           "--trace-categories instr --trace-limit N "
@@ -313,6 +342,20 @@ cmdRun(const Args &args)
     spec.swap = args.swap;
     spec.block = args.block;
     spec.include_lib = false; // already appended for workloads
+    spec.swap.boot_recovery = !args.no_recovery;
+    spec.block.boot_recovery = !args.no_recovery;
+    if (!args.fault_periods.empty()) {
+        // run/profile/trace take a single fault period (the faults
+        // subcommand sweeps all of them).
+        std::uint64_t period = args.fault_periods.front();
+        spec.intermittent.plan =
+            args.fault_seed
+                ? sim::FaultPlan::random(
+                      std::max<std::uint64_t>(period / 2, 1),
+                      period + period / 2, args.fault_seed,
+                      args.fault_count)
+                : sim::FaultPlan::periodic(period, args.fault_count);
+    }
 
     harness::ObserveSpec &obs = spec.observe;
     obs.categories = args.trace_categories;
@@ -401,6 +444,158 @@ cmdRun(const Args &args)
     return wl && rm.checksum != wl->expected ? 1 : 0;
 }
 
+/** Sweep power-failure periods and report recovery behaviour. */
+int
+cmdFaults(const Args &args)
+{
+    const workloads::Workload *wl = nullptr;
+    std::string source = loadSource(args, &wl);
+
+    workloads::Workload scratch;
+    scratch.name = args.file.empty() ? args.workload : args.file;
+    scratch.display = scratch.name;
+    scratch.source = source;
+    if (wl)
+        scratch.expected = wl->expected;
+
+    harness::RunSpec spec;
+    spec.workload = &scratch;
+    spec.system = args.system;
+    spec.placement = args.placement;
+    spec.clock_hz = args.clock_hz;
+    spec.swap = args.swap;
+    spec.block = args.block;
+    spec.include_lib = false; // already appended for workloads
+    spec.swap.boot_recovery = !args.no_recovery;
+    spec.block.boot_recovery = !args.no_recovery;
+
+    harness::Metrics clean = harness::runOne(spec);
+    if (!clean.fits) {
+        std::printf("DNF: %s\n", clean.fit_note.c_str());
+        return 1;
+    }
+    if (!clean.done) {
+        std::fprintf(stderr, "uninterrupted run did not finish\n");
+        return 1;
+    }
+    const std::uint64_t c = clean.stats.totalCycles();
+
+    std::vector<std::uint64_t> periods = args.fault_periods;
+    if (periods.empty()) {
+        for (std::uint64_t div : {2, 4, 8, 16}) {
+            if (c / div >= 100)
+                periods.push_back(c / div);
+        }
+        if (periods.empty())
+            periods.push_back(std::max<std::uint64_t>(c / 2, 1));
+    }
+
+    struct Sweep {
+        std::uint64_t period;
+        harness::Metrics m;
+        bool crashed = false;
+        bool converged = false;
+    };
+    std::vector<Sweep> sweeps;
+    for (std::uint64_t period : periods) {
+        harness::RunSpec faulted = spec;
+        faulted.intermittent.plan =
+            args.fault_seed
+                ? sim::FaultPlan::random(
+                      std::max<std::uint64_t>(period / 2, 1),
+                      period + period / 2, args.fault_seed,
+                      args.fault_count)
+                : sim::FaultPlan::periodic(period, args.fault_count);
+        Sweep s;
+        s.period = period;
+        try {
+            s.m = harness::runOne(faulted);
+            s.converged = s.m.done &&
+                          s.m.checksum == clean.checksum &&
+                          s.m.data_snapshot == clean.data_snapshot &&
+                          s.m.console == clean.console;
+        } catch (const support::FatalError &e) {
+            s.crashed = true;
+            s.m.fit_note = e.what();
+        }
+        sweeps.push_back(std::move(s));
+    }
+
+    if (args.json) {
+        support::json::Array runs;
+        for (const Sweep &s : sweeps) {
+            harness::RunSpec faulted = spec;
+            auto report = harness::RunReport::make(faulted, s.m);
+            support::json::Object o{
+                {"period", s.period},
+                {"fault_count", args.fault_count},
+                {"crashed", s.crashed},
+                {"converged", s.converged},
+            };
+            if (args.fault_seed)
+                o.emplace("fault_seed", args.fault_seed);
+            if (s.crashed)
+                o.emplace("error", s.m.fit_note);
+            else
+                o.emplace("report", report.json());
+            runs.push_back(std::move(o));
+        }
+        support::json::Object root{
+            {"schema", "swapram-fault-sweep/v1"},
+            {"workload", scratch.name},
+            {"system", harness::systemName(args.system)},
+            {"recovery", !args.no_recovery},
+            {"clean_cycles", c},
+            {"clean_checksum", clean.checksum},
+            {"sweeps", std::move(runs)},
+        };
+        std::printf("%s\n", support::json::Value(std::move(root))
+                                .dump(2)
+                                .c_str());
+    } else {
+        std::printf("workload=%s system=%s recovery=%s clean_cycles=%s "
+                    "faults/run=%u%s\n",
+                    scratch.name.c_str(),
+                    harness::systemName(args.system).c_str(),
+                    args.no_recovery ? "off" : "on",
+                    harness::withCommas(c).c_str(), args.fault_count,
+                    args.fault_seed
+                        ? support::cat(" seed=", args.fault_seed).c_str()
+                        : "");
+        harness::Table table({"period", "reboots", "recovery_cyc",
+                              "total_cyc", "overhead", "result"});
+        for (const Sweep &s : sweeps) {
+            std::string result =
+                s.crashed ? "CRASH"
+                          : (s.converged ? "converged"
+                                         : (s.m.done ? "DIVERGED"
+                                                     : "timeout"));
+            table.addRow(
+                {harness::withCommas(s.period),
+                 s.crashed ? "-"
+                           : harness::withCommas(s.m.stats.reboots),
+                 s.crashed
+                     ? "-"
+                     : harness::withCommas(s.m.stats.recovery_cycles),
+                 s.crashed ? "-"
+                           : harness::withCommas(s.m.stats.totalCycles()),
+                 s.crashed ? "-"
+                           : harness::percentDelta(
+                                 static_cast<double>(
+                                     s.m.stats.totalCycles()),
+                                 static_cast<double>(c)),
+                 result});
+        }
+        std::printf("%s", table.text().c_str());
+    }
+
+    for (const Sweep &s : sweeps) {
+        if (s.crashed || !s.converged)
+            return 1;
+    }
+    return 0;
+}
+
 int
 cmdDisasm(const Args &args)
 {
@@ -437,6 +632,8 @@ main(int argc, char **argv)
         if (args.command == "run" || args.command == "profile" ||
             args.command == "trace")
             return cmdRun(args);
+        if (args.command == "faults")
+            return cmdFaults(args);
         if (args.command == "disasm")
             return cmdDisasm(args);
         usage();
