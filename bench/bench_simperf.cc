@@ -48,6 +48,28 @@ BM_SimulatorThroughput(benchmark::State &state)
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 
+/** The always-decode path: BM_SimulatorThroughput with the predecode
+ *  cache disabled. The ratio of the two is the fast path's speedup
+ *  (and the differential tests pin their behavioral equivalence). */
+void
+BM_SimulatorThroughputNoPredecode(benchmark::State &state)
+{
+    auto assembled =
+        masm::assemble(masm::parse(crcSource()), masm::LayoutSpec{});
+    sim::MachineConfig config;
+    config.predecode_enabled = false;
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::Machine machine(config);
+        machine.load(assembled.image, 0xFF80);
+        auto result = machine.run();
+        benchmark::DoNotOptimize(result.done);
+        instructions += machine.stats().instructions;
+    }
+    state.counters["sim_instr_per_s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
 /** Same run with the full observability stack attached, to size the
  *  cost of tracing relative to BM_SimulatorThroughput (the disabled
  *  path is a null-pointer check and must stay within noise of it). */
@@ -117,6 +139,8 @@ BM_BlockCacheBuild(benchmark::State &state)
 }
 
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatorThroughputNoPredecode)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulatorThroughputTraced)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Parse)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Assemble)->Unit(benchmark::kMillisecond);

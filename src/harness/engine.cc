@@ -1,0 +1,126 @@
+#include "harness/engine.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "isa/opcodes.hh"
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::harness {
+
+namespace {
+
+/**
+ * Touch every lazily-initialized static the run path can reach, so
+ * workers never construct one. All of them are C++11 magic statics
+ * (construction is race-safe regardless); this is about keeping the
+ * cost out of the measured runs and making the shared state easy to
+ * audit in one place.
+ */
+void
+warmSharedState()
+{
+    workloads::all();           // workload registry (sources + goldens)
+    workloads::libSource();     // shared helper library source
+    isa::parseOp("MOV");        // mnemonic table
+    support::logLevel();        // resolves SWAPRAM_LOG once (atomic)
+}
+
+/** Execute one spec, capturing any failure into the outcome. */
+RunOutcome
+runCaptured(const RunSpec &spec)
+{
+    RunOutcome out;
+    try {
+        out.metrics = runOne(spec);
+    } catch (const std::exception &e) {
+        out.error = true;
+        out.error_text = e.what();
+    }
+    return out;
+}
+
+} // namespace
+
+unsigned
+Engine::defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+Engine::Engine(unsigned jobs) : jobs_(jobs ? jobs : defaultJobs()) {}
+
+std::vector<RunOutcome>
+Engine::runAll(const std::vector<RunSpec> &specs) const
+{
+    std::vector<RunOutcome> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    unsigned workers = jobs_;
+    if (workers > specs.size())
+        workers = static_cast<unsigned>(specs.size());
+
+    // Single-job batches run inline: no threads, trivially ordered,
+    // and debuggable — the deterministic reference the parallel path
+    // is tested against.
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            results[i] = runCaptured(specs[i]);
+        return results;
+    }
+
+    warmSharedState();
+
+    // Work-stealing by atomic ticket: completion order is arbitrary,
+    // but each worker writes only results[i] for its own tickets, so
+    // the outcome vector is in submission order by construction.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            results[i] = runCaptured(specs[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+RunSpec
+sweepSpec(const workloads::Workload &workload, System system,
+          Placement placement, std::uint32_t clock_hz)
+{
+    RunSpec spec;
+    spec.workload = &workload;
+    spec.system = system;
+    spec.placement = placement;
+    spec.clock_hz = clock_hz;
+    spec.observe.swap_timeline = system != System::Baseline;
+    return spec;
+}
+
+std::vector<Metrics>
+Engine::runAllOrThrow(const std::vector<RunSpec> &specs) const
+{
+    std::vector<RunOutcome> outcomes = runAll(specs);
+    std::vector<Metrics> metrics;
+    metrics.reserve(outcomes.size());
+    for (RunOutcome &o : outcomes) {
+        if (o.error)
+            support::fatal("engine run failed: ", o.error_text);
+        metrics.push_back(std::move(o.metrics));
+    }
+    return metrics;
+}
+
+} // namespace swapram::harness

@@ -137,6 +137,9 @@ statsJson(const sim::Stats &s)
         {"interrupts", s.interrupts},
         {"reboots", s.reboots},
         {"recovery_cycles", s.recovery_cycles},
+        {"predecode_hits", s.predecode_hits},
+        {"predecode_misses", s.predecode_misses},
+        {"predecode_invalidations", s.predecode_invalidations},
     };
 }
 

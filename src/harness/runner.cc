@@ -240,6 +240,7 @@ runOne(const RunSpec &spec)
     config.clock_hz = spec.clock_hz;
     config.max_cycles = spec.max_cycles;
     config.timer_period_cycles = spec.workload->timer_period_cycles;
+    config.predecode_enabled = spec.predecode;
     sim::Machine machine(config);
     machine.load(image, stack_top);
     if (handler_end > handler_base) {

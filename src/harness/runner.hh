@@ -99,6 +99,11 @@ struct RunSpec {
     bool include_lib = true;
     std::uint64_t max_cycles = 600'000'000ull;
 
+    /** Host-side predecode fast path (see sim::MachineConfig). Off is
+     *  the always-decode oracle for differential tests; simulated
+     *  results must be identical either way. */
+    bool predecode = true;
+
     /**
      * How many times the startup stub calls main() (the paper runs
      * each benchmark 10 times so steady-state behaviour — after

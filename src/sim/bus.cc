@@ -20,10 +20,8 @@ Bus::beginInstruction()
 }
 
 void
-Bus::account(std::uint16_t addr, AccessKind kind, bool byte)
+Bus::account(std::uint16_t addr, RegionKind region, AccessKind kind)
 {
-    (void)byte;
-    RegionKind region = regionOf(addr);
     AccessCounts *counts = nullptr;
     switch (region) {
       case RegionKind::Sram: counts = &stats_.sram; break;
@@ -103,9 +101,10 @@ Bus::read16(std::uint16_t addr, AccessKind kind)
 {
     if (addr & 1)
         support::fatal("unaligned word read at ", support::hex16(addr));
-    account(addr, kind, false);
+    RegionKind region = regionOf(addr);
+    account(addr, region, kind);
     std::uint16_t value;
-    if (regionOf(addr) == RegionKind::Mmio)
+    if (region == RegionKind::Mmio)
         value = mmio_.read(addr, now());
     else
         value = memory_.read16(addr);
@@ -116,9 +115,10 @@ Bus::read16(std::uint16_t addr, AccessKind kind)
 std::uint8_t
 Bus::read8(std::uint16_t addr, AccessKind kind)
 {
-    account(addr, kind, true);
+    RegionKind region = regionOf(addr);
+    account(addr, region, kind);
     std::uint8_t value;
-    if (regionOf(addr) == RegionKind::Mmio)
+    if (region == RegionKind::Mmio)
         value = static_cast<std::uint8_t>(mmio_.read(addr, now()));
     else
         value = memory_.read8(addr);
@@ -131,22 +131,32 @@ Bus::write16(std::uint16_t addr, std::uint16_t value)
 {
     if (addr & 1)
         support::fatal("unaligned word write at ", support::hex16(addr));
-    account(addr, AccessKind::Write, false);
-    if (regionOf(addr) == RegionKind::Mmio)
+    RegionKind region = regionOf(addr);
+    account(addr, region, AccessKind::Write);
+    if (region == RegionKind::Mmio)
         mmio_.write(addr, value, now());
     else
         memory_.write16(addr, value);
+    if (predecode_) {
+        predecode_->invalidateWrite(addr);
+        ++stats_.predecode_invalidations;
+    }
     traceAccess(addr, value, AccessKind::Write, false);
 }
 
 void
 Bus::write8(std::uint16_t addr, std::uint8_t value)
 {
-    account(addr, AccessKind::Write, true);
-    if (regionOf(addr) == RegionKind::Mmio)
+    RegionKind region = regionOf(addr);
+    account(addr, region, AccessKind::Write);
+    if (region == RegionKind::Mmio)
         mmio_.write(addr, value, now());
     else
         memory_.write8(addr, value);
+    if (predecode_) {
+        predecode_->invalidateWrite(addr);
+        ++stats_.predecode_invalidations;
+    }
     traceAccess(addr, value, AccessKind::Write, true);
 }
 

@@ -20,6 +20,7 @@
 #include "sim/hw_cache.hh"
 #include "sim/memory.hh"
 #include "sim/mmio.hh"
+#include "sim/predecode.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
 
@@ -64,10 +65,14 @@ class Bus
         trace_ = engine;
     }
 
+    /** Attach a predecode cache to invalidate on writes; nullptr
+     *  detaches. Not owned. */
+    void setPredecode(PredecodeCache *cache) { predecode_ = cache; }
+
     HwCache &hwCache() { return hw_cache_; }
 
   private:
-    void account(std::uint16_t addr, AccessKind kind, bool byte);
+    void account(std::uint16_t addr, RegionKind region, AccessKind kind);
 
     /** Total cycles right now (stall + externally probed base). */
     std::uint64_t
@@ -104,6 +109,7 @@ class Bus
     std::uint32_t last_fram_line_ = 0;
     const std::uint64_t *base_cycles_probe_ = nullptr;
     trace::TraceEngine *trace_ = nullptr;
+    PredecodeCache *predecode_ = nullptr;
 };
 
 } // namespace swapram::sim

@@ -44,6 +44,15 @@ struct MachineConfig {
     std::uint64_t max_cycles = 4'000'000'000ull;
 
     /**
+     * Host-side predecode fast path: cache decoded instructions by PC
+     * and replay only the (fully accounted) bus fetches on a hit.
+     * Simulated behaviour and timing are identical either way — tests
+     * run both settings differentially; disable to use the always-
+     * decode path as the oracle.
+     */
+    bool predecode_enabled = true;
+
+    /**
      * Periodic timer interrupt, in cycles (0 = disabled). When due and
      * GIE is set, the CPU vectors through platform::kTimerVector
      * (push PC, push SR, clear SR, 6 cycles) — the standard MSP430

@@ -13,6 +13,7 @@
 
 #include "isa/instruction.hh"
 #include "sim/bus.hh"
+#include "sim/predecode.hh"
 #include "sim/stats.hh"
 
 namespace swapram::sim {
@@ -22,6 +23,10 @@ class Cpu
 {
   public:
     explicit Cpu(Bus &bus) : bus_(bus) { regs_.fill(0); }
+
+    /** Attach a predecode cache (nullptr = always decode). The owner
+     *  (Machine) is responsible for wiring write invalidation. */
+    void setPredecode(PredecodeCache *cache) { predecode_ = cache; }
 
     /** Set PC and SP for a fresh run. */
     void
@@ -82,6 +87,7 @@ class Cpu
 
     std::array<std::uint16_t, 16> regs_{};
     Bus &bus_;
+    PredecodeCache *predecode_ = nullptr;
 };
 
 } // namespace swapram::sim

@@ -43,6 +43,11 @@ Machine::Machine(const MachineConfig &config)
     : config_(config), bus_(memory_, mmio_, stats_, config_), cpu_(bus_)
 {
     bus_.setCycleProbe(&stats_.base_cycles);
+    if (config_.predecode_enabled) {
+        predecode_ = std::make_unique<PredecodeCache>();
+        cpu_.setPredecode(predecode_.get());
+        bus_.setPredecode(predecode_.get());
+    }
 }
 
 void
@@ -53,6 +58,10 @@ Machine::load(const masm::Image &image, std::uint16_t stack_top)
     cpu_.reset(image.entry, stack_top);
     image_ = image;
     stack_top_ = stack_top;
+    // The loader writes memory directly (not through the bus), so any
+    // previously cached decodes are stale.
+    if (predecode_)
+        predecode_->invalidateAll();
 }
 
 void
@@ -88,7 +97,10 @@ Machine::powerCycle()
     for (std::uint32_t a = image_.bss.base; a < image_.bss.end(); ++a)
         memory_.write8(static_cast<std::uint16_t>(a), 0);
 
-    // Volatile device and CPU state.
+    // Volatile device and CPU state. The SRAM decay and crt0 re-copy
+    // above bypassed the bus, so every cached decode is suspect.
+    if (predecode_)
+        predecode_->invalidateAll();
     mmio_.powerCycle();
     cpu_.reset(image_.entry, stack_top_);
     timer_pending_ = false;

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "masm/assembler.hh"
 #include "sim/bus.hh"
 #include "sim/config.hh"
@@ -26,6 +28,7 @@
 #include "sim/fault.hh"
 #include "sim/memory.hh"
 #include "sim/mmio.hh"
+#include "sim/predecode.hh"
 #include "sim/stats.hh"
 
 namespace swapram::trace {
@@ -128,6 +131,11 @@ class Machine
     Stats stats_;
     Bus bus_;
     Cpu cpu_;
+
+    /** Decoded-instruction cache (null when config disables it). The
+     *  machine owns it and keeps the CPU (lookup/insert) and bus
+     *  (write invalidation) wired to the same instance. */
+    std::unique_ptr<PredecodeCache> predecode_;
 
     std::uint64_t timer_next_fire_ = 0;
     bool timer_pending_ = false;

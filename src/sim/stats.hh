@@ -64,6 +64,16 @@ struct Stats {
     /** Cycles spent inside the registered boot-recovery routine. */
     std::uint64_t recovery_cycles = 0;
 
+    /**
+     * Predecode fast-path behaviour (host-side only: these never feed
+     * back into simulated timing, which must be identical with the
+     * cache disabled). Invalidations count bus writes that dropped at
+     * least one potentially-cached slot.
+     */
+    std::uint64_t predecode_hits = 0;
+    std::uint64_t predecode_misses = 0;
+    std::uint64_t predecode_invalidations = 0;
+
     std::uint64_t totalCycles() const { return base_cycles + stall_cycles; }
     std::uint64_t framAccesses() const { return fram.total(); }
 };

@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -28,10 +29,16 @@ levelFromEnv()
     return LogLevel::Warn;
 }
 
-LogLevel &
+/**
+ * The level is read from every simulation thread (the harness engine
+ * runs experiments concurrently), so it lives in an atomic. Magic-
+ * static initialization resolves SWAPRAM_LOG exactly once even when
+ * the first readers race.
+ */
+std::atomic<LogLevel> &
 levelSlot()
 {
-    static LogLevel level = levelFromEnv();
+    static std::atomic<LogLevel> level{levelFromEnv()};
     return level;
 }
 
@@ -66,13 +73,13 @@ setVerbose(bool verbose)
 void
 setLogLevel(LogLevel level)
 {
-    levelSlot() = level;
+    levelSlot().store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return levelSlot();
+    return levelSlot().load(std::memory_order_relaxed);
 }
 
 bool

@@ -23,7 +23,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "sim/fault.hh"
 #include "fuzz_programs.hh"
 
@@ -62,9 +62,15 @@ schedulesFor(std::uint64_t c, std::uint32_t seed)
 }
 
 /** Run one seed through all systems and schedules; EXPECT on every
- *  comparison and tally the faulted runs for the caller. */
+ *  comparison and tally the faulted runs for the caller.
+ *
+ *  Two engine batches per seed: the three uninterrupted reference
+ *  runs first (the fault schedules are derived from their cycle
+ *  counts, so they are a genuine barrier), then every faulted run of
+ *  every system at once. */
 void
-fuzzOneSeed(std::uint32_t seed, Convergence &tally)
+fuzzOneSeed(std::uint32_t seed, Convergence &tally,
+            const harness::Engine &engine)
 {
     test::FuzzOptions opts;
     opts.version = 2;
@@ -74,18 +80,29 @@ fuzzOneSeed(std::uint32_t seed, Convergence &tally)
     const harness::System systems[] = {harness::System::Baseline,
                                        harness::System::SwapRam,
                                        harness::System::BlockCache};
-    std::uint16_t oracle_checksum = 0;
-    bool have_oracle = false;
+
+    std::vector<harness::RunSpec> ref_specs;
     for (harness::System system : systems) {
         harness::RunSpec spec;
         spec.workload = &w;
         spec.system = system;
+        ref_specs.push_back(spec);
+    }
+    std::vector<harness::RunOutcome> refs = engine.runAll(ref_specs);
 
-        harness::Metrics ref = harness::runOne(spec);
+    std::uint16_t oracle_checksum = 0;
+    bool have_oracle = false;
+    std::vector<harness::RunSpec> faulted_specs;
+    std::vector<std::size_t> ref_of; // faulted index -> refs index
+    for (std::size_t s = 0; s < ref_specs.size(); ++s) {
+        ASSERT_TRUE(refs[s].ok())
+            << "seed " << seed << ": " << refs[s].error_text;
+        const harness::Metrics &ref = refs[s].metrics;
         if (!ref.fits)
             continue; // cache too small for this program shape
-        ASSERT_TRUE(ref.done) << "seed " << seed << " system "
-                              << harness::systemName(system);
+        ASSERT_TRUE(ref.done)
+            << "seed " << seed << " system "
+            << harness::systemName(ref_specs[s].system);
         if (!have_oracle) {
             oracle_checksum = ref.checksum;
             have_oracle = true;
@@ -94,31 +111,41 @@ fuzzOneSeed(std::uint32_t seed, Convergence &tally)
                 << "uninterrupted cross-system mismatch, seed "
                 << seed;
         }
-
         for (const sim::FaultPlan &plan :
              schedulesFor(ref.stats.totalCycles(), seed)) {
-            harness::RunSpec faulted = spec;
+            harness::RunSpec faulted = ref_specs[s];
             faulted.intermittent.plan = plan;
-            harness::Metrics got = harness::runOne(faulted);
-            EXPECT_TRUE(converged(ref, got))
-                << "seed " << seed << " system "
-                << harness::systemName(system) << " plan kind "
-                << static_cast<int>(plan.kind)
-                << ": done=" << got.done << " checksum "
-                << got.checksum << " vs " << ref.checksum
-                << " console '" << got.console << "' vs '"
-                << ref.console << "'";
-            ++tally.faulted_runs;
-            tally.reboots += got.stats.reboots;
+            faulted_specs.push_back(faulted);
+            ref_of.push_back(s);
         }
+    }
+
+    std::vector<harness::RunOutcome> outcomes =
+        engine.runAll(faulted_specs);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const harness::Metrics &ref = refs[ref_of[i]].metrics;
+        ASSERT_TRUE(outcomes[i].ok())
+            << "seed " << seed << ": " << outcomes[i].error_text;
+        const harness::Metrics &got = outcomes[i].metrics;
+        EXPECT_TRUE(converged(ref, got))
+            << "seed " << seed << " system "
+            << harness::systemName(faulted_specs[i].system)
+            << " plan kind "
+            << static_cast<int>(faulted_specs[i].intermittent.plan.kind)
+            << ": done=" << got.done << " checksum " << got.checksum
+            << " vs " << ref.checksum << " console '" << got.console
+            << "' vs '" << ref.console << "'";
+        ++tally.faulted_runs;
+        tally.reboots += got.stats.reboots;
     }
 }
 
 TEST(FuzzIntermittent, RandomProgramsConvergeAcrossFaultSchedules)
 {
     Convergence tally;
+    harness::Engine engine;
     for (std::uint32_t seed = 1; seed <= 24; ++seed)
-        fuzzOneSeed(seed, tally);
+        fuzzOneSeed(seed, tally, engine);
     // 24 seeds x 3 systems x 3 schedules (minus any DNF configs).
     EXPECT_GE(tally.faulted_runs, 200);
     // The schedules are sized to actually interrupt the programs.
@@ -133,8 +160,9 @@ TEST(FuzzIntermittent, ExtendedSeedShard)
         GTEST_SKIP()
             << "set SWAPRAM_FUZZ_EXTENDED=1 for the wide sweep";
     Convergence tally;
+    harness::Engine engine;
     for (std::uint32_t seed = 100; seed < 200; ++seed)
-        fuzzOneSeed(seed, tally);
+        fuzzOneSeed(seed, tally, engine);
     EXPECT_GE(tally.faulted_runs, 800);
 }
 

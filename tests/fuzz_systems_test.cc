@@ -17,7 +17,7 @@
 #include <sstream>
 
 #include "fuzz_programs.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "support/rng.hh"
 #include "workloads/workload.hh"
 
@@ -35,13 +35,18 @@ TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
     auto w = test::randomProgram(seed);
     support::Rng rng(seed ^ 0xDECAF);
 
+    // All six runs per seed (baseline oracle + 3 SwapRAM geometries +
+    // 2 block-cache geometries) are independent, so the whole case is
+    // one engine batch; asserts happen after it drains.
     harness::RunSpec base_spec;
     base_spec.workload = &w;
     base_spec.system = harness::System::Baseline;
     base_spec.include_lib = false;
-    auto base = harness::runOne(base_spec);
-    ASSERT_TRUE(base.fits) << base.fit_note;
-    ASSERT_TRUE(base.done);
+
+    std::vector<harness::RunSpec> specs;
+    std::vector<std::string> notes;
+    specs.push_back(base_spec);
+    notes.push_back("baseline");
 
     // SwapRAM under three random cache geometries + both policies.
     for (int trial = 0; trial < 3; ++trial) {
@@ -54,12 +59,8 @@ TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
             static_cast<std::uint16_t>(0x2000 + (size & ~1));
         spec.swap.policy = (trial & 1) ? cache::Policy::Stack
                                        : cache::Policy::CircularQueue;
-        auto m = harness::runOne(spec);
-        ASSERT_TRUE(m.done) << "seed " << seed << " cache " << size;
-        EXPECT_EQ(m.checksum, base.checksum)
-            << "seed " << seed << " cache " << size;
-        EXPECT_EQ(m.data_snapshot, base.data_snapshot)
-            << "seed " << seed << " cache " << size;
+        specs.push_back(spec);
+        notes.push_back("swapram cache " + std::to_string(size));
     }
 
     // Block cache under two random slot geometries.
@@ -72,11 +73,27 @@ TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
         spec.block.slot_bytes = 64;
         spec.block.cache_end =
             static_cast<std::uint16_t>(0x2000 + 64 * slots);
-        auto m = harness::runOne(spec);
-        ASSERT_TRUE(m.done) << "seed " << seed;
-        EXPECT_EQ(m.checksum, base.checksum) << "seed " << seed;
-        EXPECT_EQ(m.data_snapshot, base.data_snapshot)
-            << "seed " << seed;
+        specs.push_back(spec);
+        notes.push_back("block slots " + std::to_string(slots));
+    }
+
+    std::vector<harness::RunOutcome> outcomes =
+        harness::Engine().runAll(specs);
+
+    ASSERT_TRUE(outcomes[0].ok()) << outcomes[0].error_text;
+    const harness::Metrics &base = outcomes[0].metrics;
+    ASSERT_TRUE(base.fits) << base.fit_note;
+    ASSERT_TRUE(base.done);
+
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+        std::string ctx =
+            "seed " + std::to_string(seed) + " " + notes[i];
+        ASSERT_TRUE(outcomes[i].ok())
+            << ctx << ": " << outcomes[i].error_text;
+        const harness::Metrics &m = outcomes[i].metrics;
+        ASSERT_TRUE(m.done) << ctx;
+        EXPECT_EQ(m.checksum, base.checksum) << ctx;
+        EXPECT_EQ(m.data_snapshot, base.data_snapshot) << ctx;
     }
 }
 

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Golden conformance suite: checksum, total cycles, FRAM stall cycles,
+ * and swap-in count are pinned for every (workload × system) pair of
+ * the evaluation matrix in tests/golden/expectations.json. Any drift —
+ * an ISA timing change, a cache-runtime change, a placement change —
+ * fails with a per-field diff and points at the one-command
+ * regeneration path:
+ *
+ *     swapram_tool sweep --update-golden
+ *
+ * The whole matrix runs through the harness engine at hardware
+ * concurrency, so this suite also exercises the parallel path on every
+ * CI run (including the ASan/UBSan and TSan jobs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "harness/engine.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace swapram;
+
+#ifndef SWAPRAM_GOLDEN_FILE
+#error "build must define SWAPRAM_GOLDEN_FILE"
+#endif
+
+/** One pinned expectation row. */
+struct Golden {
+    std::uint16_t checksum = 0;
+    std::uint64_t total_cycles = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t swap_ins = 0;
+};
+
+const char kRegenHint[] =
+    "\nIf this change is intentional, regenerate with:\n"
+    "    swapram_tool sweep --update-golden\n";
+
+std::map<std::pair<std::string, std::string>, Golden>
+loadExpectations()
+{
+    std::ifstream in(SWAPRAM_GOLDEN_FILE);
+    if (!in) {
+        ADD_FAILURE() << "cannot open " << SWAPRAM_GOLDEN_FILE
+                      << kRegenHint;
+        return {};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    support::json::Value doc = support::json::parse(buf.str());
+    EXPECT_EQ(doc["schema"].asString(), "swapram-golden/v1");
+    EXPECT_EQ(doc["placement"].asString(), "unified");
+    EXPECT_EQ(doc["clock_hz"].asInt(), 24'000'000);
+
+    std::map<std::pair<std::string, std::string>, Golden> rows;
+    for (const support::json::Value &e :
+         doc["expectations"].asArray()) {
+        Golden g;
+        g.checksum =
+            static_cast<std::uint16_t>(e["checksum"].asInt());
+        g.total_cycles =
+            static_cast<std::uint64_t>(e["total_cycles"].asInt());
+        g.stall_cycles =
+            static_cast<std::uint64_t>(e["stall_cycles"].asInt());
+        g.swap_ins = static_cast<std::uint64_t>(e["swap_ins"].asInt());
+        rows[{e["workload"].asString(), e["system"].asString()}] = g;
+    }
+    return rows;
+}
+
+TEST(GoldenConformance, AllWorkloadsAllSystemsMatchExpectations)
+{
+    auto expectations = loadExpectations();
+    ASSERT_FALSE(expectations.empty());
+
+    const harness::System systems[] = {harness::System::Baseline,
+                                       harness::System::SwapRam,
+                                       harness::System::BlockCache};
+
+    // Build the matrix in the same order the sweep tool uses.
+    std::vector<std::pair<std::string, std::string>> keys;
+    std::vector<harness::RunSpec> specs;
+    for (const workloads::Workload &w : workloads::all()) {
+        for (harness::System system : systems) {
+            keys.emplace_back(w.name, harness::systemName(system));
+            specs.push_back(harness::sweepSpec(w, system));
+        }
+    }
+    EXPECT_EQ(keys.size(), expectations.size())
+        << "expectation file does not cover the full matrix"
+        << kRegenHint;
+
+    harness::Engine engine; // hardware concurrency
+    std::vector<harness::RunOutcome> outcomes = engine.runAll(specs);
+
+    std::string diff;
+    auto check = [&](const std::string &key, const char *field,
+                     std::uint64_t expected, std::uint64_t got) {
+        if (expected == got)
+            return;
+        diff += support::cat("  ", key, ".", field, ": expected ",
+                             expected, ", got ", got, "\n");
+    };
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        std::string key = keys[i].first + "/" + keys[i].second;
+        auto it = expectations.find(keys[i]);
+        if (it == expectations.end()) {
+            diff += support::cat("  ", key, ": no expectation row\n");
+            continue;
+        }
+        const harness::RunOutcome &o = outcomes[i];
+        ASSERT_TRUE(o.ok()) << key << ": " << o.error_text;
+        ASSERT_TRUE(o.metrics.fits) << key << ": "
+                                    << o.metrics.fit_note;
+        ASSERT_TRUE(o.metrics.done) << key << ": timeout";
+        const Golden &g = it->second;
+        check(key, "checksum", g.checksum, o.metrics.checksum);
+        check(key, "total_cycles", g.total_cycles,
+              o.metrics.stats.totalCycles());
+        check(key, "stall_cycles", g.stall_cycles,
+              o.metrics.stats.stall_cycles);
+        check(key, "swap_ins", g.swap_ins,
+              o.metrics.swap_summary.copy_ins);
+    }
+    EXPECT_TRUE(diff.empty())
+        << "golden conformance drift:\n" << diff << kRegenHint;
+}
+
+} // namespace

@@ -9,10 +9,16 @@
  *   swapram_tool profile   <file.s|--workload name> [options]
  *   swapram_tool trace     <file.s|--workload name> [options]
  *   swapram_tool faults    <file.s|--workload name> [options]
+ *   swapram_tool sweep     [--workload LIST] [--systems LIST] [options]
  *   swapram_tool disasm    <file.s|--workload name> --func NAME
  *
  * Common options:
  *   --workload NAME          use a built-in benchmark instead of a file
+ *                            (run/sweep: comma list or "all")
+ *   --jobs N                 worker threads for batch commands (run
+ *                            over several workloads, faults, sweep);
+ *                            default: hardware concurrency. Results
+ *                            are byte-identical at any job count.
  *   --system baseline|swapram|block      (default baseline; run/transform)
  *   --placement unified|standard|sram-code|sram-all|split
  *   --clock MHZ              8 or 24 (default 24)
@@ -44,6 +50,14 @@
  *                            of a fixed period
  *   --no-recovery            disable the generated boot-recovery call
  *                            (demonstrates the stale-metadata crash)
+ *
+ * Sweep options (sweep):
+ *   --systems LIST           comma list of baseline,swapram,block or
+ *                            "all" (the default)
+ *   --update-golden          rewrite the golden conformance
+ *                            expectations from this sweep's results
+ *   --golden-out FILE        golden file path (default: the source
+ *                            tree's tests/golden/expectations.json)
  */
 
 #include <cstdio>
@@ -53,6 +67,7 @@
 #include <string>
 
 #include "blockcache/builder.hh"
+#include "harness/engine.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "masm/parser.hh"
@@ -90,6 +105,10 @@ struct Args {
     std::uint32_t fault_count = 8;
     std::uint32_t fault_seed = 0; ///< 0 = fixed-period schedule
     bool no_recovery = false;
+    unsigned jobs = 0; ///< engine workers; 0 = hardware concurrency
+    std::string systems; ///< sweep: comma list or "all"
+    bool update_golden = false;
+    std::string golden_out;
 };
 
 [[noreturn]] void
@@ -98,8 +117,11 @@ usage()
     std::fprintf(
         stderr,
         "usage: swapram_tool <assemble|transform|run|profile|trace|"
-        "faults|disasm>\n"
-        "                    <file.s | --workload NAME> [options]\n"
+        "faults|sweep|disasm>\n"
+        "                    <file.s | --workload NAME[,NAME...|all]> "
+        "[options]\n"
+        "         --jobs N   --systems LIST   --update-golden\n"
+        "         --golden-out FILE\n"
         "options: --system baseline|swapram|block   --placement "
         "unified|standard|sram-code|sram-all|split\n"
         "         --clock 8|24   --cache-base N --cache-end N\n"
@@ -116,10 +138,14 @@ usage()
 Args
 parseArgs(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         usage();
     Args args;
     args.command = argv[1];
+    // sweep defaults to the full workload × system matrix, so it is
+    // the one command that needs no input argument.
+    if (argc < 3 && args.command != "sweep")
+        usage();
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> std::string {
@@ -198,6 +224,15 @@ parseArgs(int argc, char **argv)
                 std::stoul(next(), nullptr, 0));
         } else if (a == "--no-recovery") {
             args.no_recovery = true;
+        } else if (a == "--jobs") {
+            args.jobs =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (a == "--systems") {
+            args.systems = next();
+        } else if (a == "--update-golden") {
+            args.update_golden = true;
+        } else if (a == "--golden-out") {
+            args.golden_out = next();
         } else if (a == "--trace") {
             support::warn("--trace N is deprecated; use "
                           "--trace-categories instr --trace-limit N "
@@ -297,6 +332,175 @@ cmdTransform(const Args &args)
     return 0;
 }
 
+/** Resolve --workload as a comma list or "all" against the registry. */
+std::vector<const workloads::Workload *>
+resolveWorkloads(const std::string &arg)
+{
+    std::vector<const workloads::Workload *> out;
+    if (arg == "all") {
+        for (const workloads::Workload &w : workloads::all())
+            out.push_back(&w);
+        return out;
+    }
+    for (const std::string &name : support::split(arg, ',')) {
+        const workloads::Workload *w = workloads::find(name);
+        if (!w)
+            support::fatal("unknown workload '", name, "'");
+        out.push_back(w);
+    }
+    if (out.empty())
+        support::fatal("no workloads selected");
+    return out;
+}
+
+/** Resolve --systems as a comma list or "all" (the default). */
+std::vector<harness::System>
+resolveSystems(const std::string &arg)
+{
+    using harness::System;
+    if (arg.empty() || arg == "all")
+        return {System::Baseline, System::SwapRam, System::BlockCache};
+    std::vector<System> out;
+    for (const std::string &name : support::split(arg, ',')) {
+        if (name == "baseline")
+            out.push_back(System::Baseline);
+        else if (name == "swapram")
+            out.push_back(System::SwapRam);
+        else if (name == "block")
+            out.push_back(System::BlockCache);
+        else
+            support::fatal("unknown system '", name,
+                           "' (want baseline|swapram|block)");
+    }
+    if (out.empty())
+        support::fatal("no systems selected");
+    return out;
+}
+
+/** One (workload × system) cell of a batch and its outcome. */
+struct SweepCell {
+    const workloads::Workload *workload = nullptr;
+    harness::System system = harness::System::Baseline;
+    harness::RunOutcome outcome;
+
+    /** Completed with the workload's golden checksum. */
+    bool
+    ok() const
+    {
+        return outcome.ok() && outcome.metrics.fits &&
+               outcome.metrics.done &&
+               outcome.metrics.checksum == workload->expected;
+    }
+};
+
+/** Run the full matrix through the engine, submission-ordered. */
+std::vector<SweepCell>
+runMatrix(const std::vector<const workloads::Workload *> &wls,
+          const std::vector<harness::System> &systems,
+          harness::Placement placement, std::uint32_t clock_hz,
+          unsigned jobs)
+{
+    std::vector<SweepCell> cells;
+    std::vector<harness::RunSpec> specs;
+    for (const workloads::Workload *w : wls) {
+        for (harness::System system : systems) {
+            cells.push_back({w, system, {}});
+            specs.push_back(
+                harness::sweepSpec(*w, system, placement, clock_hz));
+        }
+    }
+    harness::Engine engine(jobs);
+    std::vector<harness::RunOutcome> outcomes = engine.runAll(specs);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        cells[i].outcome = std::move(outcomes[i]);
+    return cells;
+}
+
+/**
+ * The aggregated sweep document ("swapram-sweep/v1"). Deliberately
+ * excludes the job count and any timing of the host so the document is
+ * byte-identical at any --jobs value (the determinism contract CI
+ * checks with cmp).
+ */
+support::json::Value
+sweepDocument(const std::vector<SweepCell> &cells,
+              harness::Placement placement, std::uint32_t clock_hz)
+{
+    support::json::Array runs;
+    for (const SweepCell &cell : cells) {
+        const harness::Metrics &m = cell.outcome.metrics;
+        support::json::Object o{
+            {"workload", cell.workload->name},
+            {"system", harness::systemName(cell.system)},
+        };
+        if (!cell.outcome.ok()) {
+            o.emplace("error", cell.outcome.error_text);
+            runs.push_back(std::move(o));
+            continue;
+        }
+        o.emplace("fits", m.fits);
+        if (!m.fits) {
+            o.emplace("fit_note", m.fit_note);
+            runs.push_back(std::move(o));
+            continue;
+        }
+        o.emplace("done", m.done);
+        o.emplace("checksum", m.checksum);
+        o.emplace("golden_ok", m.checksum == cell.workload->expected);
+        o.emplace("instructions", m.stats.instructions);
+        o.emplace("base_cycles", m.stats.base_cycles);
+        o.emplace("stall_cycles", m.stats.stall_cycles);
+        o.emplace("total_cycles", m.stats.totalCycles());
+        o.emplace("swap_ins", m.swap_summary.copy_ins);
+        o.emplace("evictions", m.swap_summary.evictions);
+        o.emplace("energy_pj", m.energy_pj);
+        runs.push_back(std::move(o));
+    }
+    return support::json::Object{
+        {"schema", "swapram-sweep/v1"},
+        {"placement", harness::placementName(placement)},
+        {"clock_hz", clock_hz},
+        {"runs", std::move(runs)},
+    };
+}
+
+/** Golden conformance expectations ("swapram-golden/v1") pin checksum,
+ *  cycle totals, FRAM stalls, and swap-in counts per matrix cell. */
+support::json::Value
+goldenDocument(const std::vector<SweepCell> &cells,
+               harness::Placement placement, std::uint32_t clock_hz)
+{
+    support::json::Array expectations;
+    for (const SweepCell &cell : cells) {
+        const harness::Metrics &m = cell.outcome.metrics;
+        expectations.push_back(support::json::Object{
+            {"workload", cell.workload->name},
+            {"system", harness::systemName(cell.system)},
+            {"checksum", m.checksum},
+            {"total_cycles", m.stats.totalCycles()},
+            {"stall_cycles", m.stats.stall_cycles},
+            {"swap_ins", m.swap_summary.copy_ins},
+        });
+    }
+    return support::json::Object{
+        {"schema", "swapram-golden/v1"},
+        {"placement", harness::placementName(placement)},
+        {"clock_hz", clock_hz},
+        {"expectations", std::move(expectations)},
+    };
+}
+
+/** Where --update-golden writes without an explicit --golden-out. */
+std::string
+defaultGoldenPath()
+{
+#ifdef SWAPRAM_GOLDEN_FILE
+    return SWAPRAM_GOLDEN_FILE;
+#else
+    return "tests/golden/expectations.json";
+#endif
+}
+
 /** Pick a stream-sink format from --trace-format or the extension. */
 harness::ObserveSpec::Format
 streamFormat(const Args &args)
@@ -320,10 +524,141 @@ streamFormat(const Args &args)
     return Format::Text;
 }
 
+/** `run` over several workloads at once: engine-parallel, one summary
+ *  row (or sweep-document entry) per workload. */
+int
+cmdRunMany(const Args &args)
+{
+    std::vector<const workloads::Workload *> wls =
+        resolveWorkloads(args.workload);
+    std::vector<harness::RunSpec> specs;
+    for (const workloads::Workload *w : wls) {
+        harness::RunSpec spec;
+        spec.workload = w;
+        spec.system = args.system;
+        spec.placement = args.placement;
+        spec.clock_hz = args.clock_hz;
+        spec.swap = args.swap;
+        spec.block = args.block;
+        spec.swap.boot_recovery = !args.no_recovery;
+        spec.block.boot_recovery = !args.no_recovery;
+        spec.observe.swap_timeline =
+            args.system != harness::System::Baseline;
+        specs.push_back(spec);
+    }
+    harness::Engine engine(args.jobs);
+    std::vector<harness::RunOutcome> outcomes = engine.runAll(specs);
+
+    std::vector<SweepCell> cells;
+    for (std::size_t i = 0; i < wls.size(); ++i)
+        cells.push_back({wls[i], args.system, std::move(outcomes[i])});
+
+    if (args.json) {
+        std::printf("%s\n",
+                    sweepDocument(cells, args.placement, args.clock_hz)
+                        .dump(2)
+                        .c_str());
+    } else {
+        harness::Table table({"workload", "cycles", "stalls",
+                              "swap_ins", "checksum", "result"});
+        for (const SweepCell &cell : cells) {
+            const harness::Metrics &m = cell.outcome.metrics;
+            std::string result =
+                !cell.outcome.ok()
+                    ? "ERROR"
+                    : (!m.fits ? "DNF"
+                               : (!m.done ? "timeout"
+                                          : (m.checksum ==
+                                                     cell.workload
+                                                         ->expected
+                                                 ? "ok"
+                                                 : "MISMATCH")));
+            bool ran = cell.outcome.ok() && m.fits && m.done;
+            table.addRow(
+                {cell.workload->name,
+                 ran ? harness::withCommas(m.stats.totalCycles()) : "-",
+                 ran ? harness::withCommas(m.stats.stall_cycles) : "-",
+                 ran ? harness::withCommas(m.swap_summary.copy_ins)
+                     : "-",
+                 ran ? support::hex16(m.checksum) : "-", result});
+        }
+        std::printf("system=%s placement=%s clock=%u MHz\n%s",
+                    harness::systemName(args.system).c_str(),
+                    harness::placementName(args.placement).c_str(),
+                    args.clock_hz / 1'000'000, table.text().c_str());
+    }
+    for (const SweepCell &cell : cells) {
+        if (!cell.ok())
+            return 1;
+    }
+    return 0;
+}
+
+/** Full (workload × system) matrix; aggregated JSON; golden refresh. */
+int
+cmdSweep(const Args &args)
+{
+    std::vector<const workloads::Workload *> wls = resolveWorkloads(
+        args.workload.empty() ? "all" : args.workload);
+    std::vector<harness::System> systems = resolveSystems(args.systems);
+    std::vector<SweepCell> cells = runMatrix(
+        wls, systems, args.placement, args.clock_hz, args.jobs);
+
+    std::printf("%s\n",
+                sweepDocument(cells, args.placement, args.clock_hz)
+                    .dump(2)
+                    .c_str());
+
+    bool all_ok = true;
+    for (const SweepCell &cell : cells) {
+        if (!cell.ok()) {
+            all_ok = false;
+            std::fprintf(
+                stderr, "sweep: %s/%s failed: %s\n",
+                cell.workload->name.c_str(),
+                harness::systemName(cell.system).c_str(),
+                !cell.outcome.ok()
+                    ? cell.outcome.error_text.c_str()
+                    : (!cell.outcome.metrics.fits
+                           ? cell.outcome.metrics.fit_note.c_str()
+                           : "timeout or checksum mismatch"));
+        }
+    }
+
+    if (args.update_golden) {
+        if (!all_ok)
+            support::fatal(
+                "refusing to write golden expectations from a sweep "
+                "with failures");
+        std::string path = args.golden_out.empty()
+                               ? defaultGoldenPath()
+                               : args.golden_out;
+        std::ofstream out(path);
+        if (!out)
+            support::fatal("cannot write '", path, "'");
+        out << goldenDocument(cells, args.placement, args.clock_hz)
+                   .dump(2)
+            << "\n";
+        out.close();
+        support::inform("golden expectations written to ", path, " (",
+                        cells.size(), " entries)");
+        std::fprintf(stderr, "updated %s (%zu entries)\n", path.c_str(),
+                     cells.size());
+    }
+    return all_ok ? 0 : 1;
+}
+
 /** Shared driver for run / profile / trace. */
 int
 cmdRun(const Args &args)
 {
+    // A workload list (or "all") fans out through the engine; the
+    // single-workload / file path keeps the detailed report below.
+    if (args.command == "run" && args.file.empty() &&
+        (args.workload == "all" ||
+         args.workload.find(',') != std::string::npos))
+        return cmdRunMany(args);
+
     const workloads::Workload *wl = nullptr;
     std::string source = loadSource(args, &wl);
 
@@ -496,7 +831,11 @@ cmdFaults(const Args &args)
         bool crashed = false;
         bool converged = false;
     };
-    std::vector<Sweep> sweeps;
+
+    // All periods are independent: submit the whole sweep to the
+    // engine (a crash — e.g. the --no-recovery stale-metadata demo —
+    // is captured per-run, exactly like the old try/catch).
+    std::vector<harness::RunSpec> specs;
     for (std::uint64_t period : periods) {
         harness::RunSpec faulted = spec;
         faulted.intermittent.plan =
@@ -506,17 +845,24 @@ cmdFaults(const Args &args)
                       period + period / 2, args.fault_seed,
                       args.fault_count)
                 : sim::FaultPlan::periodic(period, args.fault_count);
+        specs.push_back(std::move(faulted));
+    }
+    harness::Engine engine(args.jobs);
+    std::vector<harness::RunOutcome> outcomes = engine.runAll(specs);
+
+    std::vector<Sweep> sweeps;
+    for (std::size_t i = 0; i < periods.size(); ++i) {
         Sweep s;
-        s.period = period;
-        try {
-            s.m = harness::runOne(faulted);
+        s.period = periods[i];
+        if (outcomes[i].error) {
+            s.crashed = true;
+            s.m.fit_note = outcomes[i].error_text;
+        } else {
+            s.m = std::move(outcomes[i].metrics);
             s.converged = s.m.done &&
                           s.m.checksum == clean.checksum &&
                           s.m.data_snapshot == clean.data_snapshot &&
                           s.m.console == clean.console;
-        } catch (const support::FatalError &e) {
-            s.crashed = true;
-            s.m.fit_note = e.what();
         }
         sweeps.push_back(std::move(s));
     }
@@ -634,6 +980,8 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (args.command == "faults")
             return cmdFaults(args);
+        if (args.command == "sweep")
+            return cmdSweep(args);
         if (args.command == "disasm")
             return cmdDisasm(args);
         usage();
