@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CI smoke: validate the `bench_simperf --json` swapram-bench/v1
+document — schema id, the three execution tiers, internally consistent
+throughput and speedup numbers. Performance itself is not asserted
+(CI machines are noisy); BENCH_PR5.json records the reference run."""
+
+import json
+import subprocess
+import sys
+
+EXPECTED_VARIANTS = ["no_predecode", "predecode", "superblock"]
+EXPECTED_SPEEDUPS = [
+    ("predecode_vs_no_predecode", "predecode", "no_predecode"),
+    ("superblock_vs_predecode", "superblock", "predecode"),
+    ("superblock_vs_no_predecode", "superblock", "no_predecode"),
+]
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: check_bench_json.py <bench_simperf>")
+    out = subprocess.run([sys.argv[1], "--json"], check=True,
+                         capture_output=True, text=True).stdout
+    doc = json.loads(out)
+
+    assert doc["schema"] == "swapram-bench/v1", doc.get("schema")
+    assert doc["benchmark"] == "BM_SimulatorThroughput"
+    assert doc["workload"]
+    assert doc["repeats"] >= 1
+
+    variants = {v["name"]: v for v in doc["variants"]}
+    assert sorted(variants) == sorted(EXPECTED_VARIANTS), list(variants)
+    instr = {v["instructions"] for v in variants.values()}
+    assert len(instr) == 1, f"tiers ran different programs: {instr}"
+    for v in variants.values():
+        assert v["instructions"] > 0, v
+        assert v["best_seconds"] > 0, v
+        rate = v["instructions"] / v["best_seconds"]
+        assert abs(rate - v["instr_per_s"]) < 1e-6 * rate, v
+
+    for key, num, den in EXPECTED_SPEEDUPS:
+        got = doc["speedup"][key]
+        want = (variants[num]["instr_per_s"] /
+                variants[den]["instr_per_s"])
+        assert abs(got - want) < 1e-9 * max(want, 1.0), (key, got, want)
+
+    print("swapram-bench/v1 ok:",
+          ", ".join(f"{n} {variants[n]['instr_per_s'] / 1e6:.1f}M/s"
+                    for n in EXPECTED_VARIANTS))
+
+
+if __name__ == "__main__":
+    main()

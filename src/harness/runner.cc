@@ -241,6 +241,7 @@ runOne(const RunSpec &spec)
     config.max_cycles = spec.max_cycles;
     config.timer_period_cycles = spec.workload->timer_period_cycles;
     config.predecode_enabled = spec.predecode;
+    config.superblock_enabled = spec.superblock;
     sim::Machine machine(config);
     machine.load(image, stack_top);
     if (handler_end > handler_base) {

@@ -104,6 +104,12 @@ struct RunSpec {
      *  results must be identical either way. */
     bool predecode = true;
 
+    /** Host-side superblock execution engine (see sim::MachineConfig).
+     *  Off is the single-step oracle for differential tests; simulated
+     *  results must be identical either way. The default follows the
+     *  build (-DSWAPRAM_NO_SUPERBLOCK flips it off). */
+    bool superblock = sim::kSuperblockDefaultEnabled;
+
     /**
      * How many times the startup stub calls main() (the paper runs
      * each benchmark 10 times so steady-state behaviour — after

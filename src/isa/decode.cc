@@ -1,5 +1,7 @@
 #include "isa/decode.hh"
 
+#include <optional>
+
 #include "support/logging.hh"
 
 namespace swapram::isa {
@@ -8,8 +10,8 @@ namespace {
 
 enum class Fmt { One, Two, Jump };
 
-Fmt
-classify(std::uint16_t w0)
+std::optional<Fmt>
+tryClassify(std::uint16_t w0)
 {
     std::uint16_t top = w0 >> 12;
     if (top >= 0x4)
@@ -20,6 +22,14 @@ classify(std::uint16_t w0)
         if (((w0 >> 7) & 0x7) <= 6)
             return Fmt::Two;
     }
+    return std::nullopt;
+}
+
+Fmt
+classify(std::uint16_t w0)
+{
+    if (std::optional<Fmt> fmt = tryClassify(w0))
+        return *fmt;
     support::fatal("decode: invalid instruction word ", w0);
 }
 
@@ -71,6 +81,12 @@ decodeSrc(std::uint8_t as, std::uint8_t reg, std::uint16_t ext,
 }
 
 } // namespace
+
+bool
+validLeadingWord(std::uint16_t w0)
+{
+    return tryClassify(w0).has_value();
+}
 
 Shape
 decodeShape(std::uint16_t w0)

@@ -32,6 +32,16 @@ struct Shape {
 Shape decodeShape(std::uint16_t w0);
 
 /**
+ * True when @p w0 is a decodable leading word (some format I/II/jump
+ * encoding). Non-fatal twin of the classifier behind decodeShape(),
+ * for callers that decode speculatively — e.g. the superblock builder
+ * scanning ahead of the PC — and must stop at garbage words instead of
+ * diagnosing them (only the execution path may fatal, and only if the
+ * program actually reaches the bad word).
+ */
+bool validLeadingWord(std::uint16_t w0);
+
+/**
  * Decode a full instruction.
  *
  * @param w0 leading instruction word

@@ -141,6 +141,8 @@ Bus::write16(std::uint16_t addr, std::uint16_t value)
         predecode_->invalidateWrite(addr);
         ++stats_.predecode_invalidations;
     }
+    if (page_gens_)
+        page_gens_->noteWrite(addr, 2);
     traceAccess(addr, value, AccessKind::Write, false);
 }
 
@@ -157,6 +159,8 @@ Bus::write8(std::uint16_t addr, std::uint8_t value)
         predecode_->invalidateWrite(addr);
         ++stats_.predecode_invalidations;
     }
+    if (page_gens_)
+        page_gens_->noteWrite(addr, 1);
     traceAccess(addr, value, AccessKind::Write, true);
 }
 

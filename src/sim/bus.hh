@@ -20,6 +20,7 @@
 #include "sim/hw_cache.hh"
 #include "sim/memory.hh"
 #include "sim/mmio.hh"
+#include "sim/pagegen.hh"
 #include "sim/predecode.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
@@ -69,7 +70,17 @@ class Bus
      *  detaches. Not owned. */
     void setPredecode(PredecodeCache *cache) { predecode_ = cache; }
 
+    /** Attach the superblock engine's write-generation table so oracle
+     *  stores invalidate blocks exactly like fast-path stores; nullptr
+     *  detaches. Not owned. */
+    void setPageGens(PageGenTable *gens) { page_gens_ = gens; }
+
     HwCache &hwCache() { return hw_cache_; }
+
+    /** Code-space classification range (mirrored by the superblock
+     *  fast path's accounting). */
+    std::uint16_t codeBase() const { return code_base_; }
+    std::uint32_t codeEnd() const { return code_end_; }
 
   private:
     void account(std::uint16_t addr, RegionKind region, AccessKind kind);
@@ -110,6 +121,7 @@ class Bus
     const std::uint64_t *base_cycles_probe_ = nullptr;
     trace::TraceEngine *trace_ = nullptr;
     PredecodeCache *predecode_ = nullptr;
+    PageGenTable *page_gens_ = nullptr;
 };
 
 } // namespace swapram::sim

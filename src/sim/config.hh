@@ -14,6 +14,16 @@
 
 namespace swapram::sim {
 
+/** Build-configured default for MachineConfig::superblock_enabled;
+ *  the -DSWAPRAM_NO_SUPERBLOCK CI leg runs everything on the
+ *  single-step oracle. harness::RunSpec follows the same default. */
+inline constexpr bool kSuperblockDefaultEnabled =
+#ifdef SWAPRAM_NO_SUPERBLOCK
+    false;
+#else
+    true;
+#endif
+
 /** Configuration of one Machine instance. */
 struct MachineConfig {
     /** CPU clock (MCLK). The paper evaluates 8 MHz and 24 MHz. */
@@ -51,6 +61,17 @@ struct MachineConfig {
      * decode path as the oracle.
      */
     bool predecode_enabled = true;
+
+    /**
+     * Host-side superblock execution engine: group decoded instructions
+     * into straight-line blocks and dispatch a whole block per run-loop
+     * iteration, with batched accounting and direct-memory data access.
+     * Simulated behaviour and timing are identical either way (the
+     * engine bails to the single-step path at every boundary it cannot
+     * prove safe); disable for the pure oracle. The build-time default
+     * is flipped by -DSWAPRAM_NO_SUPERBLOCK (CI oracle leg).
+     */
+    bool superblock_enabled = kSuperblockDefaultEnabled;
 
     /**
      * Periodic timer interrupt, in cycles (0 = disabled). When due and

@@ -2,320 +2,27 @@
 
 #include "isa/cycles.hh"
 #include "isa/decode.hh"
+#include "sim/exec.hh"
 #include "support/logging.hh"
 #include "support/platform.hh"
 #include "support/strings.hh"
 
 namespace swapram::sim {
 
-using isa::Mode;
-using isa::Op;
-using isa::Operand;
-using isa::Reg;
-
-namespace sr = isa::sr;
-
-void
-Cpu::setFlags(bool n, bool z, bool c, bool v)
-{
-    std::uint16_t s = regs_[2];
-    s &= static_cast<std::uint16_t>(~(sr::kN | sr::kZ | sr::kC | sr::kV));
-    if (n)
-        s |= sr::kN;
-    if (z)
-        s |= sr::kZ;
-    if (c)
-        s |= sr::kC;
-    if (v)
-        s |= sr::kV;
-    regs_[2] = s;
-}
-
-Cpu::Loc
-Cpu::resolve(const Operand &op, bool byte)
-{
-    switch (op.mode) {
-      case Mode::Register:
-        return {Loc::Kind::Reg, op.reg, 0, 0};
-      case Mode::Immediate:
-        return {Loc::Kind::Imm, Reg::PC, 0, op.value};
-      case Mode::Indexed: {
-        std::uint16_t addr = static_cast<std::uint16_t>(
-            regs_[isa::regIndex(op.reg)] + op.value);
-        return {Loc::Kind::Mem, op.reg, addr, 0};
-      }
-      case Mode::Symbolic:
-      case Mode::Absolute:
-        return {Loc::Kind::Mem, Reg::PC, op.value, 0};
-      case Mode::Indirect:
-        return {Loc::Kind::Mem, op.reg, regs_[isa::regIndex(op.reg)], 0};
-      case Mode::IndirectInc: {
-        std::uint8_t idx = isa::regIndex(op.reg);
-        std::uint16_t addr = regs_[idx];
-        regs_[idx] = static_cast<std::uint16_t>(addr + (byte ? 1 : 2));
-        return {Loc::Kind::Mem, op.reg, addr, 0};
-      }
-    }
-    support::panic("Cpu::resolve: bad mode");
-}
-
-std::uint16_t
-Cpu::loadLoc(const Loc &loc, bool byte)
-{
-    switch (loc.kind) {
-      case Loc::Kind::Reg: {
-        std::uint16_t v = regs_[isa::regIndex(loc.reg)];
-        return byte ? static_cast<std::uint16_t>(v & 0xFF) : v;
-      }
-      case Loc::Kind::Imm:
-        return byte ? static_cast<std::uint16_t>(loc.imm & 0xFF) : loc.imm;
-      case Loc::Kind::Mem:
-        if (byte)
-            return bus_.read8(loc.addr, AccessKind::Read);
-        return bus_.read16(loc.addr, AccessKind::Read);
-    }
-    support::panic("Cpu::loadLoc: bad kind");
-}
-
-void
-Cpu::storeLoc(const Loc &loc, bool byte, std::uint16_t value)
-{
-    switch (loc.kind) {
-      case Loc::Kind::Reg: {
-        if (loc.reg == Reg::CG2)
-            return; // writes to the constant generator are discarded
-        std::uint8_t idx = isa::regIndex(loc.reg);
-        // Byte operations on a register clear the upper byte.
-        regs_[idx] = byte ? static_cast<std::uint16_t>(value & 0xFF)
-                          : value;
-        return;
-      }
-      case Loc::Kind::Mem:
-        if (byte)
-            bus_.write8(loc.addr, static_cast<std::uint8_t>(value & 0xFF));
-        else
-            bus_.write16(loc.addr, value);
-        return;
-      case Loc::Kind::Imm:
-        support::panic("Cpu::storeLoc: store to immediate");
-    }
-}
-
-void
-Cpu::push16(std::uint16_t value)
-{
-    regs_[1] = static_cast<std::uint16_t>(regs_[1] - 2);
-    bus_.write16(regs_[1], value);
-}
-
-std::uint16_t
-Cpu::pop16()
-{
-    std::uint16_t value = bus_.read16(regs_[1], AccessKind::Read);
-    regs_[1] = static_cast<std::uint16_t>(regs_[1] + 2);
-    return value;
-}
-
-void
-Cpu::executeFormatI(const isa::Instr &instr)
-{
-    const bool byte = instr.byte;
-    const std::uint32_t mask = byte ? 0xFFu : 0xFFFFu;
-    const std::uint32_t msb = byte ? 0x80u : 0x8000u;
-
-    Loc src_loc = resolve(instr.src, byte);
-    std::uint32_t src = loadLoc(src_loc, byte);
-    Loc dst_loc = resolve(instr.dst, byte);
-    const bool needs_dst_read = instr.op != Op::Mov;
-    std::uint32_t dst = needs_dst_read ? loadLoc(dst_loc, byte) : 0;
-
-    auto add_common = [&](std::uint32_t a, std::uint32_t b,
-                          std::uint32_t cin, bool writeback) {
-        std::uint32_t sum = a + b + cin;
-        std::uint32_t r = sum & mask;
-        bool c = sum > mask;
-        bool z = r == 0;
-        bool n = (r & msb) != 0;
-        bool v = ((~(a ^ b)) & (a ^ r) & msb) != 0;
-        if (writeback)
-            storeLoc(dst_loc, byte, static_cast<std::uint16_t>(r));
-        setFlags(n, z, c, v);
-    };
-
-    switch (instr.op) {
-      case Op::Mov:
-        storeLoc(dst_loc, byte, static_cast<std::uint16_t>(src));
-        return;
-      case Op::Add:
-        add_common(src, dst, 0, true);
-        return;
-      case Op::Addc:
-        add_common(src, dst, flag(sr::kC) ? 1 : 0, true);
-        return;
-      case Op::Sub:
-        add_common((~src) & mask, dst, 1, true);
-        return;
-      case Op::Subc:
-        add_common((~src) & mask, dst, flag(sr::kC) ? 1 : 0, true);
-        return;
-      case Op::Cmp:
-        add_common((~src) & mask, dst, 1, false);
-        return;
-      case Op::Dadd: {
-        // Nibble-serial BCD addition with carry in.
-        std::uint32_t carry = flag(sr::kC) ? 1 : 0;
-        std::uint32_t r = 0;
-        int nibbles = byte ? 2 : 4;
-        for (int i = 0; i < nibbles; ++i) {
-            std::uint32_t a = (src >> (4 * i)) & 0xF;
-            std::uint32_t b = (dst >> (4 * i)) & 0xF;
-            std::uint32_t d = a + b + carry;
-            carry = d >= 10 ? 1 : 0;
-            if (carry)
-                d -= 10;
-            r |= (d & 0xF) << (4 * i);
-        }
-        storeLoc(dst_loc, byte, static_cast<std::uint16_t>(r));
-        setFlags((r & msb) != 0, r == 0, carry != 0, false);
-        return;
-      }
-      case Op::Bit: {
-        std::uint32_t r = src & dst;
-        setFlags((r & msb) != 0, r == 0, r != 0, false);
-        return;
-      }
-      case Op::And: {
-        std::uint32_t r = src & dst;
-        storeLoc(dst_loc, byte, static_cast<std::uint16_t>(r));
-        setFlags((r & msb) != 0, r == 0, r != 0, false);
-        return;
-      }
-      case Op::Bic:
-        storeLoc(dst_loc, byte,
-                 static_cast<std::uint16_t>(dst & ~src & mask));
-        return;
-      case Op::Bis:
-        storeLoc(dst_loc, byte, static_cast<std::uint16_t>(dst | src));
-        return;
-      case Op::Xor: {
-        std::uint32_t r = (dst ^ src) & mask;
-        bool v = ((src & msb) != 0) && ((dst & msb) != 0);
-        storeLoc(dst_loc, byte, static_cast<std::uint16_t>(r));
-        setFlags((r & msb) != 0, r == 0, r != 0, v);
-        return;
-      }
-      default:
-        support::panic("executeFormatI: bad op");
-    }
-}
-
-void
-Cpu::executeFormatII(const isa::Instr &instr)
-{
-    const bool byte = instr.byte;
-    const std::uint32_t mask = byte ? 0xFFu : 0xFFFFu;
-    const std::uint32_t msb = byte ? 0x80u : 0x8000u;
-
-    if (instr.op == Op::Reti) {
-        regs_[2] = pop16();
-        regs_[0] = pop16();
-        return;
-    }
-
-    Loc loc = resolve(instr.dst, byte);
-
-    switch (instr.op) {
-      case Op::Rrc: {
-        std::uint32_t v = loadLoc(loc, byte);
-        std::uint32_t r =
-            ((v >> 1) | (flag(sr::kC) ? msb : 0)) & mask;
-        storeLoc(loc, byte, static_cast<std::uint16_t>(r));
-        setFlags((r & msb) != 0, r == 0, (v & 1) != 0, false);
-        return;
-      }
-      case Op::Rra: {
-        std::uint32_t v = loadLoc(loc, byte);
-        std::uint32_t r = ((v >> 1) | (v & msb)) & mask;
-        storeLoc(loc, byte, static_cast<std::uint16_t>(r));
-        setFlags((r & msb) != 0, r == 0, (v & 1) != 0, false);
-        return;
-      }
-      case Op::Swpb: {
-        std::uint16_t v = loadLoc(loc, false);
-        std::uint16_t r = static_cast<std::uint16_t>((v >> 8) | (v << 8));
-        storeLoc(loc, false, r);
-        return;
-      }
-      case Op::Sxt: {
-        std::uint16_t v = loadLoc(loc, false);
-        std::uint16_t r = static_cast<std::uint16_t>(
-            static_cast<std::int16_t>(static_cast<std::int8_t>(v & 0xFF)));
-        storeLoc(loc, false, r);
-        setFlags((r & 0x8000) != 0, r == 0, r != 0, false);
-        return;
-      }
-      case Op::Push: {
-        std::uint16_t v = loadLoc(loc, byte);
-        regs_[1] = static_cast<std::uint16_t>(regs_[1] - 2);
-        if (byte)
-            bus_.write8(regs_[1], static_cast<std::uint8_t>(v));
-        else
-            bus_.write16(regs_[1], v);
-        return;
-      }
-      case Op::Call: {
-        std::uint16_t target = loadLoc(loc, false);
-        push16(regs_[0]);
-        regs_[0] = target;
-        return;
-      }
-      default:
-        support::panic("executeFormatII: bad op");
-    }
-}
-
-void
-Cpu::executeJump(const isa::Instr &instr)
-{
-    bool taken = false;
-    switch (instr.op) {
-      case Op::Jne: taken = !flag(sr::kZ); break;
-      case Op::Jeq: taken = flag(sr::kZ); break;
-      case Op::Jnc: taken = !flag(sr::kC); break;
-      case Op::Jc: taken = flag(sr::kC); break;
-      case Op::Jn: taken = flag(sr::kN); break;
-      case Op::Jge: taken = flag(sr::kN) == flag(sr::kV); break;
-      case Op::Jl: taken = flag(sr::kN) != flag(sr::kV); break;
-      case Op::Jmp: taken = true; break;
-      default:
-        support::panic("executeJump: bad op");
-    }
-    if (taken)
-        regs_[0] = instr.jump_target;
-}
-
 void
 Cpu::execute(const isa::Instr &instr)
 {
-    switch (isa::opFormat(instr.op)) {
-      case isa::OpFormat::DoubleOperand:
-        executeFormatI(instr);
-        return;
-      case isa::OpFormat::SingleOperand:
-        executeFormatII(instr);
-        return;
-      case isa::OpFormat::Jump:
-        executeJump(instr);
-        return;
-    }
+    ExecCore<Bus> core(regs_, bus_);
+    core.execute(instr);
 }
 
 void
 Cpu::interrupt(std::uint16_t vector_addr, Stats &stats)
 {
     bus_.beginInstruction();
-    push16(regs_[0]);
-    push16(regs_[2]);
+    ExecCore<Bus> core(regs_, bus_);
+    core.push16(regs_[0]);
+    core.push16(regs_[2]);
     regs_[2] = 0; // SR cleared on entry (GIE off)
     regs_[0] = bus_.read16(vector_addr, AccessKind::Read);
     stats.base_cycles += platform::kInterruptCycles;

@@ -61,29 +61,13 @@ class Cpu
         regs_[isa::regIndex(r)] = v;
     }
 
+    /** The raw register file. The superblock engine executes directly
+     *  on it (sharing ExecCore with step()); everyone else should use
+     *  reg()/setReg(). */
+    std::array<std::uint16_t, 16> &regs() { return regs_; }
+
   private:
-    /** Resolved operand location. */
-    struct Loc {
-        enum class Kind : std::uint8_t { Reg, Mem, Imm } kind;
-        isa::Reg reg;
-        std::uint16_t addr;
-        std::uint16_t imm;
-    };
-
-    Loc resolve(const isa::Operand &op, bool byte);
-    std::uint16_t loadLoc(const Loc &loc, bool byte);
-    void storeLoc(const Loc &loc, bool byte, std::uint16_t value);
-
-    bool flag(std::uint16_t bit) const { return (regs_[2] & bit) != 0; }
-    void setFlags(bool n, bool z, bool c, bool v);
-
     void execute(const isa::Instr &instr);
-    void executeFormatI(const isa::Instr &instr);
-    void executeFormatII(const isa::Instr &instr);
-    void executeJump(const isa::Instr &instr);
-
-    void push16(std::uint16_t value);
-    std::uint16_t pop16();
 
     std::array<std::uint16_t, 16> regs_{};
     Bus &bus_;

@@ -13,25 +13,6 @@ HwCache::reset()
 }
 
 bool
-HwCache::access(std::uint16_t addr)
-{
-    std::uint32_t line = addr >> kLineShift;
-    Set &set = sets_[line & (kSets - 1)];
-    std::uint32_t tag = line >> 1;
-    for (int w = 0; w < kWays; ++w) {
-        if (set.ways[w].valid && set.ways[w].tag == tag) {
-            set.lru = static_cast<std::uint8_t>(1 - w); // other way is LRU
-            return true;
-        }
-    }
-    Way &victim = set.ways[set.lru];
-    victim.valid = true;
-    victim.tag = tag;
-    set.lru = static_cast<std::uint8_t>(1 - set.lru);
-    return false;
-}
-
-bool
 HwCache::probe(std::uint16_t addr) const
 {
     std::uint32_t line = addr >> kLineShift;

@@ -28,8 +28,29 @@ class HwCache
     /**
      * Look up the line containing @p addr, filling it on a miss.
      * @return true on hit.
+     *
+     * Inline: this sits on the per-access hot path of both the bus and
+     * the superblock fast path.
      */
-    bool access(std::uint16_t addr);
+    bool
+    access(std::uint16_t addr)
+    {
+        std::uint32_t line = addr >> kLineShift;
+        Set &set = sets_[line & (kSets - 1)];
+        std::uint32_t tag = line >> 1;
+        for (int w = 0; w < kWays; ++w) {
+            if (set.ways[w].valid && set.ways[w].tag == tag) {
+                // other way is LRU
+                set.lru = static_cast<std::uint8_t>(1 - w);
+                return true;
+            }
+        }
+        Way &victim = set.ways[set.lru];
+        victim.valid = true;
+        victim.tag = tag;
+        set.lru = static_cast<std::uint8_t>(1 - set.lru);
+        return false;
+    }
 
     /** True if the line containing @p addr is present (no state change). */
     bool probe(std::uint16_t addr) const;

@@ -1,5 +1,7 @@
 #include "sim/machine.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 #include "trace/profile.hh"
 
@@ -48,6 +50,15 @@ Machine::Machine(const MachineConfig &config)
         cpu_.setPredecode(predecode_.get());
         bus_.setPredecode(predecode_.get());
     }
+    if (config_.superblock_enabled) {
+        superblock_ = std::make_unique<SuperblockEngine>(
+            cpu_, memory_, bus_, stats_, config_);
+        superblock_->setPredecode(predecode_.get());
+        superblock_->setClassifier([this](std::uint16_t pc) {
+            return static_cast<std::uint8_t>(classifyPc(pc));
+        });
+        bus_.setPageGens(&superblock_->pageGens());
+    }
 }
 
 void
@@ -62,6 +73,8 @@ Machine::load(const masm::Image &image, std::uint16_t stack_top)
     // previously cached decodes are stale.
     if (predecode_)
         predecode_->invalidateAll();
+    if (superblock_)
+        superblock_->invalidateAll();
 }
 
 void
@@ -101,6 +114,8 @@ Machine::powerCycle()
     // above bypassed the bus, so every cached decode is suspect.
     if (predecode_)
         predecode_->invalidateAll();
+    if (superblock_)
+        superblock_->invalidateAll();
     mmio_.powerCycle();
     cpu_.reset(image_.entry, stack_top_);
     timer_pending_ = false;
@@ -120,6 +135,9 @@ Machine::addOwnerRange(std::uint16_t base, std::uint32_t end,
                        CodeOwner owner)
 {
     owner_ranges_.push_back({base, end, owner});
+    // Blocks pre-attribute instr_by_owner at build time.
+    if (superblock_)
+        superblock_->invalidateAll();
 }
 
 void
@@ -242,6 +260,45 @@ Machine::step()
     cpu_.step(stats_);
 }
 
+bool
+Machine::trySuperblock()
+{
+    SuperblockEngine::ChainLimits limits;
+    limits.now = stats_.totalCycles();
+    limits.limit_cycles = config_.max_cycles;
+    if (fault_) {
+        limits.limit_cycles =
+            std::min(limits.limit_cycles, fault_->nextFailureCycle());
+    }
+    limits.timer_period = config_.timer_period_cycles;
+    limits.timer_fire = timer_next_fire_;
+    limits.timer_pending = timer_pending_;
+
+    bool in = false;
+    if (recovery_end_) {
+        std::uint16_t pc = cpu_.pc();
+        in = pc >= recovery_base_ &&
+             static_cast<std::uint32_t>(pc) < recovery_end_;
+        if (in != in_recovery_) {
+            // Trace recovery events only exist with an engine attached,
+            // and an attached engine disables dispatch entirely -- only
+            // the accounting state needs maintaining here.
+            in_recovery_ = in;
+            if (in)
+                recovery_enter_cycle_ = limits.now;
+        }
+    }
+
+    SuperblockEngine::ChainResult res = superblock_->runChain(limits);
+    if (!res.instructions)
+        return false;
+    // The chain never crosses the recovery boundary, so its whole
+    // cycle delta attributes to the entry PC's side.
+    if (in)
+        stats_.recovery_cycles += res.cycles;
+    return true;
+}
+
 RunResult
 Machine::run()
 {
@@ -253,6 +310,10 @@ Machine::run()
             powerCycle();
             continue;
         }
+        // Block-stepped fast path: per-instruction observability
+        // (trace, profiler) needs the oracle.
+        if (superblock_ && !trace_ && !profiler_ && trySuperblock())
+            continue;
         step();
     }
     return {true, mmio_.exitCode()};

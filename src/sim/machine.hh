@@ -30,6 +30,7 @@
 #include "sim/mmio.hh"
 #include "sim/predecode.hh"
 #include "sim/stats.hh"
+#include "sim/superblock.hh"
 
 namespace swapram::trace {
 class FunctionProfiler;
@@ -84,6 +85,9 @@ class Machine
     {
         recovery_base_ = base;
         recovery_end_ = end;
+        // Superblocks must not span the attribution boundary.
+        if (superblock_)
+            superblock_->setRecoveryRange(base, end);
     }
 
     /**
@@ -125,6 +129,14 @@ class Machine
     void stepObserved(std::uint16_t pc, CodeOwner owner);
     void interruptObserved(std::uint16_t pc);
 
+    /**
+     * Attempt a superblock dispatch at the current PC. Returns true if
+     * at least one instruction retired; false means the caller must
+     * single-step (no block here, or a cycle boundary — fault, timer,
+     * max_cycles — could land inside the block's worst-case bound).
+     */
+    bool trySuperblock();
+
     MachineConfig config_;
     Memory memory_;
     Mmio mmio_;
@@ -136,6 +148,10 @@ class Machine
      *  machine owns it and keeps the CPU (lookup/insert) and bus
      *  (write invalidation) wired to the same instance. */
     std::unique_ptr<PredecodeCache> predecode_;
+
+    /** Superblock dispatch engine (null when config disables it); the
+     *  bus's write paths share its page-generation table. */
+    std::unique_ptr<SuperblockEngine> superblock_;
 
     std::uint64_t timer_next_fire_ = 0;
     bool timer_pending_ = false;

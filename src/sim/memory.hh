@@ -47,6 +47,11 @@ class Memory
     /** Copy all image chunks into the array. */
     void loadImage(const masm::Image &image);
 
+    /** Raw backing span for the superblock fast path. Accesses through
+     *  it bypass the bus, so the caller owns all accounting and
+     *  invalidation duties. */
+    std::uint8_t *bytes() { return bytes_.data(); }
+
   private:
     std::vector<std::uint8_t> bytes_;
 };

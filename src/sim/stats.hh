@@ -74,6 +74,25 @@ struct Stats {
     std::uint64_t predecode_misses = 0;
     std::uint64_t predecode_invalidations = 0;
 
+    /**
+     * Superblock engine behaviour (host-side only, like the predecode
+     * counters: block coverage never feeds back into simulated timing,
+     * which must be identical with the engine disabled).
+     */
+    std::uint64_t superblock_blocks_built = 0; ///< non-empty builds
+    std::uint64_t superblock_dispatches = 0;   ///< blocks executed
+    std::uint64_t superblock_instructions = 0; ///< retired in block mode
+    /** Mid-block stop: an operand resolved to MMIO/unmapped, so the
+     *  instruction was handed to the single-step oracle untouched. */
+    std::uint64_t superblock_bail_operand = 0;
+    /** Mid-block stop: a store hit the executing block's own code. */
+    std::uint64_t superblock_bail_smc = 0;
+    /** Dispatch refused: the block's worst-case cycle bound could cross
+     *  a fault/timer/max-cycle boundary (single-step until past it). */
+    std::uint64_t superblock_bail_boundary = 0;
+    /** Cached block found stale (write generations moved) and rebuilt. */
+    std::uint64_t superblock_invalidations = 0;
+
     std::uint64_t totalCycles() const { return base_cycles + stall_cycles; }
     std::uint64_t framAccesses() const { return fram.total(); }
 };

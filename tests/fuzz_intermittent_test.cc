@@ -113,8 +113,16 @@ fuzzOneSeed(std::uint32_t seed, Convergence &tally,
         }
         for (const sim::FaultPlan &plan :
              schedulesFor(ref.stats.totalCycles(), seed)) {
+            // Each faulted run goes in twice: superblock dispatch on
+            // and off. Both must converge, and because the injector
+            // bounds every dispatched block, the failures must land
+            // on the same cycles — identical reboot/cycle counts.
             harness::RunSpec faulted = ref_specs[s];
             faulted.intermittent.plan = plan;
+            faulted.superblock = true;
+            faulted_specs.push_back(faulted);
+            ref_of.push_back(s);
+            faulted.superblock = false;
             faulted_specs.push_back(faulted);
             ref_of.push_back(s);
         }
@@ -132,11 +140,29 @@ fuzzOneSeed(std::uint32_t seed, Convergence &tally,
             << harness::systemName(faulted_specs[i].system)
             << " plan kind "
             << static_cast<int>(faulted_specs[i].intermittent.plan.kind)
+            << " superblock " << faulted_specs[i].superblock
             << ": done=" << got.done << " checksum " << got.checksum
             << " vs " << ref.checksum << " console '" << got.console
             << "' vs '" << ref.console << "'";
-        ++tally.faulted_runs;
-        tally.reboots += got.stats.reboots;
+        if (faulted_specs[i].superblock) {
+            ++tally.faulted_runs;
+            tally.reboots += got.stats.reboots;
+            continue;
+        }
+        // Off-twin of the previous outcome: identical fault timing.
+        const harness::Metrics &on = outcomes[i - 1].metrics;
+        std::string ctx = "seed " + std::to_string(seed) +
+                          " superblock twin divergence, system " +
+                          harness::systemName(faulted_specs[i].system);
+        EXPECT_EQ(on.stats.reboots, got.stats.reboots) << ctx;
+        EXPECT_EQ(on.stats.instructions, got.stats.instructions) << ctx;
+        EXPECT_EQ(on.stats.base_cycles, got.stats.base_cycles) << ctx;
+        EXPECT_EQ(on.stats.stall_cycles, got.stats.stall_cycles) << ctx;
+        EXPECT_EQ(on.stats.recovery_cycles, got.stats.recovery_cycles)
+            << ctx;
+        EXPECT_EQ(on.checksum, got.checksum) << ctx;
+        EXPECT_EQ(on.data_snapshot, got.data_snapshot) << ctx;
+        EXPECT_EQ(on.console, got.console) << ctx;
     }
 }
 

@@ -77,6 +77,17 @@ TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
         notes.push_back("block slots " + std::to_string(slots));
     }
 
+    // Superblock differential: every run again with block dispatch
+    // off. The single-step oracle must produce byte-identical results
+    // on code shapes the curated workloads never exercise.
+    const std::size_t n = specs.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        harness::RunSpec twin = specs[i];
+        specs[i].superblock = true;
+        twin.superblock = false;
+        specs.push_back(twin);
+    }
+
     std::vector<harness::RunOutcome> outcomes =
         harness::Engine().runAll(specs);
 
@@ -85,7 +96,7 @@ TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
     ASSERT_TRUE(base.fits) << base.fit_note;
     ASSERT_TRUE(base.done);
 
-    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    for (std::size_t i = 1; i < n; ++i) {
         std::string ctx =
             "seed " + std::to_string(seed) + " " + notes[i];
         ASSERT_TRUE(outcomes[i].ok())
@@ -94,6 +105,24 @@ TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
         ASSERT_TRUE(m.done) << ctx;
         EXPECT_EQ(m.checksum, base.checksum) << ctx;
         EXPECT_EQ(m.data_snapshot, base.data_snapshot) << ctx;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::string ctx = "seed " + std::to_string(seed) + " " +
+                          notes[i] + " superblock-off twin";
+        ASSERT_TRUE(outcomes[n + i].ok())
+            << ctx << ": " << outcomes[n + i].error_text;
+        const harness::Metrics &on = outcomes[i].metrics;
+        const harness::Metrics &off = outcomes[n + i].metrics;
+        ASSERT_EQ(on.done, off.done) << ctx;
+        EXPECT_EQ(on.checksum, off.checksum) << ctx;
+        EXPECT_EQ(on.data_snapshot, off.data_snapshot) << ctx;
+        EXPECT_EQ(on.console, off.console) << ctx;
+        EXPECT_EQ(on.stats.instructions, off.stats.instructions) << ctx;
+        EXPECT_EQ(on.stats.base_cycles, off.stats.base_cycles) << ctx;
+        EXPECT_EQ(on.stats.stall_cycles, off.stats.stall_cycles) << ctx;
+        EXPECT_EQ(on.stats.fram.total(), off.stats.fram.total()) << ctx;
+        EXPECT_EQ(on.stats.sram.total(), off.stats.sram.total()) << ctx;
     }
 }
 

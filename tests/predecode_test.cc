@@ -25,6 +25,10 @@ withPredecode(bool enabled)
 {
     sim::MachineConfig config;
     config.predecode_enabled = enabled;
+    // These tests assert the per-step predecode counters; superblock
+    // dispatch (tested separately in superblock_test.cc) retires most
+    // instructions without consulting the predecode cache.
+    config.superblock_enabled = false;
     return config;
 }
 
@@ -153,6 +157,7 @@ TEST(Predecode, SwapRamCopyInOverExecutedSramMatchesOracle)
     // Only one callee fits at a time; each call evicts the other.
     spec.swap.cache_base = 0x2000;
     spec.swap.cache_end = 0x2020; // 32 bytes: one callee at a time
+    spec.superblock = false;      // asserting predecode counters
 
     harness::RunSpec oracle = spec;
     oracle.predecode = false;

@@ -322,6 +322,10 @@ TEST(RunReport, JsonRoundTripsAndMatchesMetrics)
     EXPECT_TRUE(doc["done"].asBool());
     EXPECT_EQ(doc["stats"]["total_cycles"].asInt(),
               static_cast<std::int64_t>(m.stats.totalCycles()));
+    EXPECT_EQ(doc["stats"]["superblock_dispatches"].asInt(),
+              static_cast<std::int64_t>(m.stats.superblock_dispatches));
+    EXPECT_EQ(doc["stats"]["superblock_instructions"].asInt(),
+              static_cast<std::int64_t>(m.stats.superblock_instructions));
 
     const json::Array &profile = doc["profile"].asArray();
     ASSERT_EQ(profile.size(), m.profile.size());

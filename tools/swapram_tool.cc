@@ -26,6 +26,11 @@
  *   --policy queue|stack     SwapRAM replacement structure
  *   --blacklist f1,f2        functions excluded from caching
  *   --listing                print the address-annotated listing
+ *   --no-superblock          disable block-stepped dispatch; execute
+ *                            on the single-step (predecode) path.
+ *                            Simulated results are identical either
+ *                            way — this exists for conformance runs
+ *                            and host-performance comparisons.
  *
  * Observability options (run/profile/trace):
  *   --json                   emit a swapram-run-report/v1 JSON document
@@ -96,6 +101,7 @@ struct Args {
     bb::Options block;
     bool listing = false;
     bool json = false;
+    bool no_superblock = false; ///< force single-step/predecode path
     bool disasm = false;
     std::uint32_t trace_categories = trace::kCatNone;
     std::string trace_out;
@@ -127,6 +133,7 @@ usage()
         "         --clock 8|24   --cache-base N --cache-end N\n"
         "         --policy queue|stack   --blacklist f1,f2\n"
         "         --func NAME (disasm)   --listing   --json\n"
+        "         --no-superblock (single-step execution engine)\n"
         "         --trace-categories LIST   --trace-out FILE\n"
         "         --trace-format text|csv|chrome   --trace-limit N\n"
         "         --disasm   --trace N (deprecated)\n"
@@ -203,6 +210,8 @@ parseArgs(int argc, char **argv)
             args.listing = true;
         } else if (a == "--json") {
             args.json = true;
+        } else if (a == "--no-superblock") {
+            args.no_superblock = true;
         } else if (a == "--disasm") {
             args.disasm = true;
         } else if (a == "--trace-categories") {
@@ -398,15 +407,17 @@ std::vector<SweepCell>
 runMatrix(const std::vector<const workloads::Workload *> &wls,
           const std::vector<harness::System> &systems,
           harness::Placement placement, std::uint32_t clock_hz,
-          unsigned jobs)
+          unsigned jobs, bool superblock)
 {
     std::vector<SweepCell> cells;
     std::vector<harness::RunSpec> specs;
     for (const workloads::Workload *w : wls) {
         for (harness::System system : systems) {
             cells.push_back({w, system, {}});
-            specs.push_back(
-                harness::sweepSpec(*w, system, placement, clock_hz));
+            harness::RunSpec spec =
+                harness::sweepSpec(*w, system, placement, clock_hz);
+            spec.superblock = superblock;
+            specs.push_back(spec);
         }
     }
     harness::Engine engine(jobs);
@@ -542,6 +553,7 @@ cmdRunMany(const Args &args)
         spec.block = args.block;
         spec.swap.boot_recovery = !args.no_recovery;
         spec.block.boot_recovery = !args.no_recovery;
+        spec.superblock = !args.no_superblock;
         spec.observe.swap_timeline =
             args.system != harness::System::Baseline;
         specs.push_back(spec);
@@ -602,7 +614,8 @@ cmdSweep(const Args &args)
         args.workload.empty() ? "all" : args.workload);
     std::vector<harness::System> systems = resolveSystems(args.systems);
     std::vector<SweepCell> cells = runMatrix(
-        wls, systems, args.placement, args.clock_hz, args.jobs);
+        wls, systems, args.placement, args.clock_hz, args.jobs,
+        !args.no_superblock);
 
     std::printf("%s\n",
                 sweepDocument(cells, args.placement, args.clock_hz)
@@ -679,6 +692,7 @@ cmdRun(const Args &args)
     spec.include_lib = false; // already appended for workloads
     spec.swap.boot_recovery = !args.no_recovery;
     spec.block.boot_recovery = !args.no_recovery;
+    spec.superblock = !args.no_superblock;
     if (!args.fault_periods.empty()) {
         // run/profile/trace take a single fault period (the faults
         // subcommand sweeps all of them).
@@ -803,6 +817,7 @@ cmdFaults(const Args &args)
     spec.include_lib = false; // already appended for workloads
     spec.swap.boot_recovery = !args.no_recovery;
     spec.block.boot_recovery = !args.no_recovery;
+    spec.superblock = !args.no_superblock;
 
     harness::Metrics clean = harness::runOne(spec);
     if (!clean.fits) {
