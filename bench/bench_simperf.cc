@@ -24,6 +24,7 @@
 
 #include "harness/placement.hh"
 #include "harness/runner.hh"
+#include "metrics/run_metrics.hh"
 #include "blockcache/builder.hh"
 #include "masm/assembler.hh"
 #include "masm/parser.hh"
@@ -135,6 +136,32 @@ BM_SimulatorThroughputTraced(benchmark::State &state)
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 
+/** Same run with a metrics collector attached (heatmap + stall
+ *  histogram recorded per bus access). The disabled path — what
+ *  BM_SimulatorThroughput measures with metrics compiled in — is one
+ *  null-pointer check per access and must stay within noise of it.
+ *  Attached metrics force single-step, so compare vs NoSuperblock. */
+void
+BM_SimulatorThroughputMetrics(benchmark::State &state)
+{
+    const masm::AssembleResult &assembled = crcAssembled();
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Machine machine;
+        machine.load(assembled.image, 0xFF80);
+        metrics::RunMetrics rm;
+        machine.setMetrics(&rm);
+        state.ResumeTiming();
+        auto result = machine.run();
+        benchmark::DoNotOptimize(result.done);
+        benchmark::DoNotOptimize(rm.heatmap.totals().fetch);
+        instructions += machine.stats().instructions;
+    }
+    state.counters["sim_instr_per_s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+
 void
 BM_Assemble(benchmark::State &state)
 {
@@ -181,6 +208,7 @@ BENCHMARK(BM_SimulatorThroughputNoSuperblock)
 BENCHMARK(BM_SimulatorThroughputNoPredecode)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulatorThroughputTraced)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatorThroughputMetrics)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Parse)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Assemble)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SwapRamBuild)->Unit(benchmark::kMillisecond);
@@ -206,16 +234,22 @@ struct TierResult {
 };
 
 TierResult
-measureTier(const sim::MachineConfig &config, int repeats)
+measureTier(const sim::MachineConfig &config, int repeats,
+            bool with_metrics = false)
 {
     TierResult r;
     for (int i = 0; i < repeats; ++i) {
         sim::Machine machine(config);
         machine.load(crcAssembled().image, 0xFF80);
+        metrics::RunMetrics rm;
+        if (with_metrics)
+            machine.setMetrics(&rm);
         auto t0 = std::chrono::steady_clock::now();
         auto result = machine.run();
         auto t1 = std::chrono::steady_clock::now();
         benchmark::DoNotOptimize(result.done);
+        if (with_metrics)
+            benchmark::DoNotOptimize(rm.heatmap.totals().fetch);
         double s = std::chrono::duration<double>(t1 - t0).count();
         if (i == 0 || s < r.best_seconds)
             r.best_seconds = s;
@@ -232,6 +266,11 @@ emitJsonReport(const std::string &path)
     TierResult oracle = measureTier(tierConfig(false, false), repeats);
     TierResult predecode = measureTier(tierConfig(true, false), repeats);
     TierResult superblock = measureTier(tierConfig(true, true), repeats);
+    // Metrics attached force single-step, so the honest reference is
+    // the predecode tier; disabled-metrics cost is the superblock
+    // variant itself (the pointer is compiled in and null there).
+    TierResult with_metrics =
+        measureTier(tierConfig(true, true), repeats, true);
 
     auto variant = [](const char *name, const TierResult &r) {
         return json::Value(json::Object{
@@ -254,12 +293,14 @@ emitJsonReport(const std::string &path)
                          variant("no_predecode", oracle),
                          variant("predecode", predecode),
                          variant("superblock", superblock),
+                         variant("metrics", with_metrics),
                      }},
         {"speedup",
          json::Object{
              {"predecode_vs_no_predecode", ratio(predecode, oracle)},
              {"superblock_vs_predecode", ratio(superblock, predecode)},
              {"superblock_vs_no_predecode", ratio(superblock, oracle)},
+             {"metrics_vs_predecode", ratio(with_metrics, predecode)},
          }},
     });
     std::string text = doc.dump(2);

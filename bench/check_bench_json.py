@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
 """CI smoke: validate the `bench_simperf --json` swapram-bench/v1
-document — schema id, the three execution tiers, internally consistent
-throughput and speedup numbers. Performance itself is not asserted
-(CI machines are noisy); BENCH_PR5.json records the reference run."""
+document — schema id, the three execution tiers plus the
+metrics-attached variant, internally consistent throughput and speedup
+numbers. Performance itself is not asserted (CI machines are noisy);
+BENCH_PR6.json records the reference run."""
 
 import json
 import subprocess
 import sys
 
-EXPECTED_VARIANTS = ["no_predecode", "predecode", "superblock"]
+EXPECTED_VARIANTS = ["no_predecode", "predecode", "superblock",
+                     "metrics"]
 EXPECTED_SPEEDUPS = [
     ("predecode_vs_no_predecode", "predecode", "no_predecode"),
     ("superblock_vs_predecode", "superblock", "predecode"),
     ("superblock_vs_no_predecode", "superblock", "no_predecode"),
+    ("metrics_vs_predecode", "metrics", "predecode"),
 ]
 
 

@@ -1,7 +1,9 @@
 #include "harness/engine.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "isa/opcodes.hh"
@@ -42,6 +44,48 @@ runCaptured(const RunSpec &spec)
     return out;
 }
 
+/** Serializes progress callbacks and maintains the rolling counters.
+ *  Timing feeds only runs_per_sec; results never depend on it. */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(const ProgressFn &fn, std::size_t total)
+        : fn_(fn), total_(total),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    void
+    report(std::size_t index, const RunOutcome &outcome)
+    {
+        if (!fn_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        Progress p;
+        p.done = ++done_;
+        p.total = total_;
+        if (outcome.error)
+            ++errors_;
+        p.errors = errors_;
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+        p.runs_per_sec =
+            secs > 0 ? static_cast<double>(p.done) / secs : 0;
+        p.index = index;
+        p.outcome = &outcome;
+        fn_(p);
+    }
+
+  private:
+    const ProgressFn &fn_;
+    std::size_t total_;
+    std::chrono::steady_clock::time_point start_;
+    std::mutex mutex_;
+    std::size_t done_ = 0;
+    std::size_t errors_ = 0;
+};
+
 } // namespace
 
 unsigned
@@ -54,11 +98,14 @@ Engine::defaultJobs()
 Engine::Engine(unsigned jobs) : jobs_(jobs ? jobs : defaultJobs()) {}
 
 std::vector<RunOutcome>
-Engine::runAll(const std::vector<RunSpec> &specs) const
+Engine::runAll(const std::vector<RunSpec> &specs,
+               const ProgressFn &progress) const
 {
     std::vector<RunOutcome> results(specs.size());
     if (specs.empty())
         return results;
+
+    ProgressReporter reporter(progress, specs.size());
 
     unsigned workers = jobs_;
     if (workers > specs.size())
@@ -68,8 +115,10 @@ Engine::runAll(const std::vector<RunSpec> &specs) const
     // and debuggable — the deterministic reference the parallel path
     // is tested against.
     if (workers <= 1) {
-        for (std::size_t i = 0; i < specs.size(); ++i)
+        for (std::size_t i = 0; i < specs.size(); ++i) {
             results[i] = runCaptured(specs[i]);
+            reporter.report(i, results[i]);
+        }
         return results;
     }
 
@@ -85,6 +134,7 @@ Engine::runAll(const std::vector<RunSpec> &specs) const
             if (i >= specs.size())
                 return;
             results[i] = runCaptured(specs[i]);
+            reporter.report(i, results[i]);
         }
     };
     std::vector<std::thread> pool;

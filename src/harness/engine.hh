@@ -27,6 +27,8 @@
 #ifndef SWAPRAM_HARNESS_ENGINE_HH
 #define SWAPRAM_HARNESS_ENGINE_HH
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,27 @@ struct RunOutcome {
     bool ok() const { return !error; }
 };
 
+/** Live batch progress, reported once per completed run (ISSUE 6). */
+struct Progress {
+    std::size_t done = 0;   ///< runs completed so far (including this)
+    std::size_t total = 0;  ///< batch size
+    std::size_t errors = 0; ///< error outcomes so far
+    double runs_per_sec = 0; ///< rolling rate since the batch started
+    std::size_t index = 0;   ///< submission index of the finished run
+    /** The finished run's outcome (valid only during the callback). */
+    const RunOutcome *outcome = nullptr;
+};
+
+/**
+ * Progress callback: invoked after each run completes, serialized
+ * under an engine-internal mutex (never concurrently), from worker
+ * threads. Completion order — and therefore callback order — is
+ * nondeterministic with jobs > 1; only the counters are monotonic.
+ * The callback must not throw and should be cheap. Wall-clock timing
+ * feeds only `runs_per_sec`; results stay byte-identical.
+ */
+using ProgressFn = std::function<void(const Progress &)>;
+
 /** Thread-pool executor for batches of independent experiments. */
 class Engine
 {
@@ -57,9 +80,12 @@ class Engine
      * Run every spec (each workload pointer must stay valid for the
      * call); outcome i corresponds to specs[i]. A run that throws
      * support::FatalError/PanicError yields an error outcome instead
-     * of aborting the batch.
+     * of aborting the batch. @p progress, when set, is invoked after
+     * each completed run (see ProgressFn).
      */
-    std::vector<RunOutcome> runAll(const std::vector<RunSpec> &specs) const;
+    std::vector<RunOutcome>
+    runAll(const std::vector<RunSpec> &specs,
+           const ProgressFn &progress = {}) const;
 
     /** runAll(), but rethrow the first captured error (by submission
      *  order, so failures are deterministic too). */

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/memory.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "trace/event.hh"
@@ -199,7 +200,105 @@ swapEventJson(const trace::SwapEvent &e)
     return o;
 }
 
+json::Value
+histogramJson(const metrics::Histogram &h)
+{
+    json::Array buckets;
+    for (int i = 0; i < metrics::Histogram::kBuckets; ++i) {
+        std::uint64_t n = h.buckets()[static_cast<std::size_t>(i)];
+        if (!n)
+            continue;
+        buckets.push_back(json::Object{
+            {"le", metrics::Histogram::bucketHigh(i)}, {"count", n}});
+    }
+    return json::Object{
+        {"count", h.count()}, {"sum", h.sum()},   {"min", h.min()},
+        {"max", h.max()},     {"mean", h.mean()}, {"p50", h.p50()},
+        {"p95", h.p95()},     {"p99", h.p99()},
+        {"buckets", std::move(buckets)},
+    };
+}
+
+const char *
+regionName(std::uint16_t base)
+{
+    switch (sim::regionOf(base)) {
+      case sim::RegionKind::Sram: return "sram";
+      case sim::RegionKind::Fram: return "fram";
+      case sim::RegionKind::Mmio: return "mmio";
+      case sim::RegionKind::Unmapped: break;
+    }
+    return "unmapped";
+}
+
+json::Value
+pageCountsJson(const metrics::AddressHeatmap::Page &p)
+{
+    return json::Object{{"fetch", p.fetch},
+                        {"read", p.read},
+                        {"write", p.write},
+                        {"stall_cycles", p.stall_cycles}};
+}
+
+json::Value
+heatmapJson(const metrics::AddressHeatmap &hm)
+{
+    using Heatmap = metrics::AddressHeatmap;
+    // Pages classify by their base address: every region boundary in
+    // the platform map is 64-byte aligned or alone in its page.
+    std::map<std::string, Heatmap::Page> regions;
+    for (unsigned i = 0; i < Heatmap::kPages; ++i) {
+        const Heatmap::Page &p = hm.page(i);
+        if (p.empty())
+            continue;
+        regions[regionName(Heatmap::baseOf(i))].merge(p);
+    }
+    json::Object region_obj;
+    for (const auto &[name, page] : regions)
+        region_obj.emplace(name, pageCountsJson(page));
+
+    constexpr std::size_t kTopPages = 16;
+    json::Array top;
+    for (unsigned i : hm.topPages(kTopPages)) {
+        const Heatmap::Page &p = hm.page(i);
+        top.push_back(json::Object{
+            {"page", i},
+            {"base", Heatmap::baseOf(i)},
+            {"region", std::string(regionName(Heatmap::baseOf(i)))},
+            {"fetch", p.fetch},
+            {"read", p.read},
+            {"write", p.write},
+            {"stall_cycles", p.stall_cycles},
+        });
+    }
+    return json::Object{
+        {"page_bytes", Heatmap::kPageBytes},
+        {"totals", pageCountsJson(hm.totals())},
+        {"regions", std::move(region_obj)},
+        {"top_pages", std::move(top)},
+    };
+}
+
 } // namespace
+
+json::Value
+metricsJson(const metrics::RunMetrics &rm)
+{
+    json::Object counters, gauges, histograms;
+    for (const auto &[name, c] : rm.registry.counters())
+        counters.emplace(name, c.value);
+    for (const auto &[name, g] : rm.registry.gauges())
+        gauges.emplace(name, g.value);
+    for (const auto &[name, h] : rm.registry.histograms())
+        histograms.emplace(name, histogramJson(h));
+    return json::Object{
+        {"schema", "swapram-metrics/v1"},
+        {"counters", std::move(counters)},
+        {"gauges", std::move(gauges)},
+        {"histograms", std::move(histograms)},
+        {"heatmap", heatmapJson(rm.heatmap)},
+    };
+}
 
 RunReport
 RunReport::make(const RunSpec &spec, Metrics metrics)
@@ -292,6 +391,16 @@ RunReport::json() const
                      json::Object{{"emitted", m.trace_emitted},
                                   {"dropped", m.trace_dropped}});
     }
+    if (!m.folded.empty()) {
+        json::Array folded;
+        for (const trace::FoldedStack &f : m.folded) {
+            folded.push_back(json::Object{{"stack", f.stack},
+                                          {"cycles", f.cycles}});
+        }
+        root.emplace("folded_stacks", std::move(folded));
+    }
+    if (m.run_metrics)
+        root.emplace("metrics", metricsJson(*m.run_metrics));
     return root;
 }
 

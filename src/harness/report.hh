@@ -49,6 +49,19 @@ double geoMean(const std::vector<double> &ratios);
 std::string geoMeanDelta(const std::vector<double> &ratios);
 
 /**
+ * Serialize one run's (or one sweep config's merged) metrics as a
+ * "swapram-metrics/v1" object: counters, gauges, histograms (count /
+ * sum / min / max / mean / p50 / p95 / p99 plus non-empty log2 buckets
+ * as {"le", "count"}), and the address-space heatmap (per-region
+ * totals classified with sim::regionOf plus the hottest pages).
+ * Invariants consumers may rely on: per-region fetch/read/write totals
+ * equal the run's sim::Stats access counts, and the
+ * "fram_stall_cycles" histogram sum equals Stats::stall_cycles
+ * (tools/check_metrics_json.py pins both).
+ */
+support::json::Value metricsJson(const metrics::RunMetrics &rm);
+
+/**
  * Everything one run produced, in serializable form: the configuration
  * that was run plus the Metrics it yielded. Build with make(), then
  * json() for machines or text() for humans.

@@ -264,7 +264,12 @@ runOne(const RunSpec &spec)
     bool want_timeline =
         obs.swap_timeline ||
         (spec.system != System::Baseline &&
-         (obs.profile || (obs.categories & trace::kCatSwap)));
+         (obs.profile || obs.metrics ||
+          (obs.categories & trace::kCatSwap)));
+    if (obs.metrics) {
+        m.run_metrics = std::make_shared<metrics::RunMetrics>();
+        machine.setMetrics(m.run_metrics.get());
+    }
     std::unique_ptr<trace::TraceEngine> engine;
     std::unique_ptr<trace::FunctionProfiler> profiler;
     std::unique_ptr<trace::SwapTimeline> timeline;
@@ -350,12 +355,28 @@ runOne(const RunSpec &spec)
         m.trace_emitted = engine->emitted();
         m.trace_dropped = engine->dropped();
     }
-    if (profiler)
+    if (profiler) {
         m.profile = profiler->rows(sim::EnergyModel{}, spec.clock_hz);
+        m.folded = profiler->foldedStacks();
+    }
     if (timeline) {
         m.swap_events = timeline->events();
         m.occupancy = timeline->occupancy();
         m.swap_summary = timeline->summary();
+    }
+    if (m.run_metrics) {
+        // The bus fed the heatmap and stall histogram live; the
+        // miss-handler durations come from the reconstructed timeline.
+        for (const trace::SwapEvent &e : m.swap_events) {
+            if (e.kind == trace::EventKind::MissExit)
+                m.run_metrics->miss_handler_cycles.record(
+                    e.handler_cycles);
+        }
+        metrics::Registry &reg = m.run_metrics->registry;
+        reg.counter("runs").inc();
+        reg.counter("reboots").inc(m.stats.reboots);
+        reg.gauge("peak_resident_bytes")
+            .set(m.swap_summary.peak_resident_bytes);
     }
     m.done = result.done;
     m.console = machine.mmio().console();

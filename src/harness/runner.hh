@@ -18,10 +18,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "blockcache/options.hh"
+#include "metrics/run_metrics.hh"
 #include "harness/placement.hh"
 #include "sim/config.hh"
 #include "sim/energy.hh"
@@ -72,11 +74,18 @@ struct ObserveSpec {
      *  `categories` includes trace::kCatSwap). */
     bool swap_timeline = false;
 
+    /** Collect run metrics: the address-space heatmap, the FRAM
+     *  stall-latency histogram, and (for cache systems) the
+     *  miss-handler-duration histogram. Results land in
+     *  Metrics::run_metrics. Host-side only; forces single-step
+     *  execution like tracing. */
+    bool metrics = false;
+
     bool tracing() const { return categories != trace::kCatNone; }
     bool
     any() const
     {
-        return tracing() || profile || swap_timeline;
+        return tracing() || profile || swap_timeline || metrics;
     }
 };
 
@@ -158,6 +167,10 @@ struct Metrics {
 
     // Observability results (filled per RunSpec::observe).
     std::vector<trace::ProfileRow> profile; ///< most expensive first
+    std::vector<trace::FoldedStack> folded; ///< flamegraph stacks
+    /** Run metrics (observe.metrics); shared so Metrics stays
+     *  copyable. Null when collection was off. */
+    std::shared_ptr<metrics::RunMetrics> run_metrics;
     std::vector<trace::SwapEvent> swap_events;
     std::vector<trace::OccupancySample> occupancy;
     trace::SwapSummary swap_summary;

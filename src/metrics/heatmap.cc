@@ -1,0 +1,42 @@
+#include "metrics/heatmap.hh"
+
+#include <algorithm>
+
+namespace swapram::metrics {
+
+AddressHeatmap::Page
+AddressHeatmap::totals() const
+{
+    Page t;
+    for (const Page &p : pages_)
+        t.merge(p);
+    return t;
+}
+
+std::vector<unsigned>
+AddressHeatmap::topPages(std::size_t n) const
+{
+    std::vector<unsigned> hot;
+    for (unsigned i = 0; i < kPages; ++i) {
+        if (!pages_[i].empty())
+            hot.push_back(i);
+    }
+    std::sort(hot.begin(), hot.end(), [this](unsigned a, unsigned b) {
+        std::uint64_t ha = pages_[a].heat(), hb = pages_[b].heat();
+        if (ha != hb)
+            return ha > hb;
+        return a < b;
+    });
+    if (hot.size() > n)
+        hot.resize(n);
+    return hot;
+}
+
+void
+AddressHeatmap::merge(const AddressHeatmap &other)
+{
+    for (unsigned i = 0; i < kPages; ++i)
+        pages_[i].merge(other.pages_[i]);
+}
+
+} // namespace swapram::metrics

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Address-space heatmap: per-page access and stall concentration over
+ * the 64 KiB simulated address space (ISSUE 6).
+ *
+ * Pages are 64 bytes — fine enough to separate individual functions
+ * and hot data structures, coarse enough that the whole map is a fixed
+ * 1024-slot array (no allocation on the record path). The bus records
+ * one page hit per access it accounts, so per-page fetch/read/write
+ * totals sum exactly to sim::Stats' region access counts, and per-page
+ * stall cycles sum to Stats::stall_cycles — the invariant
+ * tests/metrics_test.cc and tools/check_metrics_json.py pin.
+ *
+ * This is deliberately region-agnostic (pure counters by address); the
+ * report layer classifies pages into FRAM/SRAM/MMIO with
+ * sim::regionOf. Per-page *write* concentration is the substrate the
+ * ROADMAP's wear/endurance-aware NVM backends (item 4) will read.
+ */
+
+#ifndef SWAPRAM_METRICS_HEATMAP_HH
+#define SWAPRAM_METRICS_HEATMAP_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace swapram::metrics {
+
+/** Per-page heat counters for the full 16-bit address space. */
+class AddressHeatmap
+{
+  public:
+    static constexpr unsigned kPageShift = 6; ///< 64-byte pages
+    static constexpr unsigned kPageBytes = 1u << kPageShift;
+    static constexpr unsigned kPages = 0x10000u >> kPageShift;
+
+    struct Page {
+        std::uint64_t fetch = 0;
+        std::uint64_t read = 0;
+        std::uint64_t write = 0;
+        std::uint64_t stall_cycles = 0;
+
+        std::uint64_t accesses() const { return fetch + read + write; }
+        std::uint64_t
+        heat() const
+        {
+            return accesses() + stall_cycles;
+        }
+        void
+        merge(const Page &other)
+        {
+            fetch += other.fetch;
+            read += other.read;
+            write += other.write;
+            stall_cycles += other.stall_cycles;
+        }
+        bool
+        empty() const
+        {
+            return fetch == 0 && read == 0 && write == 0 &&
+                   stall_cycles == 0;
+        }
+    };
+
+    static unsigned pageOf(std::uint16_t addr)
+    {
+        return addr >> kPageShift;
+    }
+    static std::uint16_t baseOf(unsigned page)
+    {
+        return static_cast<std::uint16_t>(page << kPageShift);
+    }
+
+    void recordFetch(std::uint16_t addr) { ++pages_[pageOf(addr)].fetch; }
+    void recordRead(std::uint16_t addr) { ++pages_[pageOf(addr)].read; }
+    void recordWrite(std::uint16_t addr) { ++pages_[pageOf(addr)].write; }
+    void
+    recordStall(std::uint16_t addr, std::uint32_t cycles)
+    {
+        pages_[pageOf(addr)].stall_cycles += cycles;
+    }
+
+    const Page &page(unsigned index) const { return pages_[index]; }
+    const std::array<Page, kPages> &pages() const { return pages_; }
+
+    /** Sum over every page (== the run's total bus accounting). */
+    Page totals() const;
+
+    /** Indices of the @p n hottest non-empty pages, ordered hottest
+     *  first (ties broken by address so reports are deterministic). */
+    std::vector<unsigned> topPages(std::size_t n) const;
+
+    void merge(const AddressHeatmap &other);
+
+  private:
+    std::array<Page, kPages> pages_{};
+};
+
+} // namespace swapram::metrics
+
+#endif // SWAPRAM_METRICS_HEATMAP_HH

@@ -1,0 +1,85 @@
+#include "metrics/metrics.hh"
+
+#include <bit>
+
+namespace swapram::metrics {
+
+int
+Histogram::bucketFor(std::uint64_t value)
+{
+    return value == 0 ? 0 : std::bit_width(value);
+}
+
+std::uint64_t
+Histogram::bucketLow(int i)
+{
+    if (i <= 0)
+        return 0;
+    return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+Histogram::bucketHigh(int i)
+{
+    if (i <= 0)
+        return 0;
+    if (i >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p <= 0)
+        return min();
+    if (p > 100)
+        p = 100;
+    // Nearest-rank: the smallest rank r with r >= p/100 * count.
+    auto target = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_));
+    if (static_cast<double>(target) * 100.0 <
+        p * static_cast<double>(count_))
+        ++target;
+    if (target == 0)
+        target = 1;
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= target) {
+            std::uint64_t high = bucketHigh(i);
+            return high < max_ ? high : max_;
+        }
+    }
+    return max_;
+}
+
+void
+Registry::merge(const Registry &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counters_[name].merge(c);
+    for (const auto &[name, g] : other.gauges_)
+        gauges_[name].merge(g);
+    for (const auto &[name, h] : other.histograms_)
+        histograms_[name].merge(h);
+}
+
+} // namespace swapram::metrics

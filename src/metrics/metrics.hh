@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Low-overhead run metrics: counters, gauges, and log2-bucketed
+ * histograms, collected into a named Registry (ISSUE 6).
+ *
+ * Design contract (the same one tracing established in ISSUE 1):
+ * collection is off by default — emit sites hold a raw pointer that is
+ * nullptr until a run opts in, so the disabled path is one predictable
+ * branch and no allocation ever happens. Components obtain direct
+ * references to their instruments at setup time; the Registry's name
+ * lookup is never on a hot path.
+ *
+ * Histograms bucket by log2 of the value (bucket 0 holds exact zeros,
+ * bucket i holds [2^(i-1), 2^i)), so recording is a bit_width() plus an
+ * increment, memory is fixed (65 slots covers all of uint64), and two
+ * histograms of the same shape merge bucket-wise without loss — the
+ * property the sweep-level aggregation is built on. count/sum/min/max
+ * are exact; percentiles are bucket-resolution estimates (the inclusive
+ * upper bound of the bucket holding the nearest-rank element, clamped
+ * to the exact max).
+ */
+
+#ifndef SWAPRAM_METRICS_METRICS_HH
+#define SWAPRAM_METRICS_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace swapram::metrics {
+
+/** Monotonically increasing event count. */
+struct Counter {
+    std::uint64_t value = 0;
+
+    void inc(std::uint64_t by = 1) { value += by; }
+    void merge(const Counter &other) { value += other.value; }
+};
+
+/** Last-written instantaneous value (merge keeps the maximum, the only
+ *  order-independent combination for point-in-time readings). */
+struct Gauge {
+    std::int64_t value = 0;
+
+    void set(std::int64_t v) { value = v; }
+    void merge(const Gauge &other)
+    {
+        if (other.value > value)
+            value = other.value;
+    }
+};
+
+/** Log2-bucketed distribution of unsigned values. */
+class Histogram
+{
+  public:
+    /** Bucket 0: value == 0; bucket i in [1,64]: [2^(i-1), 2^i). */
+    static constexpr int kBuckets = 65;
+
+    void
+    record(std::uint64_t value)
+    {
+        ++buckets_[bucketFor(value)];
+        ++count_;
+        sum_ += value;
+        if (count_ == 1 || value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    /** Bucket-wise merge; associative and commutative by construction. */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    /** Smallest / largest recorded value (0 when empty). */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    /** Mean of recorded values (0 when empty). */
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Nearest-rank percentile estimate for @p p in (0, 100]: the
+     * inclusive upper bound of the bucket holding the rank-ceil(p/100 *
+     * count) element, clamped to max(). Exact when the bucket holds one
+     * distinct value (e.g. constant distributions); otherwise within
+     * one power of two of the true percentile.
+     */
+    std::uint64_t percentile(double p) const;
+
+    std::uint64_t p50() const { return percentile(50); }
+    std::uint64_t p95() const { return percentile(95); }
+    std::uint64_t p99() const { return percentile(99); }
+
+    const std::array<std::uint64_t, kBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Bucket index a value lands in. */
+    static int bucketFor(std::uint64_t value);
+    /** Inclusive lower bound of bucket @p i (0 for bucket 0). */
+    static std::uint64_t bucketLow(int i);
+    /** Inclusive upper bound of bucket @p i (0 for bucket 0). */
+    static std::uint64_t bucketHigh(int i);
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Named instrument store. Lookup creates on first use and returns a
+ * reference that stays valid for the Registry's lifetime (std::map
+ * nodes are stable), so hot paths bind once and never search. std::map
+ * also keeps report iteration deterministically ordered.
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Gauge &gauge(const std::string &name) { return gauges_[name]; }
+    Histogram &histogram(const std::string &name)
+    {
+        return histograms_[name];
+    }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Gauge> &gauges() const { return gauges_; }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /** Merge @p other instrument-by-name (missing names are created). */
+    void merge(const Registry &other);
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace swapram::metrics
+
+#endif // SWAPRAM_METRICS_METRICS_HH

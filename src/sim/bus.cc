@@ -36,6 +36,18 @@ Bus::account(std::uint16_t addr, RegionKind region, AccessKind kind)
       case AccessKind::Read: ++counts->read; break;
       case AccessKind::Write: ++counts->write; break;
     }
+    if (metrics_) {
+        // Mirrors the region counters above one-for-one, so heatmap
+        // page totals sum exactly to the Stats access counts.
+        switch (kind) {
+          case AccessKind::Fetch: metrics_->heatmap.recordFetch(addr);
+            break;
+          case AccessKind::Read: metrics_->heatmap.recordRead(addr);
+            break;
+          case AccessKind::Write: metrics_->heatmap.recordWrite(addr);
+            break;
+        }
+    }
 
     if (region != RegionKind::Mmio) {
         bool code = addr >= code_base_ &&
@@ -89,6 +101,10 @@ Bus::account(std::uint16_t addr, RegionKind region, AccessKind kind)
             stall = std::max(ws, contention);
         }
         stats_.stall_cycles += stall;
+        if (stall && metrics_) {
+            metrics_->heatmap.recordStall(addr, stall);
+            metrics_->fram_stall_cycles.record(stall);
+        }
         if (stall && trace_ && trace_->wants(trace::kCatStall)) {
             trace_->emit({now(), trace::EventKind::FramStall, 0, addr,
                           0, stall});

@@ -7,8 +7,11 @@
  *
  * When a trace::TraceEngine is attached, the bus emits structured
  * events for every access, FRAM stall, and hardware-cache hit/miss.
- * With no engine attached (the default) each site is a single
- * null-pointer branch — no allocation, no virtual call.
+ * When a metrics::RunMetrics is attached, every accounted access also
+ * lands in the per-page address-space heatmap and every FRAM stall in
+ * the stall-latency histogram. With neither attached (the default)
+ * each site is a single null-pointer branch — no allocation, no
+ * virtual call.
  */
 
 #ifndef SWAPRAM_SIM_BUS_HH
@@ -16,6 +19,7 @@
 
 #include <cstdint>
 
+#include "metrics/run_metrics.hh"
 #include "sim/config.hh"
 #include "sim/hw_cache.hh"
 #include "sim/memory.hh"
@@ -65,6 +69,10 @@ class Bus
     {
         trace_ = engine;
     }
+
+    /** Attach run metrics (heatmap + stall histogram recording);
+     *  nullptr detaches. Not owned. */
+    void setMetrics(metrics::RunMetrics *metrics) { metrics_ = metrics; }
 
     /** Attach a predecode cache to invalidate on writes; nullptr
      *  detaches. Not owned. */
@@ -120,6 +128,7 @@ class Bus
     std::uint32_t last_fram_line_ = 0;
     const std::uint64_t *base_cycles_probe_ = nullptr;
     trace::TraceEngine *trace_ = nullptr;
+    metrics::RunMetrics *metrics_ = nullptr;
     PredecodeCache *predecode_ = nullptr;
     PageGenTable *page_gens_ = nullptr;
 };

@@ -311,8 +311,9 @@ Machine::run()
             continue;
         }
         // Block-stepped fast path: per-instruction observability
-        // (trace, profiler) needs the oracle.
-        if (superblock_ && !trace_ && !profiler_ && trySuperblock())
+        // (trace, profiler, metrics) needs the oracle.
+        if (superblock_ && !trace_ && !profiler_ && !metrics_ &&
+            trySuperblock())
             continue;
         step();
     }

@@ -72,6 +72,19 @@ class Machine
         profiler_ = profiler;
     }
 
+    /**
+     * Attach run metrics (heatmap + histograms, recorded by the bus);
+     * nullptr detaches. Not owned. Like tracing and profiling, an
+     * attached collector forces single-step execution — the superblock
+     * fast path accounts accesses in bulk and would bypass per-access
+     * recording — while simulated results stay identical.
+     */
+    void setMetrics(metrics::RunMetrics *metrics)
+    {
+        metrics_ = metrics;
+        bus_.setMetrics(metrics);
+    }
+
     /** Attach a power-failure injector checked before every step of
      *  run(); nullptr detaches. Not owned. */
     void setFaultInjector(FaultInjector *injector)
@@ -158,6 +171,7 @@ class Machine
 
     trace::TraceEngine *trace_ = nullptr;
     trace::FunctionProfiler *profiler_ = nullptr;
+    metrics::RunMetrics *metrics_ = nullptr;
     FaultInjector *fault_ = nullptr;
     std::uint8_t last_owner_ = 0xFF; ///< 0xFF = no owner seen yet
 

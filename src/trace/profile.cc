@@ -105,6 +105,27 @@ FunctionProfiler::lookup(std::uint16_t pc, std::uint8_t owner)
 }
 
 void
+FunctionProfiler::updateStack(std::size_t idx, bool entry)
+{
+    fold_cur_ = nullptr;
+    if (entry || stack_.empty()) {
+        stack_.push_back(idx);
+        return;
+    }
+    // A non-entry transfer into a frame already on the stack is a
+    // return: pop to it. Anything else (tail-jump, stub, pseudo-row)
+    // replaces the leaf.
+    std::size_t depth = 0;
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it, ++depth) {
+        if (*it == idx) {
+            stack_.resize(stack_.size() - depth);
+            return;
+        }
+    }
+    stack_.back() = idx;
+}
+
+void
 FunctionProfiler::record(std::uint16_t pc, std::uint8_t owner,
                          const StepCosts &costs)
 {
@@ -118,6 +139,22 @@ FunctionProfiler::record(std::uint16_t pc, std::uint8_t owner,
         pc < static_cast<std::uint32_t>(hit.addr) + hit.size;
     bool resident = !is_static && hit.size != 0;
     last_hit_ = is_static ? idx : SIZE_MAX;
+
+    if (stack_.empty() || stack_.back() != idx) {
+        bool entry = is_static && pc == hit.addr;
+        if (resident) {
+            for (const Overlay &o : overlays_) {
+                if (pc >= o.base && pc < o.end && o.row == idx) {
+                    entry = pc == o.base;
+                    break;
+                }
+            }
+        }
+        updateStack(idx, entry);
+    }
+    if (!fold_cur_)
+        fold_cur_ = &folded_[stack_];
+    *fold_cur_ += costs.base_cycles + costs.stall_cycles;
 
     ProfileRow &row = rows_[idx];
     ++row.instructions;
@@ -159,6 +196,44 @@ FunctionProfiler::rows(const sim::EnergyModel &model,
                       return a.totalCycles() > b.totalCycles();
                   return a.name < b.name;
               });
+    return out;
+}
+
+std::vector<FoldedStack>
+FunctionProfiler::foldedStacks() const
+{
+    // std::map iteration is ordered by the row-index vectors; re-key
+    // by name so equal-named stacks (impossible today, but cheap to
+    // guard) collapse and the output is sorted for diffing.
+    std::map<std::string, std::uint64_t> by_name;
+    for (const auto &[stack, cycles] : folded_) {
+        if (!cycles)
+            continue;
+        std::string name;
+        for (std::size_t idx : stack) {
+            if (!name.empty())
+                name += ';';
+            name += rows_[idx].name;
+        }
+        by_name[name] += cycles;
+    }
+    std::vector<FoldedStack> out;
+    out.reserve(by_name.size());
+    for (auto &[name, cycles] : by_name)
+        out.push_back({name, cycles});
+    return out;
+}
+
+std::string
+FunctionProfiler::foldedText() const
+{
+    std::string out;
+    for (const FoldedStack &f : foldedStacks()) {
+        out += f.stack;
+        out += ' ';
+        out += std::to_string(f.cycles);
+        out += '\n';
+    }
     return out;
 }
 

@@ -18,6 +18,7 @@
 #define SWAPRAM_TRACE_PROFILE_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,12 @@ struct StepCosts {
     std::uint64_t sram_fetch = 0, sram_read = 0, sram_write = 0;
 };
 
+/** One folded call stack and the cycles spent with it active. */
+struct FoldedStack {
+    std::string stack; ///< "root;caller;func" (flamegraph.pl folded)
+    std::uint64_t cycles = 0;
+};
+
 /** Attributes per-instruction costs to function address ranges. */
 class FunctionProfiler
 {
@@ -96,6 +103,22 @@ class FunctionProfiler
     /** Sum of cycle attribution across every row (== totalCycles()). */
     std::uint64_t attributedCycles() const;
 
+    /**
+     * Folded call stacks for flamegraph rendering (ISSUE 6): one entry
+     * per distinct stack, root-first frames joined with ';', cycles as
+     * the sample weight. The stack is reconstructed from PC movement —
+     * landing on a function entry pushes, returning to a frame already
+     * on the stack pops to it, any other transfer replaces the leaf —
+     * so it is exact for call/return flow and approximate across
+     * tail-jumps. Folded cycle weights sum to attributedCycles().
+     * Ordered by stack string for deterministic output.
+     */
+    std::vector<FoldedStack> foldedStacks() const;
+
+    /** foldedStacks() as `stack count` lines — the folded format
+     *  flamegraph.pl and speedscope consume directly. */
+    std::string foldedText() const;
+
   private:
     struct Range {
         std::uint16_t addr;
@@ -110,6 +133,7 @@ class FunctionProfiler
 
     std::size_t lookup(std::uint16_t pc, std::uint8_t owner);
     std::size_t pseudoRow(std::uint8_t owner);
+    void updateStack(std::size_t idx, bool entry);
 
     std::vector<ProfileRow> rows_;
     std::vector<Range> ranges_; ///< sorted by addr after seal()
@@ -117,6 +141,14 @@ class FunctionProfiler
     std::size_t pseudo_[8] = {}; ///< per-owner fallback rows (1-based)
     std::size_t last_hit_ = SIZE_MAX;
     bool sealed_ = false;
+
+    // Call-stack reconstruction for foldedStacks(). folded_ maps a
+    // stack (row indices, root first) to accumulated cycles;
+    // fold_cur_ caches the current stack's slot so the per-instruction
+    // cost is one pointer add while the stack is unchanged.
+    std::vector<std::size_t> stack_;
+    std::map<std::vector<std::size_t>, std::uint64_t> folded_;
+    std::uint64_t *fold_cur_ = nullptr;
 };
 
 } // namespace swapram::trace

@@ -8,6 +8,7 @@
  *   swapram_tool run       <file.s|--workload name> [options]
  *   swapram_tool profile   <file.s|--workload name> [options]
  *   swapram_tool trace     <file.s|--workload name> [options]
+ *   swapram_tool heatmap   <file.s|--workload name> [options]
  *   swapram_tool faults    <file.s|--workload name> [options]
  *   swapram_tool sweep     [--workload LIST] [--systems LIST] [options]
  *   swapram_tool disasm    <file.s|--workload name> --func NAME
@@ -44,6 +45,27 @@
  *   --trace N                deprecated alias for
  *                            "--trace-categories instr --trace-limit N
  *                            --disasm"
+ *   --ring-capacity N        trace ring-buffer size in events (default
+ *                            65536). When a traced run drops events the
+ *                            tool warns on stderr; raise this to keep
+ *                            the full history.
+ *   --metrics                collect run metrics (address-space
+ *                            heatmap, FRAM stall / miss-handler
+ *                            histograms); --json embeds them as a
+ *                            swapram-metrics/v1 section. With sweep,
+ *                            per-run metrics merge per system into the
+ *                            sweep document.
+ *   --progress               live batch progress on stderr (run over
+ *                            several workloads, faults, sweep):
+ *                            done/total, error count, rolling runs/s
+ *   --flame-out FILE         write profiled runs' folded call stacks
+ *                            ("stack cycles" lines) for flamegraph.pl
+ *                            / speedscope; implies --profile wiring
+ *
+ * Heatmap options (heatmap):
+ *   --csv FILE               full per-page heat dump
+ *                            (page,base,region,fetch,read,write,
+ *                            stall_cycles)
  *
  * Fault-injection options (faults):
  *   --fault-periods LIST     comma list of power-failure periods in
@@ -65,11 +87,14 @@
  *                            tree's tests/golden/expectations.json)
  */
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+
+#include "metrics/run_metrics.hh"
 
 #include "blockcache/builder.hh"
 #include "harness/engine.hh"
@@ -107,6 +132,11 @@ struct Args {
     std::string trace_out;
     std::string trace_format;
     std::uint64_t trace_limit = 0;
+    std::size_t ring_capacity = 0; ///< 0 = engine default
+    bool metrics = false;          ///< collect swapram-metrics/v1
+    bool progress = false;         ///< live batch progress on stderr
+    std::string flame_out;         ///< folded-stack output file
+    std::string heat_csv;          ///< heatmap: per-page CSV dump
     std::vector<std::uint64_t> fault_periods;
     std::uint32_t fault_count = 8;
     std::uint32_t fault_seed = 0; ///< 0 = fixed-period schedule
@@ -123,11 +153,13 @@ usage()
     std::fprintf(
         stderr,
         "usage: swapram_tool <assemble|transform|run|profile|trace|"
-        "faults|sweep|disasm>\n"
+        "heatmap|faults|sweep|disasm>\n"
         "                    <file.s | --workload NAME[,NAME...|all]> "
         "[options]\n"
         "         --jobs N   --systems LIST   --update-golden\n"
         "         --golden-out FILE\n"
+        "         --metrics   --progress   --flame-out FILE\n"
+        "         --ring-capacity N   --csv FILE (heatmap)\n"
         "options: --system baseline|swapram|block   --placement "
         "unified|standard|sram-code|sram-all|split\n"
         "         --clock 8|24   --cache-base N --cache-end N\n"
@@ -222,6 +254,16 @@ parseArgs(int argc, char **argv)
             args.trace_format = next();
         } else if (a == "--trace-limit") {
             args.trace_limit = std::stoull(next());
+        } else if (a == "--ring-capacity") {
+            args.ring_capacity = std::stoull(next());
+        } else if (a == "--metrics") {
+            args.metrics = true;
+        } else if (a == "--progress") {
+            args.progress = true;
+        } else if (a == "--flame-out") {
+            args.flame_out = next();
+        } else if (a == "--csv") {
+            args.heat_csv = next();
         } else if (a == "--fault-periods") {
             for (const std::string &p : support::split(next(), ','))
                 args.fault_periods.push_back(std::stoull(p, nullptr, 0));
@@ -386,6 +428,61 @@ resolveSystems(const std::string &arg)
     return out;
 }
 
+/**
+ * Progress sink for --progress: a live stderr line with done/total,
+ * error count, and the rolling rate. A failed run's captured error is
+ * printed on its own (persistent) line before the counter refreshes.
+ * Everything goes to stderr so JSON documents on stdout stay clean.
+ */
+harness::ProgressFn
+makeProgress(bool enabled, const char *what)
+{
+    if (!enabled)
+        return {};
+    return [what](const harness::Progress &p) {
+        if (p.outcome && p.outcome->error) {
+            std::fprintf(stderr, "\n%s: run %zu failed: %s\n", what,
+                         p.index, p.outcome->error_text.c_str());
+        }
+        std::fprintf(stderr,
+                     "\r%s: %zu/%zu done, %zu error%s, %.1f runs/s%s",
+                     what, p.done, p.total, p.errors,
+                     p.errors == 1 ? "" : "s", p.runs_per_sec,
+                     p.done == p.total ? "\n" : "");
+        std::fflush(stderr);
+    };
+}
+
+/** Warn when a traced run overwrote ring entries (ISSUE 6 satellite):
+ *  the report only holds the newest --ring-capacity events. */
+void
+warnDropped(const harness::Metrics &m)
+{
+    if (!m.trace_dropped)
+        return;
+    support::warn("trace ring buffer dropped ", m.trace_dropped, " of ",
+                  m.trace_emitted,
+                  " events (oldest overwritten); re-run with "
+                  "--ring-capacity N to keep the full history");
+}
+
+/** Write folded call stacks ("stack cycles" lines) for flamegraph.pl
+ *  / speedscope. */
+void
+writeFlame(const std::string &path,
+           const std::vector<trace::FoldedStack> &folded)
+{
+    std::ofstream out(path);
+    if (!out)
+        support::fatal("cannot write '", path, "'");
+    for (const trace::FoldedStack &f : folded)
+        out << f.stack << ' ' << f.cycles << '\n';
+    support::inform("folded stacks written to ", path, " (",
+                    folded.size(), " stacks)");
+    std::fprintf(stderr, "folded stacks written to %s (%zu stacks)\n",
+                 path.c_str(), folded.size());
+}
+
 /** One (workload × system) cell of a batch and its outcome. */
 struct SweepCell {
     const workloads::Workload *workload = nullptr;
@@ -407,7 +504,8 @@ std::vector<SweepCell>
 runMatrix(const std::vector<const workloads::Workload *> &wls,
           const std::vector<harness::System> &systems,
           harness::Placement placement, std::uint32_t clock_hz,
-          unsigned jobs, bool superblock)
+          unsigned jobs, bool superblock, bool metrics,
+          const harness::ProgressFn &progress)
 {
     std::vector<SweepCell> cells;
     std::vector<harness::RunSpec> specs;
@@ -417,14 +515,49 @@ runMatrix(const std::vector<const workloads::Workload *> &wls,
             harness::RunSpec spec =
                 harness::sweepSpec(*w, system, placement, clock_hz);
             spec.superblock = superblock;
+            spec.observe.metrics = metrics;
             specs.push_back(spec);
         }
     }
     harness::Engine engine(jobs);
-    std::vector<harness::RunOutcome> outcomes = engine.runAll(specs);
+    std::vector<harness::RunOutcome> outcomes =
+        engine.runAll(specs, progress);
     for (std::size_t i = 0; i < cells.size(); ++i)
         cells[i].outcome = std::move(outcomes[i]);
     return cells;
+}
+
+/**
+ * Per-system metrics roll-up for the sweep document: every completed
+ * run's RunMetrics merged bucket-wise (histograms) and page-wise
+ * (heatmap). The merge is associative/commutative and applied in
+ * submission order, so this section is as jobs-independent as the rest
+ * of the sweep document.
+ */
+support::json::Value
+sweepMetricsSection(const std::vector<SweepCell> &cells,
+                    const std::vector<harness::System> &systems)
+{
+    support::json::Array configs;
+    for (harness::System system : systems) {
+        metrics::RunMetrics merged;
+        std::uint64_t runs = 0;
+        for (const SweepCell &cell : cells) {
+            if (cell.system != system ||
+                !cell.outcome.metrics.run_metrics)
+                continue;
+            merged.merge(*cell.outcome.metrics.run_metrics);
+            ++runs;
+        }
+        if (!runs)
+            continue;
+        configs.push_back(support::json::Object{
+            {"system", harness::systemName(system)},
+            {"runs", runs},
+            {"metrics", harness::metricsJson(merged)},
+        });
+    }
+    return support::json::Object{{"configs", std::move(configs)}};
 }
 
 /**
@@ -435,7 +568,8 @@ runMatrix(const std::vector<const workloads::Workload *> &wls,
  */
 support::json::Value
 sweepDocument(const std::vector<SweepCell> &cells,
-              harness::Placement placement, std::uint32_t clock_hz)
+              harness::Placement placement, std::uint32_t clock_hz,
+              support::json::Value metrics_section = {})
 {
     support::json::Array runs;
     for (const SweepCell &cell : cells) {
@@ -467,12 +601,15 @@ sweepDocument(const std::vector<SweepCell> &cells,
         o.emplace("energy_pj", m.energy_pj);
         runs.push_back(std::move(o));
     }
-    return support::json::Object{
+    support::json::Object root{
         {"schema", "swapram-sweep/v1"},
         {"placement", harness::placementName(placement)},
         {"clock_hz", clock_hz},
         {"runs", std::move(runs)},
     };
+    if (!metrics_section.isNull())
+        root.emplace("metrics", std::move(metrics_section));
+    return root;
 }
 
 /** Golden conformance expectations ("swapram-golden/v1") pin checksum,
@@ -556,18 +693,27 @@ cmdRunMany(const Args &args)
         spec.superblock = !args.no_superblock;
         spec.observe.swap_timeline =
             args.system != harness::System::Baseline;
+        spec.observe.metrics = args.metrics;
+        if (args.ring_capacity)
+            spec.observe.ring_capacity = args.ring_capacity;
         specs.push_back(spec);
     }
     harness::Engine engine(args.jobs);
-    std::vector<harness::RunOutcome> outcomes = engine.runAll(specs);
+    std::vector<harness::RunOutcome> outcomes =
+        engine.runAll(specs, makeProgress(args.progress, "run"));
 
     std::vector<SweepCell> cells;
     for (std::size_t i = 0; i < wls.size(); ++i)
         cells.push_back({wls[i], args.system, std::move(outcomes[i])});
 
     if (args.json) {
+        std::vector<harness::System> systems{args.system};
         std::printf("%s\n",
-                    sweepDocument(cells, args.placement, args.clock_hz)
+                    sweepDocument(cells, args.placement, args.clock_hz,
+                                  args.metrics
+                                      ? sweepMetricsSection(cells,
+                                                            systems)
+                                      : support::json::Value{})
                         .dump(2)
                         .c_str());
     } else {
@@ -599,11 +745,21 @@ cmdRunMany(const Args &args)
                     harness::placementName(args.placement).c_str(),
                     args.clock_hz / 1'000'000, table.text().c_str());
     }
+    bool any_bad = false;
     for (const SweepCell &cell : cells) {
-        if (!cell.ok())
-            return 1;
+        warnDropped(cell.outcome.metrics);
+        if (cell.ok())
+            continue;
+        any_bad = true;
+        // Surface the engine-captured error text: the table only has
+        // room for "ERROR".
+        if (cell.outcome.error) {
+            std::fprintf(stderr, "run: %s failed: %s\n",
+                         cell.workload->name.c_str(),
+                         cell.outcome.error_text.c_str());
+        }
     }
-    return 0;
+    return any_bad ? 1 : 0;
 }
 
 /** Full (workload × system) matrix; aggregated JSON; golden refresh. */
@@ -615,10 +771,14 @@ cmdSweep(const Args &args)
     std::vector<harness::System> systems = resolveSystems(args.systems);
     std::vector<SweepCell> cells = runMatrix(
         wls, systems, args.placement, args.clock_hz, args.jobs,
-        !args.no_superblock);
+        !args.no_superblock, args.metrics,
+        makeProgress(args.progress, "sweep"));
 
     std::printf("%s\n",
-                sweepDocument(cells, args.placement, args.clock_hz)
+                sweepDocument(cells, args.placement, args.clock_hz,
+                              args.metrics
+                                  ? sweepMetricsSection(cells, systems)
+                                  : support::json::Value{})
                     .dump(2)
                     .c_str());
 
@@ -710,7 +870,11 @@ cmdRun(const Args &args)
     obs.categories = args.trace_categories;
     obs.limit = args.trace_limit;
     obs.disasm = args.disasm;
-    if (args.command == "profile" || args.json)
+    obs.metrics = args.metrics;
+    if (args.ring_capacity)
+        obs.ring_capacity = args.ring_capacity;
+    if (args.command == "profile" || args.json ||
+        !args.flame_out.empty())
         obs.profile = true;
     if (args.command == "trace" && !obs.categories)
         obs.categories = trace::kCatAll;
@@ -740,6 +904,9 @@ cmdRun(const Args &args)
         support::inform("trace written to ", args.trace_out, " (",
                         rm.trace_emitted, " events)");
     }
+    warnDropped(rm);
+    if (!args.flame_out.empty())
+        writeFlame(args.flame_out, rm.folded);
 
     if (args.json) {
         std::printf("%s\n", report.json().dump(2).c_str());
@@ -863,7 +1030,8 @@ cmdFaults(const Args &args)
         specs.push_back(std::move(faulted));
     }
     harness::Engine engine(args.jobs);
-    std::vector<harness::RunOutcome> outcomes = engine.runAll(specs);
+    std::vector<harness::RunOutcome> outcomes =
+        engine.runAll(specs, makeProgress(args.progress, "faults"));
 
     std::vector<Sweep> sweeps;
     for (std::size_t i = 0; i < periods.size(); ++i) {
@@ -950,11 +1118,177 @@ cmdFaults(const Args &args)
         std::printf("%s", table.text().c_str());
     }
 
+    bool any_bad = false;
     for (const Sweep &s : sweeps) {
+        if (s.crashed) {
+            // The table says CRASH; the captured error text says why.
+            std::fprintf(stderr, "faults: period %s crashed: %s\n",
+                         harness::withCommas(s.period).c_str(),
+                         s.m.fit_note.c_str());
+        }
         if (s.crashed || !s.converged)
-            return 1;
+            any_bad = true;
     }
-    return 0;
+    return any_bad ? 1 : 0;
+}
+
+/**
+ * Run once with metrics attached and render the address-space heatmap:
+ * a 64-column ASCII heat strip over the 64 KiB address space (1 KiB
+ * per column, log-scaled " .:-=+*#%@" ramp), per-region access/stall
+ * totals, the hottest pages, and the FRAM stall-latency percentiles.
+ * --csv dumps every 64-byte page for external plotting.
+ */
+int
+cmdHeatmap(const Args &args)
+{
+    const workloads::Workload *wl = nullptr;
+    std::string source = loadSource(args, &wl);
+
+    workloads::Workload scratch;
+    scratch.name = args.file.empty() ? args.workload : args.file;
+    scratch.display = scratch.name;
+    scratch.source = source;
+    if (wl)
+        scratch.expected = wl->expected;
+
+    harness::RunSpec spec;
+    spec.workload = &scratch;
+    spec.system = args.system;
+    spec.placement = args.placement;
+    spec.clock_hz = args.clock_hz;
+    spec.swap = args.swap;
+    spec.block = args.block;
+    spec.include_lib = false; // already appended for workloads
+    spec.swap.boot_recovery = !args.no_recovery;
+    spec.block.boot_recovery = !args.no_recovery;
+    spec.superblock = !args.no_superblock;
+    spec.observe.metrics = true;
+
+    harness::Metrics m = harness::runOne(spec);
+    if (!m.fits) {
+        std::printf("DNF: %s\n", m.fit_note.c_str());
+        return 1;
+    }
+    const metrics::RunMetrics &rm = *m.run_metrics;
+    using Heatmap = metrics::AddressHeatmap;
+    const Heatmap &hm = rm.heatmap;
+
+    auto region_name = [](std::uint16_t base) -> const char * {
+        switch (sim::regionOf(base)) {
+          case sim::RegionKind::Sram: return "sram";
+          case sim::RegionKind::Fram: return "fram";
+          case sim::RegionKind::Mmio: return "mmio";
+          case sim::RegionKind::Unmapped: break;
+        }
+        return "unmapped";
+    };
+
+    if (args.json) {
+        auto report = harness::RunReport::make(spec, std::move(m));
+        std::printf("%s\n", report.json().dump(2).c_str());
+        return 0;
+    }
+
+    std::printf("heatmap: workload=%s system=%s placement=%s\n",
+                scratch.name.c_str(),
+                harness::systemName(args.system).c_str(),
+                harness::placementName(args.placement).c_str());
+
+    // Heat strip: 64 columns x 1 KiB (16 pages each), log-scaled onto
+    // the ramp so one scorching page doesn't flatten everything else.
+    constexpr unsigned kCols = 64;
+    constexpr unsigned kPagesPerCol = Heatmap::kPages / kCols;
+    static const char kRamp[] = " .:-=+*#%@";
+    constexpr int kLevels = sizeof(kRamp) - 2; ///< highest ramp index
+    std::uint64_t col_heat[kCols] = {};
+    std::uint64_t max_heat = 0;
+    for (unsigned i = 0; i < Heatmap::kPages; ++i) {
+        col_heat[i / kPagesPerCol] += hm.page(i).heat();
+        max_heat = std::max(max_heat, col_heat[i / kPagesPerCol]);
+    }
+    std::string strip;
+    for (unsigned c = 0; c < kCols; ++c) {
+        int level = 0;
+        if (col_heat[c] && max_heat > 1) {
+            level = 1 + static_cast<int>(
+                            (kLevels - 1) *
+                            std::log(static_cast<double>(col_heat[c])) /
+                            std::log(static_cast<double>(max_heat)));
+            level = std::min(level, kLevels);
+        } else if (col_heat[c]) {
+            level = kLevels;
+        }
+        strip += kRamp[level];
+    }
+    std::printf("0x0000 |%s| 0xffff   (1 KiB/col, heat = "
+                "accesses+stall_cycles)\n\n",
+                strip.c_str());
+
+    // Per-region totals (page base classifies the page).
+    std::map<std::string, Heatmap::Page> regions;
+    for (unsigned i = 0; i < Heatmap::kPages; ++i) {
+        if (!hm.page(i).empty())
+            regions[region_name(Heatmap::baseOf(i))].merge(hm.page(i));
+    }
+    harness::Table region_table(
+        {"region", "fetch", "read", "write", "stall_cyc"});
+    for (const auto &[name, p] : regions) {
+        region_table.addRow({name, harness::withCommas(p.fetch),
+                             harness::withCommas(p.read),
+                             harness::withCommas(p.write),
+                             harness::withCommas(p.stall_cycles)});
+    }
+    std::printf("%s\n", region_table.text().c_str());
+
+    harness::Table top_table({"page", "region", "fetch", "read",
+                              "write", "stall_cyc"});
+    for (unsigned i : hm.topPages(16)) {
+        const Heatmap::Page &p = hm.page(i);
+        top_table.addRow(
+            {support::hex16(Heatmap::baseOf(i)),
+             region_name(Heatmap::baseOf(i)),
+             harness::withCommas(p.fetch), harness::withCommas(p.read),
+             harness::withCommas(p.write),
+             harness::withCommas(p.stall_cycles)});
+    }
+    std::printf("%s", top_table.text().c_str());
+
+    const metrics::Histogram &stalls = rm.fram_stall_cycles;
+    std::printf("\nfram stalls: count=%s sum=%s p50=%llu p95=%llu "
+                "p99=%llu max=%llu\n",
+                harness::withCommas(stalls.count()).c_str(),
+                harness::withCommas(stalls.sum()).c_str(),
+                static_cast<unsigned long long>(stalls.p50()),
+                static_cast<unsigned long long>(stalls.p95()),
+                static_cast<unsigned long long>(stalls.p99()),
+                static_cast<unsigned long long>(stalls.max()));
+    const metrics::Histogram &handler = rm.miss_handler_cycles;
+    if (handler.count()) {
+        std::printf("miss handler: count=%s p50=%llu p95=%llu "
+                    "max=%llu\n",
+                    harness::withCommas(handler.count()).c_str(),
+                    static_cast<unsigned long long>(handler.p50()),
+                    static_cast<unsigned long long>(handler.p95()),
+                    static_cast<unsigned long long>(handler.max()));
+    }
+
+    if (!args.heat_csv.empty()) {
+        std::ofstream csv(args.heat_csv);
+        if (!csv)
+            support::fatal("cannot write '", args.heat_csv, "'");
+        csv << "page,base,region,fetch,read,write,stall_cycles\n";
+        for (unsigned i = 0; i < Heatmap::kPages; ++i) {
+            const Heatmap::Page &p = hm.page(i);
+            csv << i << ',' << Heatmap::baseOf(i) << ','
+                << region_name(Heatmap::baseOf(i)) << ',' << p.fetch
+                << ',' << p.read << ',' << p.write << ','
+                << p.stall_cycles << '\n';
+        }
+        std::fprintf(stderr, "heatmap CSV written to %s (%u pages)\n",
+                     args.heat_csv.c_str(), Heatmap::kPages);
+    }
+    return m.done ? 0 : 1;
 }
 
 int
@@ -993,6 +1327,8 @@ main(int argc, char **argv)
         if (args.command == "run" || args.command == "profile" ||
             args.command == "trace")
             return cmdRun(args);
+        if (args.command == "heatmap")
+            return cmdHeatmap(args);
         if (args.command == "faults")
             return cmdFaults(args);
         if (args.command == "sweep")
