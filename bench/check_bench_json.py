@@ -3,7 +3,7 @@
 document — schema id, the three execution tiers plus the
 metrics-attached variant, internally consistent throughput and speedup
 numbers. Performance itself is not asserted (CI machines are noisy);
-BENCH_PR6.json records the reference run."""
+BENCH_PR7.json records the reference run."""
 
 import json
 import subprocess

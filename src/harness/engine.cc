@@ -159,6 +159,30 @@ sweepSpec(const workloads::Workload &workload, System system,
     return spec;
 }
 
+RunSpec
+capacitySpec(const workloads::Workload &workload, System system,
+             std::uint32_t sram_size, std::uint32_t clock_hz)
+{
+    RunSpec spec =
+        sweepSpec(workload, system, Placement::Unified, clock_hz);
+    spec.sram_size = sram_size;
+    return spec;
+}
+
+std::vector<MatrixCell>
+capacityMatrix()
+{
+    std::vector<MatrixCell> cells;
+    for (const workloads::Workload &w : workloads::capacity()) {
+        // One baseline reference at the platform default, then the
+        // SwapRAM hit/thrash curve across the capacity ladder.
+        cells.push_back({&w, System::Baseline, platform::kSramSize});
+        for (std::uint32_t size : kCapacitySizes)
+            cells.push_back({&w, System::SwapRam, size});
+    }
+    return cells;
+}
+
 std::vector<Metrics>
 Engine::runAllOrThrow(const std::vector<RunSpec> &specs) const
 {

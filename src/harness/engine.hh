@@ -109,6 +109,31 @@ RunSpec sweepSpec(const workloads::Workload &workload, System system,
                   Placement placement = Placement::Unified,
                   std::uint32_t clock_hz = 24'000'000);
 
+/** SRAM capacities swept for the ISSUE-7 hit/thrash curve. */
+inline constexpr std::uint32_t kCapacitySizes[] = {1024, 2048, 4096,
+                                                   8192};
+
+/** sweepSpec() with the simulated SRAM capacity overridden; the runner
+ *  re-anchors default cache bounds to the new SRAM end. */
+RunSpec capacitySpec(const workloads::Workload &workload, System system,
+                     std::uint32_t sram_size,
+                     std::uint32_t clock_hz = 24'000'000);
+
+/** One cell of a (workload × system × SRAM size) matrix. */
+struct MatrixCell {
+    const workloads::Workload *workload = nullptr;
+    System system = System::Baseline;
+    std::uint32_t sram_size = 0;
+};
+
+/**
+ * The canonical capacity-pressure matrix (ISSUE 7): every
+ * workloads::capacity() entry as a baseline reference at the platform
+ * default plus a SwapRAM run per kCapacitySizes step — shared by
+ * `swapram_tool sweep --capacity` and the golden conformance suite.
+ */
+std::vector<MatrixCell> capacityMatrix();
+
 } // namespace swapram::harness
 
 #endif // SWAPRAM_HARNESS_ENGINE_HH

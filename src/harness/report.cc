@@ -186,6 +186,12 @@ swapEventJson(const trace::SwapEvent &e)
         o.emplace("nvm_addr", e.nvm_addr);
         o.emplace("bytes", e.bytes);
         break;
+      case trace::EventKind::DataSwapIn:
+      case trace::EventKind::DataSwapOut:
+        o.emplace("cache_addr", e.cache_addr);
+        o.emplace("nvm_addr", e.nvm_addr);
+        o.emplace("bytes", e.bytes);
+        break;
       case trace::EventKind::MissExit:
         o.emplace("handler_cycles", e.handler_cycles);
         break;
@@ -309,6 +315,7 @@ RunReport::make(const RunSpec &spec, Metrics metrics)
     report.placement = placementName(spec.placement);
     report.clock_hz = spec.clock_hz;
     report.main_repeats = spec.main_repeats;
+    report.sram_size = spec.sram_size;
     report.metrics = std::move(metrics);
     return report;
 }
@@ -324,6 +331,7 @@ RunReport::json() const
         {"placement", placement},
         {"clock_hz", clock_hz},
         {"main_repeats", main_repeats},
+        {"sram_size", sram_size},
         {"fits", m.fits},
         {"done", m.done},
         {"checksum", m.checksum},
@@ -378,6 +386,9 @@ RunReport::json() const
                 {"copy_ins", sum.copy_ins},
                 {"evictions", sum.evictions},
                 {"bytes_copied", sum.bytes_copied},
+                {"data_swap_ins", sum.data_swap_ins},
+                {"data_swap_outs", sum.data_swap_outs},
+                {"data_bytes_copied", sum.data_bytes_copied},
                 {"handler_cycles", sum.handler_cycles},
                 {"peak_resident_bytes", sum.peak_resident_bytes},
                 {"power_failures", sum.power_failures},
@@ -385,6 +396,16 @@ RunReport::json() const
                 {"events", std::move(events)},
                 {"occupancy", std::move(occupancy)},
             });
+    }
+    if (system == "swapram") {
+        // The generated runtime's own bookkeeping cells, read back from
+        // the image (cross-checkable against the timeline above).
+        root.emplace("runtime_counters",
+                     json::Object{{"evictions", m.rt_evictions},
+                                  {"retries", m.rt_retries},
+                                  {"data_swap_ins", m.rt_data_in},
+                                  {"data_swap_outs", m.rt_data_out},
+                                  {"data_pool_full", m.rt_data_full}});
     }
     if (m.trace_emitted || m.trace_dropped) {
         root.emplace("trace",
@@ -436,6 +457,21 @@ RunReport::text(std::size_t profile_rows) const
             " bytes_copied=", withCommas(s.bytes_copied),
             " handler_cycles=", withCommas(s.handler_cycles),
             " peak_resident=", s.peak_resident_bytes, "B\n");
+        if (s.data_swap_ins || s.data_swap_outs) {
+            out += support::cat(
+                "data-pool: swap_ins=", withCommas(s.data_swap_ins),
+                " swap_outs=", withCommas(s.data_swap_outs),
+                " bytes=", withCommas(s.data_bytes_copied), "\n");
+        }
+    }
+    if (m.rt_evictions || m.rt_retries || m.rt_data_in ||
+        m.rt_data_out || m.rt_data_full) {
+        out += support::cat(
+            "runtime-counters: evictions=", withCommas(m.rt_evictions),
+            " retries=", withCommas(m.rt_retries),
+            " data_ins=", withCommas(m.rt_data_in),
+            " data_outs=", withCommas(m.rt_data_out),
+            " data_full=", withCommas(m.rt_data_full), "\n");
     }
     if (!m.profile.empty()) {
         Table table({"function", "instrs", "cycles", "stall", "fram",

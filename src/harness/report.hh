@@ -75,6 +75,7 @@ struct RunReport {
     std::string placement; ///< placementName()
     std::uint32_t clock_hz = 0;
     int main_repeats = 1;
+    std::uint32_t sram_size = 0; ///< simulated SRAM bytes
     Metrics metrics;
 
     /** Capture spec identity + results into a report. */

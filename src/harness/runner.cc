@@ -1,7 +1,9 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "blockcache/builder.hh"
 #include "isa/decode.hh"
@@ -66,20 +68,20 @@ namespace {
 
 /** Region a section base falls in, for fit checks. */
 bool
-inSram(std::uint16_t base)
+inSram(std::uint16_t base, std::uint32_t sram_end)
 {
-    return base >= plat::kSramBase && base < plat::kSramEnd;
+    return base >= plat::kSramBase && base < sram_end;
 }
 
 /** Check that a section fits in its region; append a note if not. */
 void
 checkSection(const char *name, const masm::Range &range,
-             std::string &note)
+             std::uint32_t sram_end, std::string &note)
 {
     if (range.size == 0)
         return;
-    if (inSram(range.base)) {
-        if (range.end() > plat::kSramEnd) {
+    if (inSram(range.base, sram_end)) {
+        if (range.end() > sram_end) {
             note += support::cat(name, " overflows SRAM (",
                                  range.end() - plat::kSramBase,
                                  " bytes); ");
@@ -90,6 +92,113 @@ checkSection(const char *name, const masm::Range &range,
                                  support::hex16(static_cast<std::uint16_t>(
                                      range.end() & 0xFFFF)),
                                  "); ");
+        }
+    }
+}
+
+/**
+ * Post-run SwapRAM state invariants (ISSUE 7 satellite): every redirect
+ * cell points either at the miss handler (not cached, and the function
+ * body still lives at its FRAM address) or at a live SRAM copy that is
+ * in cache bounds, byte-identical to the FRAM body, and non-overlapping
+ * with every other resident copy; every relocation cell is consistent
+ * with the residency; every active counter has unwound to zero. Runs
+ * after every completed SwapRAM run — all tests and both fuzz harnesses
+ * exercise it for free. Violations panic, which the engine captures as
+ * a run failure.
+ */
+void
+verifySwapInvariants(const sim::Machine &machine,
+                     const masm::AssembleResult &assembled,
+                     const cache::FuncIds &funcs,
+                     const cache::Options &swap)
+{
+    auto sym = [&](const char *name) {
+        auto it = assembled.symbols.find(name);
+        if (it == assembled.symbols.end())
+            support::panic("swap invariants: missing symbol ", name);
+        return it->second;
+    };
+    const std::uint16_t redirect_t = sym("__swp_redirect");
+    const std::uint16_t cached_t = sym("__swp_cached");
+    const std::uint16_t active_t = sym("__swp_active");
+    const std::uint16_t rbase_t = sym("__swp_rbase");
+    const std::uint16_t rcnt_t = sym("__swp_rcnt");
+    const std::uint16_t rofs_t = sym("__swp_rofs");
+    const std::uint16_t rval_t = sym("__swp_rval");
+    const std::uint16_t miss = sym("__swp_miss");
+    const std::uint16_t code_end = swap.poolBase();
+
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> resident;
+    for (int id = 0; id < funcs.count(); ++id) {
+        const std::string &name = funcs.names[id];
+        const masm::FunctionInfo &f = assembled.function(name);
+        auto cell = [&](std::uint16_t table) {
+            return machine.peek16(
+                static_cast<std::uint16_t>(table + 2 * id));
+        };
+        std::uint16_t redirect = cell(redirect_t);
+        std::uint16_t cached = cell(cached_t);
+        if (cell(active_t) != 0) {
+            support::panic("swap invariants: '", name,
+                           "' active counter nonzero at completion");
+        }
+        std::uint16_t home = cached == 0xFFFF ? f.addr : cached;
+        if (cached == 0xFFFF) {
+            if (redirect != miss) {
+                support::panic("swap invariants: '", name,
+                               "' not cached but redirect cell holds ",
+                               support::hex16(redirect));
+            }
+        } else {
+            if (redirect != cached) {
+                support::panic("swap invariants: '", name,
+                               "' cached at ", support::hex16(cached),
+                               " but redirect cell holds ",
+                               support::hex16(redirect));
+            }
+            if (cached < swap.cache_base ||
+                static_cast<std::uint32_t>(cached) + f.size > code_end) {
+                support::panic("swap invariants: '", name,
+                               "' SRAM copy [", support::hex16(cached),
+                               ", +", f.size, ") outside the code cache");
+            }
+            for (std::uint32_t i = 0; i < f.size; ++i) {
+                if (machine.peek8(static_cast<std::uint16_t>(cached + i)) !=
+                    machine.peek8(static_cast<std::uint16_t>(f.addr + i))) {
+                    support::panic("swap invariants: '", name,
+                                   "' SRAM copy differs from FRAM body "
+                                   "at offset ", i);
+                }
+            }
+            resident.emplace_back(cached,
+                                  static_cast<std::uint16_t>(cached +
+                                                             f.size));
+        }
+        // Relocation cells must match the residency either way.
+        std::uint16_t rbase = cell(rbase_t);
+        std::uint16_t rcnt = cell(rcnt_t);
+        for (std::uint16_t k = 0; k < rcnt; ++k) {
+            auto at = static_cast<std::uint16_t>(rbase + 2 * k);
+            std::uint16_t ofs = machine.peek16(
+                static_cast<std::uint16_t>(rofs_t + at));
+            std::uint16_t val = machine.peek16(
+                static_cast<std::uint16_t>(rval_t + at));
+            if (val != static_cast<std::uint16_t>(home + ofs)) {
+                support::panic("swap invariants: '", name,
+                               "' reloc cell ", k, " holds ",
+                               support::hex16(val), ", expected ",
+                               support::hex16(
+                                   static_cast<std::uint16_t>(home +
+                                                              ofs)));
+            }
+        }
+    }
+    std::sort(resident.begin(), resident.end());
+    for (std::size_t i = 1; i < resident.size(); ++i) {
+        if (resident[i].first < resident[i - 1].second) {
+            support::panic("swap invariants: resident copies overlap at ",
+                           support::hex16(resident[i].first));
         }
     }
 }
@@ -127,7 +236,34 @@ runOne(const RunSpec &spec)
     cache::Options swap = spec.swap;
     bb::Options block = spec.block;
     std::uint16_t stack_top = plan.stack_top;
-    if (spec.placement == Placement::Split) {
+
+    // Capacity sweeps (ISSUE 7): re-anchor default cache bounds to the
+    // selected SRAM size, and let workloads that use the data-swap API
+    // supply their preferred pool size when the spec does not override.
+    const std::uint32_t sram_end = plat::kSramBase + spec.sram_size;
+    if (spec.sram_size != plat::kSramSize) {
+        if (swap.cache_end == plat::kSramEnd)
+            swap.cache_end = static_cast<std::uint16_t>(sram_end);
+        if (block.cache_end == plat::kSramEnd)
+            block.cache_end = static_cast<std::uint16_t>(sram_end);
+    }
+    if (!swap.data_pool_bytes && spec.workload->data_pool_bytes)
+        swap.data_pool_bytes = spec.workload->data_pool_bytes;
+    if (swap.cache_end > sram_end || block.cache_end > sram_end) {
+        support::fatal("cache region ends beyond the configured SRAM "
+                       "end ", support::hex16(static_cast<std::uint16_t>(
+                                   sram_end)));
+    }
+
+    // Standard also places .data/.bss (and the stack) in SRAM, so a
+    // caching system must carve its region out of what is left —
+    // otherwise cached copies share addresses with data and the stack,
+    // and ordinary stores corrupt resident code (the post-run invariant
+    // walk catches exactly that).
+    const bool carve_standard =
+        spec.placement == Placement::Standard &&
+        spec.system != System::Baseline;
+    if (spec.placement == Placement::Split || carve_standard) {
         // The probe is a plain baseline assembly, which does not
         // define the recovery symbol; assemble without the call (a
         // text-only difference, so the data/bss sizing is identical).
@@ -140,18 +276,35 @@ runOne(const RunSpec &spec)
         masm::AssembleResult probe =
             masm::assemble(probe_program, plan.layout);
         std::uint32_t bss_end = probe.image.bss.end();
-        std::uint32_t top = (bss_end + spec.workload->stack_bytes + 1) &
-                            ~1u;
-        if (top >= plat::kSramEnd) {
-            m.fits = false;
-            m.fit_note = "data+stack exceed SRAM";
-            return m;
+        if (carve_standard) {
+            // Standard keeps the stack at the SRAM top: the cache gets
+            // the span between bss and the stack reservation.
+            std::uint32_t base = (bss_end + 1) & ~1u;
+            std::uint32_t end =
+                (sram_end - spec.workload->stack_bytes) & ~1u;
+            if (base + 64 > end) {
+                m.fits = false;
+                m.fit_note = "data+stack leave no SRAM for the cache";
+                return m;
+            }
+            swap.cache_base = static_cast<std::uint16_t>(base);
+            swap.cache_end = static_cast<std::uint16_t>(end);
+            block.cache_base = static_cast<std::uint16_t>(base);
+            block.cache_end = static_cast<std::uint16_t>(end);
+        } else {
+            std::uint32_t top =
+                (bss_end + spec.workload->stack_bytes + 1) & ~1u;
+            if (top >= sram_end) {
+                m.fits = false;
+                m.fit_note = "data+stack exceed SRAM";
+                return m;
+            }
+            stack_top = static_cast<std::uint16_t>(top);
+            swap.cache_base = stack_top;
+            swap.cache_end = static_cast<std::uint16_t>(sram_end);
+            block.cache_base = stack_top;
+            block.cache_end = static_cast<std::uint16_t>(sram_end);
         }
-        stack_top = static_cast<std::uint16_t>(top);
-        swap.cache_base = stack_top;
-        swap.cache_end = static_cast<std::uint16_t>(plat::kSramEnd);
-        block.cache_base = stack_top;
-        block.cache_end = static_cast<std::uint16_t>(plat::kSramEnd);
     }
 
     // Build under the selected system.
@@ -159,6 +312,8 @@ runOne(const RunSpec &spec)
     std::uint16_t handler_base = 0, handler_end = 0;
     std::uint16_t memcpy_base = 0, memcpy_end = 0;
     std::uint16_t recover_base = 0, recover_end = 0;
+    std::uint16_t datapool_base = 0, datapool_end = 0;
+    cache::FuncIds swap_funcs; // kept for post-run invariant checks
     switch (spec.system) {
       case System::Baseline: {
         assembled = masm::assemble(program, plan.layout);
@@ -180,6 +335,9 @@ runOne(const RunSpec &spec)
         memcpy_end = info.memcpy_end;
         recover_base = info.recover_addr;
         recover_end = info.recover_end;
+        datapool_base = info.datapool_addr;
+        datapool_end = info.datapool_end;
+        swap_funcs = info.funcs;
         break;
       }
       case System::BlockCache: {
@@ -209,21 +367,21 @@ runOne(const RunSpec &spec)
 
     // Fit checks (the paper's DNF criterion).
     std::string note;
-    checkSection("text", image.text, note);
-    checkSection("const", image.cnst, note);
-    checkSection("data", image.data, note);
-    checkSection("bss", image.bss, note);
+    checkSection("text", image.text, sram_end, note);
+    checkSection("const", image.cnst, sram_end, note);
+    checkSection("data", image.data, sram_end, note);
+    checkSection("bss", image.bss, sram_end, note);
     // Stack headroom.
     if (plan.stack_in_sram && spec.placement != Placement::Split) {
         std::uint32_t data_top = std::max(image.data.end(),
                                           image.bss.end());
         std::uint32_t limit = stack_top - spec.workload->stack_bytes;
-        if (inSram(image.data.base) && data_top > limit)
+        if (inSram(image.data.base, sram_end) && data_top > limit)
             note += "no room for stack in SRAM; ";
     } else if (!plan.stack_in_sram) {
         std::uint32_t data_top = std::max(image.data.end(),
                                           image.bss.end());
-        if (!inSram(image.data.base) &&
+        if (!inSram(image.data.base, sram_end) &&
             data_top > static_cast<std::uint32_t>(
                            stack_top - spec.workload->stack_bytes)) {
             note += "no room for stack in FRAM; ";
@@ -242,6 +400,7 @@ runOne(const RunSpec &spec)
     config.timer_period_cycles = spec.workload->timer_period_cycles;
     config.predecode_enabled = spec.predecode;
     config.superblock_enabled = spec.superblock;
+    config.sram_size = spec.sram_size;
     sim::Machine machine(config);
     machine.load(image, stack_top);
     if (handler_end > handler_base) {
@@ -251,6 +410,13 @@ runOne(const RunSpec &spec)
     if (memcpy_end > memcpy_base) {
         machine.addOwnerRange(memcpy_base, memcpy_end,
                               sim::CodeOwner::Memcpy);
+    }
+    if (datapool_end > datapool_base) {
+        // __swp_din/__swp_dout count as runtime overhead, like the
+        // miss handler they parallel (their copies still run under the
+        // Memcpy owner).
+        machine.addOwnerRange(datapool_base, datapool_end,
+                              sim::CodeOwner::Handler);
     }
     if (recover_end > recover_base)
         machine.setRecoveryRange(recover_base, recover_end);
@@ -335,6 +501,10 @@ runOne(const RunSpec &spec)
                 is_block ? block.cache_end : swap.cache_end);
             for (const masm::FunctionInfo &f : assembled.functions)
                 timeline->addFunction(f.name, f.addr, f.size);
+            if (!is_block && swap.data_pool_bytes) {
+                timeline->setDataPool(swap.poolBase(), datapool_base,
+                                      datapool_end);
+            }
             timeline->setEngine(engine.get());
             if (profiler)
                 timeline->setProfiler(profiler.get());
@@ -386,6 +556,26 @@ runOne(const RunSpec &spec)
     if (auto it = assembled.symbols.find("bench_result");
         it != assembled.symbols.end()) {
         m.checksum = machine.peek16(it->second);
+    }
+    if (spec.system == System::SwapRam) {
+        auto counter = [&](const char *name) -> std::uint16_t {
+            auto it = assembled.symbols.find(name);
+            return it == assembled.symbols.end()
+                       ? 0
+                       : machine.peek16(it->second);
+        };
+        m.rt_evictions = counter("__swp_nevict");
+        m.rt_retries = counter("__swp_nretry");
+        m.rt_data_in = counter("__swp_dnin");
+        m.rt_data_out = counter("__swp_dnout");
+        m.rt_data_full = counter("__swp_dnfull");
+        // Invariants only hold for completed runs, and only when boot
+        // recovery repaired any power failures (no-recovery intermittent
+        // runs exist precisely to demonstrate the inconsistent state).
+        if (result.done &&
+            (!spec.intermittent.enabled() || swap.boot_recovery)) {
+            verifySwapInvariants(machine, assembled, swap_funcs, swap);
+        }
     }
 
     // Snapshot .data + .bss for cross-system program-flow validation.

@@ -108,6 +108,15 @@ struct RunSpec {
     bool include_lib = true;
     std::uint64_t max_cycles = 600'000'000ull;
 
+    /**
+     * Simulated SRAM capacity in bytes (ISSUE 7 capacity sweeps; the
+     * region is [kSramBase, kSramBase + sram_size)). When this differs
+     * from the platform default and the cache options still carry
+     * their defaults, the runner re-anchors cache_end to the new SRAM
+     * end, so sweeping the capacity is a one-field change.
+     */
+    std::uint32_t sram_size = platform::kSramSize;
+
     /** Host-side predecode fast path (see sim::MachineConfig). Off is
      *  the always-decode oracle for differential tests; simulated
      *  results must be identical either way. */
@@ -176,6 +185,17 @@ struct Metrics {
     trace::SwapSummary swap_summary;
     std::uint64_t trace_emitted = 0; ///< events accepted by the engine
     std::uint64_t trace_dropped = 0; ///< ring-buffer overwrites
+
+    // SwapRAM runtime counter cells, read back from the image after the
+    // run (zero when the cell does not exist — eviction off, no pool,
+    // or a non-SwapRAM system). Unlike the timeline reconstruction
+    // these come from the runtime's own bookkeeping, so the two can be
+    // cross-checked.
+    std::uint16_t rt_evictions = 0; ///< __swp_nevict: un-redirections
+    std::uint16_t rt_retries = 0;   ///< __swp_nretry: blocked-scan retries
+    std::uint16_t rt_data_in = 0;   ///< __swp_dnin: pool swap-ins
+    std::uint16_t rt_data_out = 0;  ///< __swp_dnout: pool write-backs
+    std::uint16_t rt_data_full = 0; ///< __swp_dnfull: served from FRAM
 
     std::uint32_t
     totalNvmBytes() const

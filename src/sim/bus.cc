@@ -117,7 +117,7 @@ Bus::read16(std::uint16_t addr, AccessKind kind)
 {
     if (addr & 1)
         support::fatal("unaligned word read at ", support::hex16(addr));
-    RegionKind region = regionOf(addr);
+    RegionKind region = regionOf(addr, config_.sramEnd());
     account(addr, region, kind);
     std::uint16_t value;
     if (region == RegionKind::Mmio)
@@ -131,7 +131,7 @@ Bus::read16(std::uint16_t addr, AccessKind kind)
 std::uint8_t
 Bus::read8(std::uint16_t addr, AccessKind kind)
 {
-    RegionKind region = regionOf(addr);
+    RegionKind region = regionOf(addr, config_.sramEnd());
     account(addr, region, kind);
     std::uint8_t value;
     if (region == RegionKind::Mmio)
@@ -147,7 +147,7 @@ Bus::write16(std::uint16_t addr, std::uint16_t value)
 {
     if (addr & 1)
         support::fatal("unaligned word write at ", support::hex16(addr));
-    RegionKind region = regionOf(addr);
+    RegionKind region = regionOf(addr, config_.sramEnd());
     account(addr, region, AccessKind::Write);
     if (region == RegionKind::Mmio)
         mmio_.write(addr, value, now());
@@ -165,7 +165,7 @@ Bus::write16(std::uint16_t addr, std::uint16_t value)
 void
 Bus::write8(std::uint16_t addr, std::uint8_t value)
 {
-    RegionKind region = regionOf(addr);
+    RegionKind region = regionOf(addr, config_.sramEnd());
     account(addr, region, AccessKind::Write);
     if (region == RegionKind::Mmio)
         mmio_.write(addr, value, now());

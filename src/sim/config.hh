@@ -82,6 +82,23 @@ struct MachineConfig {
      */
     std::uint64_t timer_period_cycles = 0;
 
+    /**
+     * Modelled SRAM size in bytes, starting at platform::kSramBase
+     * (capacity-pressure experiments, ISSUE 7: {1,2,4,8} KiB). The
+     * region [kSramBase, kSramBase + sram_size) classifies as SRAM;
+     * everything between its end and kFramBase is unmapped. The default
+     * is the evaluation device's 4 KiB, which reproduces the historical
+     * memory map bit-for-bit.
+     */
+    std::uint32_t sram_size = platform::kSramSize;
+
+    /** One past the last SRAM byte under this configuration. */
+    std::uint32_t
+    sramEnd() const
+    {
+        return platform::kSramBase + sram_size;
+    }
+
     /** Effective wait states given the clock. */
     std::uint32_t
     effectiveWaitStates() const

@@ -84,7 +84,7 @@ Machine::powerCycle()
     ++stats_.reboots;
 
     // SRAM decays; FRAM keeps every byte.
-    for (std::uint32_t a = platform::kSramBase; a < platform::kSramEnd;
+    for (std::uint32_t a = platform::kSramBase; a < config_.sramEnd();
          ++a)
         memory_.write8(static_cast<std::uint16_t>(a), 0);
     bus_.hwCache().reset();
@@ -96,7 +96,7 @@ Machine::powerCycle()
     // it, which is what boot recovery must repair.
     for (const masm::Chunk &chunk : image_.chunks) {
         bool in_sram = chunk.base >= platform::kSramBase &&
-                       chunk.base < platform::kSramEnd;
+                       chunk.base < config_.sramEnd();
         bool is_data = image_.data.size &&
                        chunk.base >= image_.data.base &&
                        chunk.base < image_.data.end();
@@ -156,8 +156,9 @@ Machine::classifyPc(std::uint16_t pc) const
         if (pc >= it->base && static_cast<std::uint32_t>(pc) < it->end)
             return it->owner;
     }
-    return regionOf(pc) == RegionKind::Sram ? CodeOwner::AppSram
-                                            : CodeOwner::AppFram;
+    return regionOf(pc, config_.sramEnd()) == RegionKind::Sram
+               ? CodeOwner::AppSram
+               : CodeOwner::AppFram;
 }
 
 void

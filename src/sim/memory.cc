@@ -9,9 +9,15 @@ namespace plat = swapram::platform;
 RegionKind
 regionOf(std::uint16_t addr)
 {
+    return regionOf(addr, plat::kSramEnd);
+}
+
+RegionKind
+regionOf(std::uint16_t addr, std::uint32_t sram_end)
+{
     if (addr >= plat::kFramBase)
         return RegionKind::Fram;
-    if (addr >= plat::kSramBase && addr < plat::kSramEnd)
+    if (addr >= plat::kSramBase && addr < sram_end)
         return RegionKind::Sram;
     if (addr >= plat::kMmioBase && addr < plat::kMmioEnd)
         return RegionKind::Mmio;

@@ -21,6 +21,10 @@ enum class RegionKind : std::uint8_t { Sram, Fram, Mmio, Unmapped };
 /** Region of @p addr in the modelled memory map. */
 RegionKind regionOf(std::uint16_t addr);
 
+/** Region of @p addr with a configurable SRAM end (exclusive). The
+ *  one-argument overload above fixes it at platform::kSramEnd. */
+RegionKind regionOf(std::uint16_t addr, std::uint32_t sram_end);
+
 /** Backing store: a flat array; the loader writes image chunks into it. */
 class Memory
 {

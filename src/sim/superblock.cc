@@ -21,13 +21,14 @@ namespace {
 constexpr std::uint32_t kSlots = 32768;
 
 /** True when @p addr lies in plain memory (SRAM or FRAM) — the only
- *  space the fast path may touch directly. */
+ *  space the fast path may touch directly. @p sram_size comes from
+ *  MachineConfig (capacity-pressure runs shrink or grow the SRAM). */
 inline bool
-addrMapped(std::uint16_t addr)
+addrMapped(std::uint16_t addr, std::uint32_t sram_size)
 {
     return addr >= platform::kFramBase ||
            static_cast<std::uint16_t>(addr - platform::kSramBase) <
-               platform::kSramSize;
+               sram_size;
 }
 
 /** Build-time classification of one decoded instruction. */
@@ -39,14 +40,14 @@ struct Analysis {
 };
 
 Analysis
-analyze(const isa::Instr &in)
+analyze(const isa::Instr &in, std::uint32_t sram_size)
 {
     Analysis a;
-    auto static_ok = [](const Operand &op) {
+    auto static_ok = [sram_size](const Operand &op) {
         // Symbolic/Absolute effective addresses are fixed at decode:
         // reject device/unmapped space once, at build time.
         if (op.mode == Mode::Symbolic || op.mode == Mode::Absolute)
-            return addrMapped(op.value);
+            return addrMapped(op.value, sram_size);
         return true;
     };
     auto is_dyn = [](const Operand &op) {
@@ -121,8 +122,12 @@ analyze(const isa::Instr &in)
  */
 bool
 dynOperandsMapped(const isa::Instr &in,
-                  const std::array<std::uint16_t, 16> &regs)
+                  const std::array<std::uint16_t, 16> &regs,
+                  std::uint32_t sram_size)
 {
+    auto addrMapped = [sram_size](std::uint16_t addr) {
+        return sim::addrMapped(addr, sram_size);
+    };
     switch (isa::opFormat(in.op)) {
       case isa::OpFormat::Jump:
         return true;
@@ -405,7 +410,7 @@ SuperblockEngine::build(std::uint16_t pc)
     auto b = std::make_unique<Block>();
     b->start_pc = pc;
     b->end_addr = pc;
-    b->fetch_region = regionOf(pc);
+    b->fetch_region = regionOf(pc, config_.sramEnd());
 
     const std::uint32_t ws = config_.effectiveWaitStates();
     const std::uint32_t stall_max =
@@ -440,8 +445,8 @@ SuperblockEngine::build(std::uint16_t pc)
                 break; // instruction would wrap the address space
             bool crosses = false;
             for (int w = 0; w < n_words; ++w) {
-                if (regionOf(static_cast<std::uint16_t>(cur + 2 * w)) !=
-                    b->fetch_region)
+                if (regionOf(static_cast<std::uint16_t>(cur + 2 * w),
+                             config_.sramEnd()) != b->fetch_region)
                     crosses = true;
             }
             if (crosses)
@@ -457,7 +462,7 @@ SuperblockEngine::build(std::uint16_t pc)
                     : 0;
             isa::Instr instr = isa::decodeWords(
                 w0, ext_src, ext_dst, static_cast<std::uint16_t>(cur));
-            Analysis a = analyze(instr);
+            Analysis a = analyze(instr, config_.sram_size);
             if (!a.include)
                 break; // statically MMIO/unmapped operand
 
@@ -621,7 +626,8 @@ SuperblockEngine::runChain(const ChainLimits &limits)
         std::uint32_t executed = 0;
         for (const BlockInstr &bi : block->instrs) {
             if ((bi.flags & kFlagDynMem) &&
-                !dynOperandsMapped(bi.instr, regs)) {
+                !dynOperandsMapped(bi.instr, regs,
+                                   config_.sram_size)) {
                 // Nothing committed: the oracle single-steps this one.
                 ++stats_.superblock_bail_operand;
                 break;

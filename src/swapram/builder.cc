@@ -26,7 +26,8 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
     for (const char *sym : {"__swp_active", "__swp_curid",
                             "__swp_redirect", "__swp_rval",
                             "__swp_miss", "__swp_dyncall",
-                            "__swp_recover"}) {
+                            "__swp_recover", "__swp_din",
+                            "__swp_dout"}) {
         inter_layout.predefined.emplace(sym, 0);
     }
     for (const std::string &name : info.funcs.names)
@@ -78,6 +79,16 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
     info.recover_end =
         static_cast<std::uint16_t>(recover.addr + recover.size);
     info.runtime_text_bytes = handler.size + copier.size + recover.size;
+    if (options.data_pool_bytes) {
+        // __swp_din/__swp_dout are emitted back to back after the
+        // recovery routine; the pair forms one owner-attribution range.
+        const auto &din = info.assembled.function("__swp_din");
+        const auto &dout = info.assembled.function("__swp_dout");
+        info.datapool_addr = din.addr;
+        info.datapool_end =
+            static_cast<std::uint16_t>(dout.addr + dout.size);
+        info.runtime_text_bytes += din.size + dout.size;
+    }
     info.app_text_bytes =
         info.assembled.image.text.size - info.runtime_text_bytes;
     // Metadata: the fixed cells and save area plus every table entry.
@@ -86,6 +97,10 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
     info.metadata_bytes = 10 + 10 + 2 // cells, save area, boot flag
                           + 7 * 2 * static_cast<std::uint32_t>(n)
                           + 2 * 2 * static_cast<std::uint32_t>(r);
+    if (options.evict)
+        info.metadata_bytes += 6; // retry budget + two counters
+    if (options.data_pool_bytes)
+        info.metadata_bytes += 8 + 64; // bitmap, counters, home/len
     return info;
 }
 

@@ -40,6 +40,10 @@ struct BuildInfo {
     // Boot-recovery routine range (Stats::recovery_cycles attribution).
     std::uint16_t recover_addr = 0, recover_end = 0;
 
+    // Data-pool routines __swp_din/__swp_dout (zero when no pool);
+    // attributed to Handler like the miss path they parallel.
+    std::uint16_t datapool_addr = 0, datapool_end = 0;
+
     std::uint32_t
     totalNvmBytes() const
     {

@@ -69,9 +69,51 @@ struct Options {
      */
     bool boot_recovery = true;
 
+    /**
+     * Eviction under capacity pressure (ISSUE 7). When a miss's
+     * placement scan finds the candidate range blocked by an *active*
+     * function, the pre-eviction runtime served the miss from NVM and
+     * — because the blocker stays resident and active — kept serving
+     * every later miss from NVM ("silent stop caching"). With eviction
+     * enabled the handler instead retries the scan with the candidate
+     * bumped past the blocker (second chance over the redirect cells,
+     * wrapping at the cache end), un-redirecting inactive victims as
+     * usual, until a bounded retry budget is spent. Disabling this
+     * reproduces the pre-eviction runtime byte for byte.
+     */
+    bool evict = true;
+
+    /**
+     * Scan retries granted per miss once the first scan is blocked.
+     * Each retry bumps the candidate past the blocking function, so a
+     * budget of a few retries steps over every plausible cluster of
+     * active functions; the bound keeps the handler's worst case
+     * finite on pathological call stacks.
+     */
+    int evict_retries = 8;
+
+    /**
+     * Data-side SwapRAM pool in bytes (0 = off), carved from the top
+     * of the cache region: the code cache shrinks to
+     * [cache_base, cache_end - data_pool_bytes). The pool is managed
+     * as 16 slots by a bitmap word; __swp_din/__swp_dout swap large
+     * buffers between their FRAM homes and the pool through the same
+     * simulated memcpy path code swaps pay for. Must be a multiple of
+     * 32 so slot sizes stay word-aligned.
+     */
+    std::uint16_t data_pool_bytes = 0;
+
+    /** Code-cache size (the pool, when configured, is carved out). */
     std::uint16_t cacheSize() const
     {
-        return static_cast<std::uint16_t>(cache_end - cache_base);
+        return static_cast<std::uint16_t>(cache_end - cache_base -
+                                          data_pool_bytes);
+    }
+
+    /** First byte of the data pool (== codeCacheEnd()). */
+    std::uint16_t poolBase() const
+    {
+        return static_cast<std::uint16_t>(cache_end - data_pool_bytes);
     }
 
     bool

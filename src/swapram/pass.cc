@@ -70,6 +70,23 @@ instrumentCalls(const Program &program, const FuncIds &funcs,
                 in_cacheable_func = false;
         }
 
+        // Data-side SwapRAM: with a pool configured, calls to the
+        // portable `__data_swap_in`/`__data_swap_out` library shims are
+        // rewired to the generated pool routines. Checked before call
+        // instrumentation — the shims are ordinary .funcs, so without a
+        // pool they are cached and called like any other function.
+        if (const std::string *target = directCallTarget(s);
+            target && options.data_pool_bytes &&
+            (*target == "__data_swap_in" || *target == "__data_swap_out")) {
+            Statement copy = s;
+            copy.instr.dst->expr = Expr::sym(*target == "__data_swap_in"
+                                                 ? "__swp_din"
+                                                 : "__swp_dout");
+            ++local.data_swap_calls_retargeted;
+            out.stmts.push_back(std::move(copy));
+            continue;
+        }
+
         if (const std::string *target = directCallTarget(s);
             target && funcs.contains(*target)) {
             int id = funcs.ids.at(*target);

@@ -53,6 +53,8 @@ FuncIds collectFunctions(const masm::Program &program,
 struct PassStats {
     int call_sites_instrumented = 0;
     int symbolic_operands_absolutized = 0;
+    /** `CALL #__data_swap_in/out` sites rewired to the runtime pool. */
+    int data_swap_calls_retargeted = 0;
 };
 
 /** Apply the instrumentation; returns the transformed program. */

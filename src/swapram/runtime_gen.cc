@@ -29,9 +29,38 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
 {
     std::ostringstream os;
     const int n = funcs.count();
+    // The code cache ends where the data pool (if any) begins; every
+    // placement bound below uses the shrunken region, so code swaps and
+    // data swaps can never collide.
     const unsigned cache_size = options.cacheSize();
     const unsigned cache_base = options.cache_base;
-    const unsigned cache_end = options.cache_end;
+    const unsigned cache_end = options.poolBase();
+    const unsigned pool = options.data_pool_bytes;
+    const unsigned pool_base = options.poolBase();
+    unsigned slot_shift = 0; // log2(slot size); slot = pool / 16
+    if (pool) {
+        if (pool < 32 || (pool & (pool - 1)) != 0) {
+            support::fatal("data pool must be a power of two >= 32 "
+                           "bytes, got ", pool);
+        }
+        if (cache_end <= cache_base) {
+            support::fatal("data pool (", pool,
+                           " bytes) leaves no code cache in [",
+                           options.cache_base, ", ", options.cache_end,
+                           ")");
+        }
+        for (unsigned s = pool / 16; s > 1; s >>= 1)
+            ++slot_shift;
+    }
+    // Shift-count emitters for the pool's power-of-two slot maths.
+    auto shl = [&os](const char *reg, unsigned count) {
+        for (unsigned i = 0; i < count; ++i)
+            os << "        RLA " << reg << "\n";
+    };
+    auto shr = [&os](const char *reg, unsigned count) {
+        for (unsigned i = 0; i < count; ++i)
+            os << "        RRA " << reg << "\n";
+    };
 
     os << "; ---- SwapRAM generated runtime (" << n << " functions, "
        << relocs.entries.size() << " relocatable branches) ----\n";
@@ -77,6 +106,24 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
         os << "        .word " << e.target << "\n";
     if (relocs.entries.empty())
         os << "        .word 0\n";
+
+    // Eviction and data-pool cells append after the relocation tables
+    // so every pre-existing cell keeps its offset within the metadata
+    // block. All are gated: with eviction off and no pool the runtime
+    // is byte-for-byte the pre-eviction one.
+    if (options.evict) {
+        os << "__swp_retry:   .word 0\n";  // leftover retry budget
+        os << "__swp_nevict:  .word 0\n";  // functions un-redirected
+        os << "__swp_nretry:  .word 0\n";  // blocked scans retried
+    }
+    if (pool) {
+        os << "__swp_dmap:    .word 0\n";  // slot bitmap (bit i = used)
+        os << "__swp_dnin:    .word 0\n";  // buffers swapped in
+        os << "__swp_dnout:   .word 0\n";  // buffers written back
+        os << "__swp_dnfull:  .word 0\n";  // requests served from FRAM
+        os << "__swp_dhome:   .space 32\n"; // FRAM home per run start
+        os << "__swp_dlen:    .space 32\n"; // byte length per run start
+    }
 
     // ---- Miss handler ----
     os << "        .text\n";
@@ -142,8 +189,9 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
           "        CMP R15, R14\n"            // cand >= cached end: none
           "        JHS __swp_scan1_next\n"
           "        TST __swp_active(R11)\n"
-       << (freeze ? "        JNZ __swp_thrash\n"
-                  : "        JNZ __swp_nvm\n")
+       << (options.evict ? "        JNZ __swp_evict\n"
+           : freeze      ? "        JNZ __swp_thrash\n"
+                         : "        JNZ __swp_nvm\n")
        << "__swp_scan1_next:\n"
           "        INCD R11\n"
           "        JMP __swp_scan1\n"
@@ -163,8 +211,10 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
           "        MOV R13, R15\n"
           "        ADD __swp_fsize(R11), R15\n"
           "        CMP R15, R14\n"
-          "        JHS __swp_scan2_next\n"
-          "        MOV #0xFFFF, __swp_cached(R11)\n"
+          "        JHS __swp_scan2_next\n";
+    if (options.evict)
+        os << "        INC &__swp_nevict\n";
+    os << "        MOV #0xFFFF, __swp_cached(R11)\n"
           "        MOV #__swp_miss, __swp_redirect(R11)\n"
           "        MOV __swp_rbase(R11), R13\n"
           "        MOV R13, R15\n"
@@ -210,6 +260,8 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
     // copy, and advance the tail.
     if (freeze)
         os << "        CLR &__swp_abort\n";
+    if (options.evict)
+        os << "        CLR &__swp_retry\n";
     os << "        MOV &__swp_cand, R12\n"
           "        MOV R12, __swp_cached(R15)\n"
           "        MOV R12, __swp_redirect(R15)\n"
@@ -218,6 +270,50 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
           "        MOV &__swp_cand, R12\n"
           "        MOV R12, &__swp_tmp\n"
           "        JMP __swp_exit\n";
+
+    if (options.evict) {
+        // Eviction (capacity pressure): scan 1 found the candidate
+        // range blocked by an *active* function — one that is on the
+        // call stack and must not be displaced. Instead of giving up
+        // (the pre-eviction runtime ran the miss from NVM and, since
+        // the blocker stays put, every later miss too), retry the scan
+        // with the candidate bumped just past the blocker, wrapping at
+        // the cache end. Inactive functions in the new range are
+        // evicted by the ordinary scan-2 walk; only a bounded retry
+        // budget keeps pathological stacks from scanning forever.
+        // Register state from the scan-1 abort: R11 = 2*blocker id,
+        // R15 = blocker's cached end, R14 = old candidate.
+        os << "__swp_evict:\n"
+              "        MOV &__swp_retry, R12\n"
+              "        TST R12\n"
+              "        JNZ __swp_ev_dec\n"
+              "        MOV #" << (options.evict_retries + 1) << ", R12\n"
+              "__swp_ev_dec:\n"
+              "        DEC R12\n"
+              "        MOV R12, &__swp_retry\n"
+              "        TST R12\n"
+              "        JZ __swp_ev_fail\n"
+              "        MOV &__swp_curid, R12\n"
+              "        MOV __swp_fsize(R12), R13\n"
+              "        MOV R15, R14\n"          // candidate = blocker end
+              "        MOV R14, R12\n"
+              "        ADD R13, R12\n"
+              "        CMP #" << (cache_end + 1) << ", R12\n"
+              "        JLO __swp_ev_ok\n"
+              "        MOV #" << cache_base << ", R14\n"
+              "        MOV R14, R12\n"
+              "        ADD R13, R12\n"
+              "__swp_ev_ok:\n"
+              "        MOV R14, &__swp_cand\n"
+              "        MOV R12, &__swp_end\n"
+              "        INC &__swp_nretry\n"
+              "        CLR R11\n"
+              "        JMP __swp_scan1\n"
+              "__swp_ev_fail:\n"
+              "        CLR &__swp_retry\n"
+           << (freeze ? "        JMP __swp_thrash\n"
+                      : "        JMP __swp_nvm\n");
+    }
 
     if (freeze) {
         // An active function blocked the eviction: count consecutive
@@ -336,12 +432,149 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
         os << "        CLR &__swp_abort\n"
               "        CLR &__swp_freeze\n";
     }
+    if (options.evict)
+        os << "        CLR &__swp_retry\n";
+    if (pool) {
+        // Pool residency died with the SRAM: clear the bitmap and the
+        // per-slot home/length cells so no stale mapping survives a
+        // power failure that hit mid-swap. The FRAM homes themselves
+        // are .data, which crt0 re-initialises on every boot.
+        os << "        CLR &__swp_dmap\n"
+              "        CLR R13\n"
+              "__swp_rc_dclr:\n"
+              "        CMP #32, R13\n"
+              "        JHS __swp_rc_ddone\n"
+              "        CLR __swp_dhome(R13)\n"
+              "        CLR __swp_dlen(R13)\n"
+              "        INCD R13\n"
+              "        JMP __swp_rc_dclr\n"
+              "__swp_rc_ddone:\n";
+    }
     os << "        POP R15\n"
           "        POP R13\n"
           "        POP R12\n"
           "        POP R11\n"
           "        RET\n"
           "        .endfunc\n";
+
+    if (pool) {
+        // ---- Data-side SwapRAM (ISSUE 7 tentpole, part b) ----
+        // __swp_din(R12 = FRAM home, R13 = even byte length) returns
+        // R12 = the address the caller should use: the buffer's pool
+        // copy (existing mapping or a fresh swap-in through
+        // __swp_memcpy), or the FRAM home unchanged when the pool
+        // cannot hold it — the caller then works in place, slower but
+        // correct. The pool is 16 slots managed by the __swp_dmap
+        // bitmap; a buffer occupies ceil(len/slot) contiguous slots,
+        // with its home and length recorded in the run's first slot.
+        os << "        .func __swp_din\n"
+              "        CMP #" << (pool + 1) << ", R13\n"
+              "        JHS __swp_di_full\n"
+              "        CLR R11\n"
+              "__swp_di_find:\n"
+              "        CMP #32, R11\n"
+              "        JHS __swp_di_alloc\n"
+              "        CMP __swp_dhome(R11), R12\n"
+              "        JEQ __swp_di_hit\n"
+              "        INCD R11\n"
+              "        JMP __swp_di_find\n"
+              "__swp_di_hit:\n"
+              "        MOV R11, R14\n";
+        shl("R14", slot_shift - 1); // addr = pool_base + 2*slot * s/2
+        os << "        ADD #" << pool_base << ", R14\n"
+              "        MOV R14, R12\n"
+              "        RET\n"
+              "__swp_di_alloc:\n"
+              "        MOV R13, R14\n"
+              "        ADD #" << ((pool / 16) - 1) << ", R14\n";
+        shr("R14", slot_shift); // R14 = slots needed
+        os << "        CLR R15\n"
+              "__swp_di_mask:\n"
+              "        TST R14\n"
+              "        JZ __swp_di_scan0\n"
+              "        RLA R15\n"
+              "        BIS #1, R15\n"
+              "        DEC R14\n"
+              "        JMP __swp_di_mask\n"
+              "__swp_di_scan0:\n"
+              "        CLR R11\n"
+              "__swp_di_scan:\n"
+              "        MOV &__swp_dmap, R14\n"
+              "        AND R15, R14\n"
+              "        JZ __swp_di_take\n"
+              "        TST R15\n"  // mask reached the top slot: no room
+              "        JN __swp_di_full\n"
+              "        RLA R15\n"
+              "        INCD R11\n"
+              "        JMP __swp_di_scan\n"
+              "__swp_di_take:\n"
+              "        BIS R15, &__swp_dmap\n"
+              "        MOV R12, __swp_dhome(R11)\n"
+              "        MOV R13, __swp_dlen(R11)\n"
+              "        MOV R13, R14\n"  // len
+              "        MOV R12, R13\n"  // src = home
+              "        MOV R11, R12\n";
+        shl("R12", slot_shift - 1);
+        os << "        ADD #" << pool_base << ", R12\n" // dst
+              "        PUSH R12\n"
+              "        CALL #__swp_memcpy\n"
+              "        INC &__swp_dnin\n"
+              "        POP R12\n"
+              "        RET\n"
+              "__swp_di_full:\n"
+              "        INC &__swp_dnfull\n"
+              "        RET\n"  // R12 still the home: run in place
+              "        .endfunc\n";
+
+        // __swp_dout(R12 = FRAM home): write the pool copy back to its
+        // home and free the slots. A home with no mapping (swap-in ran
+        // with the pool full) is a no-op — the caller worked in place.
+        // Copy-back precedes the metadata clear: a power failure in
+        // either window only leaves cells __swp_recover resets and a
+        // home crt0's .data re-initialisation restores.
+        os << "        .func __swp_dout\n"
+              "        CLR R11\n"
+              "__swp_do_find:\n"
+              "        CMP #32, R11\n"
+              "        JHS __swp_do_miss\n"
+              "        CMP __swp_dhome(R11), R12\n"
+              "        JEQ __swp_do_hit\n"
+              "        INCD R11\n"
+              "        JMP __swp_do_find\n"
+              "__swp_do_hit:\n"
+              "        MOV __swp_dlen(R11), R14\n" // len
+              "        MOV R11, R13\n";
+        shl("R13", slot_shift - 1);
+        os << "        ADD #" << pool_base << ", R13\n" // src = pool
+              "        CALL #__swp_memcpy\n"  // dst = R12 = home
+              "        MOV __swp_dlen(R11), R13\n"
+              "        ADD #" << ((pool / 16) - 1) << ", R13\n";
+        shr("R13", slot_shift); // R13 = slots to free
+        os << "        CLR R14\n"
+              "__swp_do_mask:\n"
+              "        TST R13\n"
+              "        JZ __swp_do_pos\n"
+              "        RLA R14\n"
+              "        BIS #1, R14\n"
+              "        DEC R13\n"
+              "        JMP __swp_do_mask\n"
+              "__swp_do_pos:\n"
+              "        MOV R11, R13\n"
+              "__swp_do_shift:\n"
+              "        TST R13\n"
+              "        JZ __swp_do_clr\n"
+              "        RLA R14\n"
+              "        DECD R13\n"
+              "        JMP __swp_do_shift\n"
+              "__swp_do_clr:\n"
+              "        BIC R14, &__swp_dmap\n"
+              "        CLR __swp_dhome(R11)\n"
+              "        CLR __swp_dlen(R11)\n"
+              "        INC &__swp_dnout\n"
+              "__swp_do_miss:\n"
+              "        RET\n"
+              "        .endfunc\n";
+    }
 
     return os.str();
 }

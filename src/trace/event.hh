@@ -53,6 +53,8 @@ enum class EventKind : std::uint8_t {
     CopyIn,    ///< addr = SRAM dst, value = FRAM src, extra = bytes
     Evict,     ///< addr = SRAM base of evicted range, value = FRAM
                ///< home of the evicted function, extra = bytes
+    DataSwapIn,  ///< addr = pool dst, value = FRAM home, extra = bytes
+    DataSwapOut, ///< addr = pool src, value = FRAM home, extra = bytes
 
     // Intermittent execution (emitted by the machine model).
     PowerFail,     ///< addr = pc at failure, value = reboot ordinal

@@ -76,6 +76,11 @@ TextSink::event(const Event &event)
             out_ << " func=" << fn;
         break;
       }
+      case EventKind::DataSwapIn:
+      case EventKind::DataSwapOut:
+        out_ << "  home=" << support::hex16(event.value)
+             << " bytes=" << event.extra;
+        break;
       case EventKind::PowerFail:
         out_ << "  reboot=" << event.value;
         break;
@@ -186,12 +191,16 @@ ChromeTraceSink::event(const Event &event)
         return;
       }
       case EventKind::CopyIn:
-      case EventKind::Evict: {
-        std::string name =
-            event.kind == EventKind::CopyIn ? "copy-in" : "evict";
-        std::string fn = symbol(event.value);
-        if (!fn.empty())
-            name += " " + fn;
+      case EventKind::Evict:
+      case EventKind::DataSwapIn:
+      case EventKind::DataSwapOut: {
+        std::string name = kindName(event.kind);
+        if (event.kind == EventKind::CopyIn ||
+            event.kind == EventKind::Evict) {
+            std::string fn = symbol(event.value);
+            if (!fn.empty())
+                name += " " + fn;
+        }
         emitRecord(name, "swap", "i", ts(event.cycle), 2,
                    support::cat("\"sram\":\"",
                                 support::hex16(event.addr),

@@ -69,6 +69,12 @@ SwapTimeline::derive(Event event)
             record.func = f->name;
         break;
       }
+      case EventKind::DataSwapIn:
+      case EventKind::DataSwapOut:
+        record.cache_addr = event.addr;
+        record.nvm_addr = event.value;
+        record.bytes = event.extra;
+        break;
       default: support::panic("SwapTimeline::derive: bad kind");
     }
     events_.push_back(std::move(record));
@@ -93,8 +99,30 @@ void
 SwapTimeline::finishCopy(std::uint64_t cycle)
 {
     in_copy_ = false;
-    if (copy_dst_max_ <= copy_dst_min_)
+    // Data-pool episodes (__swp_din/__swp_dout drive the same memcpy):
+    // writes into the pool are a swap-in from the FRAM home; pool reads
+    // paired with writes outside the cache are the write-back. Neither
+    // touches the code-residency tracking.
+    if (pool_base_ && pool_dst_max_ > pool_dst_min_) {
+        derive({cycle, EventKind::DataSwapIn, 0, pool_dst_min_,
+                copy_src_addr_, pool_dst_max_ - pool_dst_min_});
+        ++summary_.data_swap_ins;
+        summary_.data_bytes_copied += pool_dst_max_ - pool_dst_min_;
+        resetCopy();
+        return;
+    }
+    if (pool_base_ && copy_read_pool_ && home_dst_max_ > home_dst_min_) {
+        derive({cycle, EventKind::DataSwapOut, 0, pool_src_,
+                home_dst_min_, home_dst_max_ - home_dst_min_});
+        ++summary_.data_swap_outs;
+        summary_.data_bytes_copied += home_dst_max_ - home_dst_min_;
+        resetCopy();
+        return;
+    }
+    if (copy_dst_max_ <= copy_dst_min_) {
+        resetCopy();
         return; // copy loop ran but wrote nothing into the cache
+    }
     std::uint16_t dst = copy_dst_min_;
     std::uint32_t end = copy_dst_max_;
     std::uint32_t bytes = end - dst;
@@ -127,9 +155,22 @@ SwapTimeline::finishCopy(std::uint64_t cycle)
     ++copies_this_miss_;
     sample(cycle);
 
+    resetCopy();
+}
+
+void
+SwapTimeline::resetCopy()
+{
     copy_src_func_ = SIZE_MAX;
     copy_dst_min_ = 0xFFFF;
     copy_dst_max_ = 0;
+    copy_src_addr_ = 0;
+    copy_read_pool_ = false;
+    pool_src_ = 0;
+    pool_dst_min_ = 0xFFFF;
+    pool_dst_max_ = 0;
+    home_dst_min_ = 0xFFFF;
+    home_dst_max_ = 0;
 }
 
 void
@@ -141,13 +182,24 @@ SwapTimeline::ownerChange(const Event &event)
     if (in_copy_ && next != kMemcpy)
         finishCopy(event.cycle);
 
-    if (!in_miss_ && isRuntime(next)) {
+    if (!in_miss_ && !in_data_ && isRuntime(next)) {
+        if (routine_end_ && event.addr >= routine_base_ &&
+            event.addr < routine_end_) {
+            // Entered through __swp_din/__swp_dout: a data-swap call,
+            // not a function miss.
+            in_data_ = true;
+            return;
+        }
         in_miss_ = true;
         miss_begin_ = event.cycle;
         miss_site_ = event.addr;
         copies_this_miss_ = 0;
         ++summary_.misses;
         derive({event.cycle, EventKind::MissEnter, 0, event.addr, 0, 0});
+    } else if (in_data_) {
+        if (!isRuntime(next))
+            in_data_ = false;
+        // fall through: the memcpy-start tracking below still applies
     } else if (in_miss_ && !isRuntime(next)) {
         in_miss_ = false;
         std::uint64_t span = event.cycle - miss_begin_;
@@ -160,9 +212,7 @@ SwapTimeline::ownerChange(const Event &event)
 
     if (next == kMemcpy && !in_copy_) {
         in_copy_ = true;
-        copy_src_func_ = SIZE_MAX;
-        copy_dst_min_ = 0xFFFF;
-        copy_dst_max_ = 0;
+        resetCopy();
     }
 }
 
@@ -174,9 +224,21 @@ SwapTimeline::event(const Event &event)
         ownerChange(event);
         return;
       case EventKind::Read:
+        if (!in_copy_)
+            return;
+        if (inPool(event.addr)) {
+            // Pool reads mark the episode as a write-back.
+            if (!copy_read_pool_) {
+                copy_read_pool_ = true;
+                pool_src_ = event.addr;
+            }
+            return;
+        }
+        if (copy_src_addr_ == 0)
+            copy_src_addr_ = event.addr;
         // The first FRAM read inside a known function range while the
         // copy loop runs identifies the function being cached.
-        if (in_copy_ && copy_src_func_ == SIZE_MAX) {
+        if (copy_src_func_ == SIZE_MAX) {
             for (std::size_t i = 0; i < funcs_.size(); ++i) {
                 const Func &f = funcs_[i];
                 if (event.addr >= f.addr &&
@@ -188,24 +250,32 @@ SwapTimeline::event(const Event &event)
             }
         }
         return;
-      case EventKind::Write:
-        if (in_copy_ && event.addr >= cache_base_ &&
-            event.addr < cache_end_) {
+      case EventKind::Write: {
+        if (!in_copy_)
+            return;
+        std::uint32_t end = static_cast<std::uint32_t>(event.addr) +
+                            (event.byte ? 1u : 2u);
+        if (inPool(event.addr)) {
+            pool_dst_min_ = std::min(pool_dst_min_, event.addr);
+            pool_dst_max_ = std::max(pool_dst_max_, end);
+        } else if (event.addr >= cache_base_ &&
+                   event.addr < codeEnd()) {
             copy_dst_min_ = std::min(copy_dst_min_, event.addr);
-            copy_dst_max_ = std::max(
-                copy_dst_max_,
-                static_cast<std::uint32_t>(event.addr) +
-                    (event.byte ? 1u : 2u));
+            copy_dst_max_ = std::max(copy_dst_max_, end);
+        } else if (copy_read_pool_) {
+            // Pool-sourced writes land at the FRAM home: write-back.
+            home_dst_min_ = std::min(home_dst_min_, event.addr);
+            home_dst_max_ = std::max(home_dst_max_, end);
         }
         return;
+      }
       case EventKind::PowerFail: {
         // SRAM is gone: drop all residency, abandon any half-tracked
         // miss or copy episode, and mark the reboot in the timeline.
         in_miss_ = false;
+        in_data_ = false;
         in_copy_ = false;
-        copy_src_func_ = SIZE_MAX;
-        copy_dst_min_ = 0xFFFF;
-        copy_dst_max_ = 0;
+        resetCopy();
         if (profiler_) {
             for (const Resident &r : resident_)
                 profiler_->unmapResident(r.base);

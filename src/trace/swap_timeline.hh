@@ -51,6 +51,9 @@ struct SwapSummary {
     std::uint64_t copy_ins = 0;
     std::uint64_t evictions = 0;
     std::uint64_t bytes_copied = 0;
+    std::uint64_t data_swap_ins = 0;     ///< pool swap-ins (__swp_din)
+    std::uint64_t data_swap_outs = 0;    ///< pool write-backs
+    std::uint64_t data_bytes_copied = 0; ///< bytes through the pool
     std::uint64_t handler_cycles = 0; ///< cycles inside handler+memcpy
     std::uint32_t peak_resident_bytes = 0;
     std::uint64_t power_failures = 0;  ///< injected power losses seen
@@ -68,6 +71,20 @@ class SwapTimeline : public Sink
     /** Register a function's NVM range for copy-in identification. */
     void addFunction(const std::string &name, std::uint16_t addr,
                      std::uint16_t size);
+
+    /** Mark [pool_base, cache_end) as the data-side pool: memcpy
+     *  episodes writing there are data swap-ins, episodes reading from
+     *  there are write-backs, and neither enters the code-residency
+     *  tracking. [routine_base, routine_end) is the __swp_din/__swp_dout
+     *  text range; runtime spans entered there are data-swap calls, not
+     *  misses. */
+    void setDataPool(std::uint16_t pool_base, std::uint16_t routine_base,
+                     std::uint16_t routine_end)
+    {
+        pool_base_ = pool_base;
+        routine_base_ = routine_base;
+        routine_end_ = routine_end;
+    }
 
     /** Re-emit derived events into @p engine (register this sink
      *  last so other sinks see trigger-then-derived order). */
@@ -102,18 +119,31 @@ class SwapTimeline : public Sink
     };
 
     const Func *functionAt(std::uint16_t addr) const;
+    bool inPool(std::uint16_t addr) const
+    {
+        return pool_base_ && addr >= pool_base_ && addr < cache_end_;
+    }
+    /** End of the code-cache region (the pool is carved off the top). */
+    std::uint16_t codeEnd() const
+    {
+        return pool_base_ ? pool_base_ : cache_end_;
+    }
     void ownerChange(const Event &event);
+    void resetCopy();
     void finishCopy(std::uint64_t cycle);
     void derive(Event event);
     void sample(std::uint64_t cycle);
 
     std::uint16_t cache_base_, cache_end_;
+    std::uint16_t pool_base_ = 0; ///< 0 = no data pool
+    std::uint16_t routine_base_ = 0, routine_end_ = 0;
     std::vector<Func> funcs_;
     TraceEngine *engine_ = nullptr;
     FunctionProfiler *profiler_ = nullptr;
 
     // Owner-state machine.
     bool in_miss_ = false;
+    bool in_data_ = false; ///< runtime span entered via din/dout
     bool in_copy_ = false;
     std::uint64_t miss_begin_ = 0;
     std::uint16_t miss_site_ = 0;
@@ -123,6 +153,17 @@ class SwapTimeline : public Sink
     std::size_t copy_src_func_ = SIZE_MAX;
     std::uint16_t copy_dst_min_ = 0xFFFF;
     std::uint32_t copy_dst_max_ = 0;
+    // Data-pool classification (pool_base_ != 0 only): the episode's
+    // first non-pool read (the FRAM home on a swap-in), pool writes
+    // (swap-in destination), pool reads (write-back source), and
+    // non-cache writes (write-back destination).
+    std::uint16_t copy_src_addr_ = 0;
+    bool copy_read_pool_ = false;
+    std::uint16_t pool_src_ = 0; ///< first pool read (write-back src)
+    std::uint16_t pool_dst_min_ = 0xFFFF;
+    std::uint32_t pool_dst_max_ = 0;
+    std::uint16_t home_dst_min_ = 0xFFFF;
+    std::uint32_t home_dst_max_ = 0;
 
     std::vector<Resident> resident_;
     std::vector<SwapEvent> events_;

@@ -21,7 +21,9 @@ categoryOf(EventKind kind)
       case EventKind::MissEnter:
       case EventKind::MissExit:
       case EventKind::CopyIn:
-      case EventKind::Evict: return kCatSwap;
+      case EventKind::Evict:
+      case EventKind::DataSwapIn:
+      case EventKind::DataSwapOut: return kCatSwap;
       case EventKind::PowerFail:
       case EventKind::RecoveryEnter:
       case EventKind::RecoveryExit: return kCatPower;
@@ -46,6 +48,8 @@ kindName(EventKind kind)
       case EventKind::MissExit: return "miss-exit";
       case EventKind::CopyIn: return "copy-in";
       case EventKind::Evict: return "evict";
+      case EventKind::DataSwapIn: return "data-swap-in";
+      case EventKind::DataSwapOut: return "data-swap-out";
       case EventKind::PowerFail: return "power-fail";
       case EventKind::RecoveryEnter: return "recovery-enter";
       case EventKind::RecoveryExit: return "recovery-exit";

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Capacity-pressure workloads (ISSUE 7): scaled-up variants of the
+ * arith, crc, and rc4 benchmarks whose working sets exceed the default
+ * 4 KiB SRAM, plus a pathological ping-pong thrasher. They drive the
+ * SwapRAM eviction path (the classic nine all fit comfortably, so the
+ * pre-eviction runtime never hit the blocked-scan case) and the
+ * data-side pool:
+ *
+ *  - arith_big: six generated straight-line op-chain functions of
+ *    ~240 ops each (~5 KiB of code) called round-robin. At 4 KiB the
+ *    placement scan wraps onto resident functions every few calls.
+ *  - crc_big: eight unrolled-by-32 table-driven CRC variants
+ *    (~720 bytes each, ~5.8 KiB total) chained over one message.
+ *  - rc4_big: a 6 KiB .data message processed in 256-byte tiles
+ *    through the __data_swap_in/__data_swap_out API (pool: 512 B).
+ *    Identity shims are embedded so baseline/block run unchanged.
+ *  - pingpong: two ~2.2 KiB functions called alternately — with
+ *    eviction each call evicts the other; without it, the runtime
+ *    goes quiet after the first wrap and every call runs from FRAM.
+ *
+ * All generated constants are >= 256 so no immediate collapses into
+ * the MSP430 constant generator (op sizes stay deterministic).
+ */
+
+#include <sstream>
+
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace swapram::workloads {
+
+namespace {
+
+/** One straight-line op on R12; golden semantics are uint16. */
+struct ChainOp {
+    enum Kind { Add, Xor, Swpb } kind;
+    std::uint16_t c = 0; // immediate (Add/Xor), >= 256
+};
+
+std::vector<ChainOp>
+makeChain(support::Rng &rng, int n_ops)
+{
+    std::vector<ChainOp> ops(n_ops);
+    for (ChainOp &op : ops) {
+        unsigned k = rng.below(8);
+        op.kind = k < 3 ? ChainOp::Add : k < 6 ? ChainOp::Xor
+                                               : ChainOp::Swpb;
+        op.c = static_cast<std::uint16_t>(256 + (rng.word() & 0x3FFF));
+    }
+    return ops;
+}
+
+std::uint16_t
+applyChain(const std::vector<ChainOp> &ops, std::uint16_t x)
+{
+    for (const ChainOp &op : ops) {
+        switch (op.kind) {
+          case ChainOp::Add:
+            x = static_cast<std::uint16_t>(x + op.c);
+            break;
+          case ChainOp::Xor:
+            x = static_cast<std::uint16_t>(x ^ op.c);
+            break;
+          case ChainOp::Swpb:
+            x = static_cast<std::uint16_t>((x << 8) | (x >> 8));
+            break;
+        }
+    }
+    return x;
+}
+
+void
+emitChainFunc(std::ostream &os, const std::string &name,
+              const std::vector<ChainOp> &ops)
+{
+    os << "        .func " << name << "\n";
+    for (const ChainOp &op : ops) {
+        switch (op.kind) {
+          case ChainOp::Add:
+            os << "        ADD #" << op.c << ", R12\n";
+            break;
+          case ChainOp::Xor:
+            os << "        XOR #" << op.c << ", R12\n";
+            break;
+          case ChainOp::Swpb:
+            os << "        SWPB R12\n";
+            break;
+        }
+    }
+    os << "        RET\n        .endfunc\n\n";
+}
+
+/** Round-robin driver shared by arith_big and pingpong: per rep, seed
+ *  R12 from R9, call every chain function, fold the rep counter in. */
+void
+emitChainMain(std::ostream &os, const std::string &prefix, int reps,
+              std::uint16_t seed,
+              const std::vector<std::string> &funcs)
+{
+    os << "        .func main\n"
+          "        PUSH R10\n"
+          "        PUSH R9\n"
+          "        MOV #" << reps << ", R10\n"
+          "        MOV #" << seed << ", R9\n"
+       << prefix << "_rep:\n"
+          "        TST R10\n"
+          "        JZ " << prefix << "_done\n"
+          "        MOV R9, R12\n";
+    for (const std::string &f : funcs)
+        os << "        CALL #" << f << "\n";
+    os << "        XOR R10, R12\n"
+          "        MOV R12, R9\n"
+          "        DEC R10\n"
+          "        JMP " << prefix << "_rep\n"
+       << prefix << "_done:\n"
+          "        MOV R9, R12\n"
+          "        MOV R12, &bench_result\n"
+          "        POP R9\n"
+          "        POP R10\n"
+          "        RET\n"
+          "        .endfunc\n\n"
+          "        .data\n"
+          "        .align 2\n"
+          "bench_result: .word 0\n";
+}
+
+std::uint16_t
+chainGolden(const std::vector<std::vector<ChainOp>> &chains, int reps,
+            std::uint16_t seed)
+{
+    std::uint16_t x = seed;
+    for (int r = reps; r >= 1; --r) {
+        for (const auto &chain : chains)
+            x = applyChain(chain, x);
+        x = static_cast<std::uint16_t>(x ^ r);
+    }
+    return x;
+}
+
+} // namespace
+
+Workload
+makeArithBig()
+{
+    constexpr int kFuncs = 6;
+    constexpr int kOps = 240;
+    constexpr int kReps = 20;
+    constexpr std::uint16_t kSeed = 0x5A17;
+
+    support::Rng rng(0xAB16'0001);
+    std::vector<std::vector<ChainOp>> chains;
+    std::vector<std::string> names;
+    std::ostringstream os;
+    os << "; ---- arith_big: generated op-chain capacity benchmark "
+          "----\n        .text\n\n";
+    for (int f = 0; f < kFuncs; ++f) {
+        chains.push_back(makeChain(rng, kOps));
+        names.push_back("ab_f" + std::to_string(f));
+        emitChainFunc(os, names.back(), chains.back());
+    }
+    emitChainMain(os, "abm", kReps, kSeed, names);
+
+    Workload w;
+    w.name = "arith_big";
+    w.display = "ArithBig";
+    w.description = "six ~840-byte op-chain functions (~5 KiB code) "
+                    "called round-robin";
+    w.source = os.str();
+    w.expected = chainGolden(chains, kReps, kSeed);
+    return w;
+}
+
+Workload
+makePingpong()
+{
+    constexpr int kOps = 620;
+    constexpr int kReps = 24;
+    constexpr std::uint16_t kSeed = 0x9106;
+
+    support::Rng rng(0x9196'0002);
+    std::vector<std::vector<ChainOp>> chains;
+    std::vector<std::string> names;
+    std::ostringstream os;
+    os << "; ---- pingpong: two-function alternating thrasher ----\n"
+          "        .text\n\n";
+    for (int f = 0; f < 2; ++f) {
+        chains.push_back(makeChain(rng, kOps));
+        names.push_back("pp_f" + std::to_string(f));
+        emitChainFunc(os, names.back(), chains.back());
+    }
+    emitChainMain(os, "ppm", kReps, kSeed, names);
+
+    Workload w;
+    w.name = "pingpong";
+    w.display = "PingPong";
+    w.description = "two ~2.2 KiB functions called alternately "
+                    "(pathological eviction ping-pong at 4 KiB)";
+    w.source = os.str();
+    w.expected = chainGolden(chains, kReps, kSeed);
+    return w;
+}
+
+Workload
+makeCrcBig()
+{
+    constexpr int kMsgLen = 192;
+    constexpr int kUnroll = 32;
+    constexpr int kVariants = 8;
+    constexpr int kReps = 3;
+
+    support::Rng rng(0xCBC6'0003);
+    std::vector<std::uint8_t> msg(kMsgLen);
+    for (auto &b : msg)
+        b = rng.byte();
+    std::vector<std::uint16_t> vconst(kVariants);
+    for (auto &c : vconst)
+        c = static_cast<std::uint16_t>(256 + (rng.word() & 0x3FFF));
+
+    // Golden model: the variants compute the same CRC; each folds its
+    // own constant into the chained value afterwards.
+    std::uint16_t crc = 0xFFFF;
+    for (int rep = 0; rep < kReps; ++rep) {
+        for (int v = 0; v < kVariants; ++v) {
+            for (std::uint8_t b : msg)
+                crc = crcGoldenUpdate(crc, b);
+            crc = static_cast<std::uint16_t>(crc ^ vconst[v]);
+        }
+    }
+
+    std::ostringstream os;
+    os << "; ---- crc_big: eight unrolled CRC-16/CCITT variants ----\n"
+          "        .text\n\n";
+    for (int v = 0; v < kVariants; ++v) {
+        // cb_fN: R12 = crc(ptr R12, init R14) over kMsgLen bytes,
+        // per-byte update unrolled by kUnroll (~720 bytes each).
+        os << "; R12 = ptr, R14 = crc init; returns crc in R12\n"
+              "        .func cb_f" << v << "\n"
+              "        PUSH R10\n"
+              "        MOV R12, R15\n"
+              "        MOV R14, R12\n"
+              "        MOV #" << kMsgLen / kUnroll << ", R10\n"
+              "cb" << v << "_loop:\n";
+        for (int u = 0; u < kUnroll; ++u) {
+            os << "        MOV.B @R15+, R13\n"
+                  "        MOV R12, R14\n"
+                  "        SWPB R14\n"
+                  "        MOV.B R14, R14\n"
+                  "        XOR R13, R14\n"
+                  "        RLA R14\n"
+                  "        SWPB R12\n"
+                  "        AND #0xFF00, R12\n"
+                  "        XOR cb_tbl(R14), R12\n";
+        }
+        os << "        DEC R10\n"
+              "        JNZ cb" << v << "_loop\n"
+              "        POP R10\n"
+              "        RET\n"
+              "        .endfunc\n\n";
+    }
+    os << "        .func main\n"
+          "        PUSH R10\n"
+          "        PUSH R9\n"
+          "        MOV #" << kReps << ", R10\n"
+          "        MOV #0xFFFF, R9\n"
+          "cbm_rep:\n"
+          "        TST R10\n"
+          "        JZ cbm_done\n";
+    for (int v = 0; v < kVariants; ++v) {
+        os << "        MOV #cb_msg, R12\n"
+              "        MOV R9, R14\n"
+              "        CALL #cb_f" << v << "\n"
+              "        XOR #" << vconst[v] << ", R12\n"
+              "        MOV R12, R9\n";
+    }
+    os << "        DEC R10\n"
+          "        JMP cbm_rep\n"
+          "cbm_done:\n"
+          "        MOV R9, R12\n"
+          "        MOV R12, &bench_result\n"
+          "        POP R9\n"
+          "        POP R10\n"
+          "        RET\n"
+          "        .endfunc\n\n"
+          "        .const\n"
+          "        .align 2\n"
+          "cb_tbl:\n";
+    for (int i = 0; i < 256; ++i) {
+        if (i % 8 == 0)
+            os << "        .word ";
+        // tableEntry(i) == crcUpdate(0, i): idx = i, crc<<8 = 0.
+        os << crcGoldenUpdate(0, static_cast<std::uint8_t>(i))
+           << ((i % 8 == 7) ? "\n" : ", ");
+    }
+    os << "cb_msg:\n";
+    for (int i = 0; i < kMsgLen; ++i) {
+        if (i % 12 == 0)
+            os << "        .byte ";
+        os << static_cast<int>(msg[i])
+           << ((i % 12 == 11 || i == kMsgLen - 1) ? "\n" : ", ");
+    }
+    os << "\n        .data\n"
+          "        .align 2\n"
+          "bench_result: .word 0\n";
+
+    Workload w;
+    w.name = "crc_big";
+    w.display = "CrcBig";
+    w.description = "eight ~720-byte unrolled CRC variants "
+                    "(~5.8 KiB code) chained over a 192-byte message";
+    w.source = os.str();
+    w.expected = crc;
+    return w;
+}
+
+Workload
+makeRc4Big()
+{
+    constexpr int kMsgLen = 6144;
+    constexpr int kTile = 256;
+    constexpr int kKeyLen = 16;
+    constexpr std::uint16_t kPool = 512;
+
+    support::Rng rng(0x9C4B'0004);
+    std::vector<std::uint8_t> key(kKeyLen);
+    for (auto &b : key)
+        b = rng.byte();
+    std::vector<std::uint8_t> msg(kMsgLen);
+    for (auto &b : msg)
+        b = rng.byte();
+
+    // Golden model: same cipher as rc4, but the stream indices reset
+    // per 256-byte tile (one rcb_crypt call per tile).
+    std::uint8_t S[256];
+    for (int i = 0; i < 256; ++i)
+        S[i] = static_cast<std::uint8_t>(i);
+    std::uint8_t j = 0;
+    for (int i = 0; i < 256; ++i) {
+        j = static_cast<std::uint8_t>(j + S[i] + key[i % kKeyLen]);
+        std::swap(S[i], S[j]);
+    }
+    std::uint16_t checksum = 0;
+    std::vector<std::uint8_t> buf = msg;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int tile = 0; tile < kMsgLen / kTile; ++tile) {
+            std::uint8_t i = 0, jj = 0;
+            for (int k = 0; k < kTile; ++k) {
+                i = static_cast<std::uint8_t>(i + 1);
+                jj = static_cast<std::uint8_t>(jj + S[i]);
+                std::swap(S[i], S[jj]);
+                std::uint8_t ks =
+                    S[static_cast<std::uint8_t>(S[i] + S[jj])];
+                std::uint8_t c = static_cast<std::uint8_t>(
+                    buf[tile * kTile + k] ^ ks);
+                buf[tile * kTile + k] = c;
+                checksum = static_cast<std::uint16_t>(checksum + c);
+                checksum = static_cast<std::uint16_t>(
+                    (checksum << 1) | (checksum >> 15));
+            }
+        }
+    }
+
+    std::ostringstream os;
+    os << R"(
+; ---- rc4_big: RC4 over a 6 KiB message, tiled through the data
+; pool. Each 256-byte tile is swapped into SRAM, encrypted in place,
+; and written back; the identity shims below make the same source run
+; unchanged under baseline and the block cache (the SwapRAM pass
+; retargets the calls to __swp_din/__swp_dout when a pool exists).
+        .text
+
+; __data_swap_in: R12 = home, R13 = even length; returns the address
+; to operate on in R12 (identity: the home itself).
+        .func __data_swap_in
+        RET
+        .endfunc
+
+; __data_swap_out: R12 = home; write back and release (identity: the
+; data never moved, so nothing to do).
+        .func __data_swap_out
+        RET
+        .endfunc
+
+; rcb_init: build the S permutation from the key. No args.
+        .func rcb_init
+        PUSH R10
+        CLR R13
+rbi_fill:
+        MOV.B R13, rcb_s(R13)
+        INC R13
+        CMP #256, R13
+        JNE rbi_fill
+        CLR R13                 ; i
+        CLR R14                 ; j
+        CLR R15                 ; key index
+rbi_ks:
+        MOV.B rcb_s(R13), R12
+        ADD R12, R14
+        MOV.B rcb_key(R15), R10
+        ADD R10, R14
+        AND #0xFF, R14
+        MOV.B rcb_s(R13), R12
+        MOV.B rcb_s(R14), R10
+        MOV.B R10, rcb_s(R13)
+        MOV.B R12, rcb_s(R14)
+        INC R15
+        CMP #)" << kKeyLen << R"(, R15
+        JNE rbi_nokey
+        CLR R15
+rbi_nokey:
+        INC R13
+        CMP #256, R13
+        JNE rbi_ks
+        POP R10
+        RET
+        .endfunc
+
+; rcb_crypt: encrypt R14 bytes at R12 in place (stream indices reset
+; per call), updating the rolling checksum in &rcb_sum.
+        .func rcb_crypt
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        MOV R12, R9             ; buffer pointer
+        MOV R14, R10            ; remaining
+        CLR R13                 ; i
+        CLR R14                 ; j
+rbc_loop:
+        TST R10
+        JZ rbc_done
+        INC R13
+        AND #0xFF, R13
+        MOV.B rcb_s(R13), R12
+        ADD R12, R14
+        AND #0xFF, R14
+        MOV.B rcb_s(R14), R15
+        MOV.B R15, rcb_s(R13)
+        MOV.B R12, rcb_s(R14)
+        MOV.B rcb_s(R13), R15
+        MOV.B rcb_s(R14), R8
+        ADD R8, R15
+        AND #0xFF, R15
+        MOV.B rcb_s(R15), R15
+        MOV.B @R9, R8
+        XOR R15, R8
+        MOV.B R8, 0(R9)
+        INC R9
+        MOV &rcb_sum, R15
+        ADD R8, R15
+        RLA R15
+        ADC R15
+        MOV R15, &rcb_sum
+        DEC R10
+        JMP rbc_loop
+rbc_done:
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .func main
+        PUSH R10
+        PUSH R9
+        PUSH R8
+        CLR R12
+        MOV R12, &rcb_sum
+        CALL #rcb_init
+        MOV #2, R10             ; passes
+rbm_pass:
+        TST R10
+        JZ rbm_done
+        MOV #rcb_msg, R9        ; tile home pointer
+        MOV #)" << kMsgLen / kTile << R"(, R8
+rbm_tile:
+        TST R8
+        JZ rbm_pdone
+        MOV R9, R12
+        MOV #)" << kTile << R"(, R13
+        CALL #__data_swap_in
+        MOV #)" << kTile << R"(, R14
+        CALL #rcb_crypt
+        MOV R9, R12
+        CALL #__data_swap_out
+        ADD #)" << kTile << R"(, R9
+        DEC R8
+        JMP rbm_tile
+rbm_pdone:
+        DEC R10
+        JMP rbm_pass
+rbm_done:
+        MOV &rcb_sum, R12
+        MOV R12, &bench_result
+        POP R8
+        POP R9
+        POP R10
+        RET
+        .endfunc
+
+        .const
+rcb_key:
+)";
+    for (int i = 0; i < kKeyLen; ++i) {
+        if (i % 16 == 0)
+            os << "        .byte ";
+        os << static_cast<int>(key[i])
+           << ((i % 16 == 15 || i == kKeyLen - 1) ? "\n" : ", ");
+    }
+    os << "\n        .data\nrcb_msg:\n";
+    for (int i = 0; i < kMsgLen; ++i) {
+        if (i % 16 == 0)
+            os << "        .byte ";
+        os << static_cast<int>(msg[i])
+           << ((i % 16 == 15 || i == kMsgLen - 1) ? "\n" : ", ");
+    }
+    os << R"(
+rcb_s:  .space 256
+        .align 2
+rcb_sum: .word 0
+bench_result: .word 0
+)";
+
+    Workload w;
+    w.name = "rc4_big";
+    w.display = "Rc4Big";
+    w.description = "RC4 over a 6 KiB message in 256-byte tiles "
+                    "through the data-side pool";
+    w.source = os.str();
+    w.expected = checksum;
+    w.data_pool_bytes = kPool;
+    return w;
+}
+
+} // namespace swapram::workloads

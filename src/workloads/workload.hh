@@ -35,12 +35,30 @@ struct Workload {
     /** Periodic timer interrupt the workload expects, in cycles
      *  (0 = none). The runner copies this into MachineConfig. */
     std::uint64_t timer_period_cycles = 0;
+
+    /** Data-side SwapRAM pool the workload wants, in bytes (0 = none).
+     *  The runner copies this into cache::Options::data_pool_bytes for
+     *  SwapRAM runs unless the spec already configured a pool.
+     *  Workloads that set it call `__data_swap_in`/`__data_swap_out`
+     *  around large-buffer phases and must embed the identity shims so
+     *  they still run under the other systems. */
+    std::uint16_t data_pool_bytes = 0;
 };
 
 /** All nine paper benchmarks, in Table-1 order. */
 const std::vector<Workload> &all();
 
-/** Lookup by short name; nullptr if unknown. */
+/**
+ * ISSUE-7 capacity-pressure set: scaled-up variants of existing
+ * benchmarks whose code or data working set exceeds the default 4 KiB
+ * SRAM, plus a pathological ping-pong thrasher. Kept out of all() so
+ * the classic nine-workload matrices (and their golden expectations)
+ * are untouched; the capacity sweep enumerates these explicitly.
+ */
+const std::vector<Workload> &capacity();
+
+/** Lookup by short name across all() and capacity(); nullptr if
+ *  unknown. */
 const Workload *find(const std::string &name);
 
 /** Shared helper library (software mul/div, memcpy, memset). */
@@ -60,6 +78,13 @@ Workload makeRsa();
 
 /** The Figure-1 arithmetic kernel (not part of the nine). */
 Workload makeArith();
+
+// Capacity-pressure factories (ISSUE 7): working sets sized past the
+// default 4 KiB SRAM so the SwapRAM eviction path is exercised.
+Workload makeArithBig(); ///< ~5.3 KiB code: six generated op chains
+Workload makeCrcBig();   ///< ~5.8 KiB code: eight unrolled CRC variants
+Workload makeRc4Big();   ///< 6 KiB .data message tiled through the pool
+Workload makePingpong(); ///< two huge functions called alternately
 
 /** CRC workload's golden step (CRC-16/CCITT, table-driven), exposed so
  *  tests can pin it against the published check value. */

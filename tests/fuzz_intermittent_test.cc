@@ -179,6 +179,56 @@ TEST(FuzzIntermittent, RandomProgramsConvergeAcrossFaultSchedules)
                                  tally.faulted_runs));
 }
 
+TEST(FuzzIntermittent, CapacityWorkloadsConvergeAtSmallSram)
+{
+    // ISSUE 7 shard: the capacity workloads under power failures at
+    // SRAM sizes where the SwapRAM runtime is constantly evicting
+    // (arith_big/crc_big/pingpong) or tiling data through the pool
+    // (rc4_big). Every schedule interrupts miss handling, eviction
+    // scans, and __swp_din/__swp_dout copies many times over; the
+    // converged final state proves __swp_recover rebuilds a
+    // consistent cache/pool from any crash point.
+    harness::Engine engine;
+    int faulted_runs = 0;
+    std::uint64_t reboots = 0;
+    for (const workloads::Workload &w : workloads::capacity()) {
+        for (std::uint32_t sram : {1024u, 4096u}) {
+            harness::RunSpec spec = harness::capacitySpec(
+                w, harness::System::SwapRam, sram);
+            harness::RunOutcome ref =
+                engine.runAll({spec}).front();
+            ASSERT_TRUE(ref.ok()) << w.name << "@" << sram << ": "
+                                  << ref.error_text;
+            ASSERT_TRUE(ref.metrics.done) << w.name << "@" << sram;
+            ASSERT_EQ(ref.metrics.checksum, w.expected)
+                << w.name << "@" << sram;
+
+            std::vector<harness::RunSpec> faulted_specs;
+            for (const sim::FaultPlan &plan : schedulesFor(
+                     ref.metrics.stats.totalCycles(), 7)) {
+                harness::RunSpec faulted = spec;
+                faulted.intermittent.plan = plan;
+                faulted_specs.push_back(faulted);
+            }
+            auto outcomes = engine.runAll(faulted_specs);
+            for (std::size_t i = 0; i < outcomes.size(); ++i) {
+                ASSERT_TRUE(outcomes[i].ok())
+                    << w.name << "@" << sram << ": "
+                    << outcomes[i].error_text;
+                EXPECT_TRUE(converged(ref.metrics,
+                                      outcomes[i].metrics))
+                    << w.name << "@" << sram << " plan kind "
+                    << static_cast<int>(
+                           faulted_specs[i].intermittent.plan.kind);
+                ++faulted_runs;
+                reboots += outcomes[i].metrics.stats.reboots;
+            }
+        }
+    }
+    EXPECT_EQ(faulted_runs, 24); // 4 workloads × 2 sizes × 3 plans
+    EXPECT_GT(reboots, static_cast<std::uint64_t>(faulted_runs));
+}
+
 TEST(FuzzIntermittent, ExtendedSeedShard)
 {
     const char *flag = std::getenv("SWAPRAM_FUZZ_EXTENDED");

@@ -24,6 +24,14 @@
  *   --placement unified|standard|sram-code|sram-all|split
  *   --clock MHZ              8 or 24 (default 24)
  *   --cache-base A --cache-end B         SwapRAM/block cache region
+ *   --sram-size N            simulated SRAM bytes (default 4096); a
+ *                            default cache region re-anchors to the
+ *                            new SRAM end
+ *   --no-evict               disable SwapRAM eviction: a blocked miss
+ *                            falls back to running from FRAM (the
+ *                            pre-eviction runtime, bit-identical)
+ *   --data-pool N            data-side SwapRAM pool bytes (power of
+ *                            two >= 32), carved from the cache top
  *   --policy queue|stack     SwapRAM replacement structure
  *   --blacklist f1,f2        functions excluded from caching
  *   --listing                print the address-annotated listing
@@ -81,6 +89,10 @@
  * Sweep options (sweep):
  *   --systems LIST           comma list of baseline,swapram,block or
  *                            "all" (the default)
+ *   --capacity               append the capacity-pressure matrix: each
+ *                            capacity workload as a baseline reference
+ *                            plus SwapRAM runs at 1/2/4/8 KiB SRAM
+ *                            (the ISSUE-7 hit/thrash curve)
  *   --update-golden          rewrite the golden conformance
  *                            expectations from this sweep's results
  *   --golden-out FILE        golden file path (default: the source
@@ -124,6 +136,8 @@ struct Args {
     std::uint32_t clock_hz = 24'000'000;
     cache::Options swap;
     bb::Options block;
+    std::uint32_t sram_size = platform::kSramSize; ///< --sram-size
+    bool capacity = false; ///< sweep: append capacity-pressure rows
     bool listing = false;
     bool json = false;
     bool no_superblock = false; ///< force single-step/predecode path
@@ -157,12 +171,13 @@ usage()
         "                    <file.s | --workload NAME[,NAME...|all]> "
         "[options]\n"
         "         --jobs N   --systems LIST   --update-golden\n"
-        "         --golden-out FILE\n"
+        "         --golden-out FILE   --capacity (sweep)\n"
         "         --metrics   --progress   --flame-out FILE\n"
         "         --ring-capacity N   --csv FILE (heatmap)\n"
         "options: --system baseline|swapram|block   --placement "
         "unified|standard|sram-code|sram-all|split\n"
         "         --clock 8|24   --cache-base N --cache-end N\n"
+        "         --sram-size N   --no-evict   --data-pool N\n"
         "         --policy queue|stack   --blacklist f1,f2\n"
         "         --func NAME (disasm)   --listing   --json\n"
         "         --no-superblock (single-step execution engine)\n"
@@ -230,6 +245,16 @@ parseArgs(int argc, char **argv)
             args.swap.cache_end = static_cast<std::uint16_t>(
                 std::stoul(next(), nullptr, 0));
             args.block.cache_end = args.swap.cache_end;
+        } else if (a == "--sram-size") {
+            args.sram_size = static_cast<std::uint32_t>(
+                std::stoul(next(), nullptr, 0));
+        } else if (a == "--no-evict") {
+            args.swap.evict = false;
+        } else if (a == "--data-pool") {
+            args.swap.data_pool_bytes = static_cast<std::uint16_t>(
+                std::stoul(next(), nullptr, 0));
+        } else if (a == "--capacity") {
+            args.capacity = true;
         } else if (a == "--policy") {
             args.swap.policy = next() == "stack"
                                    ? cache::Policy::Stack
@@ -483,10 +508,11 @@ writeFlame(const std::string &path,
                  path.c_str(), folded.size());
 }
 
-/** One (workload × system) cell of a batch and its outcome. */
+/** One (workload × system × SRAM size) cell and its outcome. */
 struct SweepCell {
     const workloads::Workload *workload = nullptr;
     harness::System system = harness::System::Baseline;
+    std::uint32_t sram_size = platform::kSramSize;
     harness::RunOutcome outcome;
 
     /** Completed with the workload's golden checksum. */
@@ -499,27 +525,29 @@ struct SweepCell {
     }
 };
 
-/** Run the full matrix through the engine, submission-ordered. */
+/** Run the full matrix through the engine, submission-ordered. The
+ *  cache options come from the command line; with no flags they are
+ *  default-constructed, so the canonical sweepSpec configuration is
+ *  unchanged (--no-evict / --data-pool / --cache-* deliberately flow
+ *  into the sweep so variant goldens can be regenerated). */
 std::vector<SweepCell>
-runMatrix(const std::vector<const workloads::Workload *> &wls,
-          const std::vector<harness::System> &systems,
-          harness::Placement placement, std::uint32_t clock_hz,
-          unsigned jobs, bool superblock, bool metrics,
-          const harness::ProgressFn &progress)
+runMatrix(const std::vector<harness::MatrixCell> &matrix,
+          const Args &args, const harness::ProgressFn &progress)
 {
     std::vector<SweepCell> cells;
     std::vector<harness::RunSpec> specs;
-    for (const workloads::Workload *w : wls) {
-        for (harness::System system : systems) {
-            cells.push_back({w, system, {}});
-            harness::RunSpec spec =
-                harness::sweepSpec(*w, system, placement, clock_hz);
-            spec.superblock = superblock;
-            spec.observe.metrics = metrics;
-            specs.push_back(spec);
-        }
+    for (const harness::MatrixCell &mc : matrix) {
+        cells.push_back({mc.workload, mc.system, mc.sram_size, {}});
+        harness::RunSpec spec = harness::sweepSpec(
+            *mc.workload, mc.system, args.placement, args.clock_hz);
+        spec.sram_size = mc.sram_size;
+        spec.swap = args.swap;
+        spec.block = args.block;
+        spec.superblock = !args.no_superblock;
+        spec.observe.metrics = args.metrics;
+        specs.push_back(spec);
     }
-    harness::Engine engine(jobs);
+    harness::Engine engine(args.jobs);
     std::vector<harness::RunOutcome> outcomes =
         engine.runAll(specs, progress);
     for (std::size_t i = 0; i < cells.size(); ++i)
@@ -577,6 +605,7 @@ sweepDocument(const std::vector<SweepCell> &cells,
         support::json::Object o{
             {"workload", cell.workload->name},
             {"system", harness::systemName(cell.system)},
+            {"sram_size", cell.sram_size},
         };
         if (!cell.outcome.ok()) {
             o.emplace("error", cell.outcome.error_text);
@@ -624,10 +653,12 @@ goldenDocument(const std::vector<SweepCell> &cells,
         expectations.push_back(support::json::Object{
             {"workload", cell.workload->name},
             {"system", harness::systemName(cell.system)},
+            {"sram_size", cell.sram_size},
             {"checksum", m.checksum},
             {"total_cycles", m.stats.totalCycles()},
             {"stall_cycles", m.stats.stall_cycles},
             {"swap_ins", m.swap_summary.copy_ins},
+            {"evictions", m.swap_summary.evictions},
         });
     }
     return support::json::Object{
@@ -688,6 +719,7 @@ cmdRunMany(const Args &args)
         spec.clock_hz = args.clock_hz;
         spec.swap = args.swap;
         spec.block = args.block;
+        spec.sram_size = args.sram_size;
         spec.swap.boot_recovery = !args.no_recovery;
         spec.block.boot_recovery = !args.no_recovery;
         spec.superblock = !args.no_superblock;
@@ -704,7 +736,8 @@ cmdRunMany(const Args &args)
 
     std::vector<SweepCell> cells;
     for (std::size_t i = 0; i < wls.size(); ++i)
-        cells.push_back({wls[i], args.system, std::move(outcomes[i])});
+        cells.push_back({wls[i], args.system, args.sram_size,
+                         std::move(outcomes[i])});
 
     if (args.json) {
         std::vector<harness::System> systems{args.system};
@@ -769,10 +802,16 @@ cmdSweep(const Args &args)
     std::vector<const workloads::Workload *> wls = resolveWorkloads(
         args.workload.empty() ? "all" : args.workload);
     std::vector<harness::System> systems = resolveSystems(args.systems);
-    std::vector<SweepCell> cells = runMatrix(
-        wls, systems, args.placement, args.clock_hz, args.jobs,
-        !args.no_superblock, args.metrics,
-        makeProgress(args.progress, "sweep"));
+    std::vector<harness::MatrixCell> matrix;
+    for (const workloads::Workload *w : wls)
+        for (harness::System system : systems)
+            matrix.push_back({w, system, args.sram_size});
+    if (args.capacity) {
+        for (const harness::MatrixCell &mc : harness::capacityMatrix())
+            matrix.push_back(mc);
+    }
+    std::vector<SweepCell> cells =
+        runMatrix(matrix, args, makeProgress(args.progress, "sweep"));
 
     std::printf("%s\n",
                 sweepDocument(cells, args.placement, args.clock_hz,
@@ -849,6 +888,7 @@ cmdRun(const Args &args)
     spec.clock_hz = args.clock_hz;
     spec.swap = args.swap;
     spec.block = args.block;
+    spec.sram_size = args.sram_size;
     spec.include_lib = false; // already appended for workloads
     spec.swap.boot_recovery = !args.no_recovery;
     spec.block.boot_recovery = !args.no_recovery;
@@ -981,6 +1021,7 @@ cmdFaults(const Args &args)
     spec.clock_hz = args.clock_hz;
     spec.swap = args.swap;
     spec.block = args.block;
+    spec.sram_size = args.sram_size;
     spec.include_lib = false; // already appended for workloads
     spec.swap.boot_recovery = !args.no_recovery;
     spec.block.boot_recovery = !args.no_recovery;
@@ -1159,6 +1200,7 @@ cmdHeatmap(const Args &args)
     spec.clock_hz = args.clock_hz;
     spec.swap = args.swap;
     spec.block = args.block;
+    spec.sram_size = args.sram_size;
     spec.include_lib = false; // already appended for workloads
     spec.swap.boot_recovery = !args.no_recovery;
     spec.block.boot_recovery = !args.no_recovery;
