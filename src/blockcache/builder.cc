@@ -1,7 +1,10 @@
 #include "blockcache/builder.hh"
 
+#include <string>
+
 #include "blockcache/pass.hh"
 #include "blockcache/runtime_gen.hh"
+#include "ckpt/gen.hh"
 #include "masm/parser.hh"
 #include "support/logging.hh"
 
@@ -17,8 +20,27 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
     info.n_blocks = static_cast<int>(transformed.blocks.size());
     info.n_stubs = static_cast<int>(transformed.stub_target.size());
 
-    masm::Program runtime =
-        masm::parse(generateRuntimeAsm(transformed, options));
+    // Checkpointing captures any FRAM-resident .data/.bss (crt0
+    // reinitialises them every boot). Unlike swapram there is no
+    // intermediate assembly to measure them from, so probe-assemble
+    // the transformed application alone, with the runtime's entry
+    // symbols predefined (absolute operands have a fixed size, so
+    // placeholder addresses keep every section size exact).
+    ckpt::SectionSizes sections;
+    if (options.ckpt.enabled()) {
+        masm::LayoutSpec probe_layout = layout;
+        for (int k = 0; k < info.n_stubs; ++k)
+            probe_layout.predefined.emplace("__bb_e" + std::to_string(k),
+                                            0);
+        probe_layout.predefined.emplace("__bb_ret", 0);
+        probe_layout.predefined.emplace("__bb_recover", 0);
+        masm::AssembleResult probe =
+            masm::assemble(transformed.program, probe_layout);
+        sections = ckpt::measureSections(probe.image, options.ckpt);
+    }
+
+    masm::Program runtime = masm::parse(
+        generateRuntimeAsm(transformed, options, sections));
     masm::Program final_program = transformed.program;
     final_program.append(runtime);
 
@@ -48,6 +70,25 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
         + 2 * 2 * static_cast<std::uint32_t>(info.n_blocks) // baddr+bsize
         + 2 * 2 * static_cast<std::uint32_t>(e);            // hash
     info.metadata_bytes = stub_bytes + table_bytes;
+    if (options.ckpt.enabled()) {
+        // __ckpt_memcpy/__ckpt_commit/__ckpt_restore are emitted last,
+        // back to back; the triple forms one owner-attribution range
+        // (Handler).
+        ckpt::GenSpec ckspec =
+            checkpointSpec(transformed, options, sections);
+        ckpt::verifyLayout(info.assembled, ckspec, "__bb_meta_end");
+        const auto &ckmc = info.assembled.function("__ckpt_memcpy");
+        const auto &commit = info.assembled.function("__ckpt_commit");
+        const auto &restore = info.assembled.function("__ckpt_restore");
+        info.ckpt_addr = ckmc.addr;
+        info.ckpt_end =
+            static_cast<std::uint16_t>(restore.addr + restore.size);
+        info.runtime_bytes += ckmc.size + commit.size + restore.size;
+        // Staged registers + cursor + scheme cell + both counters +
+        // two headed buffers.
+        info.metadata_bytes += ckpt::kRegsBytes + 2 + 2 + 4 +
+                               2 * (4 + ckspec.payloadBytes());
+    }
     info.app_text_bytes = info.assembled.image.text.size -
                           info.runtime_bytes - stub_bytes;
     return info;

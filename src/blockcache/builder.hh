@@ -36,6 +36,10 @@ struct BuildInfo {
 
     // Boot-recovery routine range (Stats::recovery_cycles attribution).
     std::uint16_t recover_addr = 0, recover_end = 0;
+
+    // Checkpoint routines __ckpt_memcpy/__ckpt_commit/__ckpt_restore
+    // (zero when the scheme is None); attributed to Handler.
+    std::uint16_t ckpt_addr = 0, ckpt_end = 0;
 };
 
 /** Build a block-cache-enabled binary from an application program. */

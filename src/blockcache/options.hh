@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "ckpt/options.hh"
 #include "support/platform.hh"
 
 namespace swapram::bb {
@@ -33,6 +34,14 @@ struct Options {
      * demonstrate the stale-mapping crash (regression tests).
      */
     bool boot_recovery = true;
+
+    /**
+     * Crash-atomic checkpointing (ISSUE 8), mirroring the SwapRAM
+     * runtime's: scheme None reproduces the pre-checkpoint runtime
+     * byte for byte; the other schemes generate the uniform
+     * __ckpt_commit/__ckpt_restore pair and hook __bb_miss.
+     */
+    ckpt::Options ckpt;
 
     std::uint16_t
     slotCount() const

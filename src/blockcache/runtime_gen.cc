@@ -16,9 +16,37 @@ hashEntries(const Options &options)
     return e;
 }
 
+ckpt::GenSpec
+checkpointSpec(const TransformResult &transformed,
+               const Options &options,
+               const ckpt::SectionSizes &sections)
+{
+    ckpt::GenSpec spec;
+    spec.options = options.ckpt;
+    spec.sections = sections;
+    // The block-cache runtime has no callable word-copy routine (its
+    // copy loop is inlined in the miss handler), so the emitter
+    // provides a private one.
+    spec.memcpy_sym = "__ckpt_memcpy";
+    spec.emit_memcpy = true;
+    spec.meta_begin = "__bb_meta_begin";
+    // Byte size of the metadata bracket: six fixed cells + save area,
+    // the two per-block tables, both hash arrays, and the staged
+    // register file. The builder cross-checks this against the
+    // assembled __bb_meta_begin/__bb_meta_end span.
+    spec.meta_bytes =
+        12 + 10 +
+        2u * 2u *
+            static_cast<std::uint32_t>(transformed.blocks.size()) +
+        2u * 2u * static_cast<std::uint32_t>(hashEntries(options)) +
+        ckpt::kRegsBytes;
+    return spec;
+}
+
 std::string
 generateRuntimeAsm(const TransformResult &transformed,
-                   const Options &options)
+                   const Options &options,
+                   const ckpt::SectionSizes &sections)
 {
     std::ostringstream os;
     const int n_blocks = static_cast<int>(transformed.blocks.size());
@@ -28,12 +56,20 @@ generateRuntimeAsm(const TransformResult &transformed,
     const unsigned cend = options.cache_end;
     const unsigned slot = options.slot_bytes;
 
+    // Checkpointing (ISSUE 8): everything is gated on the scheme, so
+    // scheme None reproduces the pre-checkpoint runtime byte for byte.
+    const bool ck = options.ckpt.enabled();
+    ckpt::GenSpec ckspec = checkpointSpec(transformed, options,
+                                          sections);
+
     os << "; ---- block-cache generated runtime (" << n_blocks
        << " blocks, " << n_stubs << " CFI stubs, " << e
        << " hash entries) ----\n";
 
     // ---- Metadata (FRAM) ----
     os << "        .const\n        .align 2\n";
+    if (ck)
+        os << "__bb_meta_begin:\n";
     os << "__bb_target: .word 0\n"
           "__bb_key:    .word 0\n"
           "__bb_site:   .word 0\n"
@@ -50,6 +86,14 @@ generateRuntimeAsm(const TransformResult &transformed,
     os << "__bb_hkey:\n        .space " << 2 * e << "\n"
           "__bb_hkey_end:\n"
           "__bb_hval:\n        .space " << 2 * e << "\n";
+    if (ck) {
+        // The staged register file lives *inside* the bracket so the
+        // metadata copy captures it; the cursor, counters, and buffers
+        // live outside so a restore cannot roll them back.
+        ckpt::emitRegsCell(os);
+        os << "__bb_meta_end:\n";
+        ckpt::emitConstCells(os, ckspec);
+    }
 
     // ---- Runtime code ----
     os << "        .text\n";
@@ -58,8 +102,14 @@ generateRuntimeAsm(const TransformResult &transformed,
           "        MOV R12, &__bb_save+2\n"
           "        MOV R13, &__bb_save+4\n"
           "        MOV R14, &__bb_save+6\n"
-          "        MOV R15, &__bb_save+8\n"
-          "        POP R14\n"           // stub-call return address
+          "        MOV R15, &__bb_save+8\n";
+    // Checkpoint trigger: every stub-call miss passes through here
+    // with the app registers just saved, so the hook may clobber
+    // scratch freely. (Return-translation misses skip it — calls
+    // dominate, and one hook site keeps the accounting simple.)
+    if (ck)
+        ckpt::emitHook(os, ckspec);
+    os << "        POP R14\n"           // stub-call return address
           "        SUB #4, R14\n"       // the CALL site itself
           "        MOV R14, &__bb_site\n"
           "        MOV &__bb_target, R15\n"
@@ -230,8 +280,10 @@ generateRuntimeAsm(const TransformResult &transformed,
           "        MOV #1, &__bb_boot\n"
           "        RET\n"
           "__bb_rc_go:\n"
-          "        PUSH R12\n"
-          "        MOV #__bb_hkey, R12\n"
+          "        PUSH R12\n";
+    if (ck)
+        os << "        PUSH R11\n"; // restore's cold path clobbers R11
+    os << "        MOV #__bb_hkey, R12\n"
           "__bb_rc_loop:\n"
           "        CMP #__bb_hkey_end, R12\n"
           "        JHS __bb_rc_done\n"
@@ -242,10 +294,22 @@ generateRuntimeAsm(const TransformResult &transformed,
           "        MOV #" << cbase << ", R12\n"
           "        MOV R12, &__bb_next\n"
           "        CLR &__bb_site\n"
-          "        CLR &__bb_target\n"
-          "        POP R12\n"
+          "        CLR &__bb_target\n";
+    if (ck) {
+        // Resume from the newest committed checkpoint, if any. The
+        // cold-reset walk above still ran first, so a boot without a
+        // valid checkpoint keeps today's restart-from-clean-cache
+        // behaviour. On resume the call never returns; on the cold
+        // path it clobbers only R11/R12, which the pushes preserve.
+        os << "        CALL #__ckpt_restore\n"
+              "        POP R11\n";
+    }
+    os << "        POP R12\n"
           "        RET\n"
           "        .endfunc\n";
+
+    if (ck)
+        ckpt::emitRoutines(os, ckspec);
 
     return os.str();
 }

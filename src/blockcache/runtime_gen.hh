@@ -13,6 +13,8 @@
 
 #include "blockcache/options.hh"
 #include "blockcache/pass.hh"
+#include "ckpt/gen.hh"
+#include "ckpt/options.hh"
 
 namespace swapram::bb {
 
@@ -20,9 +22,24 @@ namespace swapram::bb {
  *  factor relative to the maximum resident blocks). */
 int hashEntries(const Options &options);
 
-/** Generate the runtime + stubs + tables assembly. */
+/**
+ * The checkpoint emitter parameters this runtime bakes into its
+ * generated assembly. The builder calls this again after the final
+ * assembly to cross-check the layout (ckpt::verifyLayout).
+ */
+ckpt::GenSpec checkpointSpec(const TransformResult &transformed,
+                             const Options &options,
+                             const ckpt::SectionSizes &sections);
+
+/**
+ * Generate the runtime + stubs + tables assembly. @p sections carries
+ * the FRAM-resident .data/.bss sizes the checkpoint machinery must
+ * capture (builder-measured; ignored when options.ckpt.scheme ==
+ * None).
+ */
 std::string generateRuntimeAsm(const TransformResult &transformed,
-                               const Options &options);
+                               const Options &options,
+                               const ckpt::SectionSizes &sections = {});
 
 } // namespace swapram::bb
 

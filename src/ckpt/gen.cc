@@ -1,0 +1,377 @@
+#include "ckpt/gen.hh"
+
+#include <ostream>
+
+#include "support/logging.hh"
+#include "support/platform.hh"
+#include "support/strings.hh"
+
+namespace swapram::ckpt {
+
+namespace plat = swapram::platform;
+
+namespace {
+
+/** Round a section size up to whole words (the copy routine moves
+ *  words; reading one byte past an odd-sized section is harmless —
+ *  .bss is the last section, and the copy stays inside its region's
+ *  address space). */
+std::uint32_t
+round2(std::uint32_t n)
+{
+    return (n + 1) & ~1u;
+}
+
+} // namespace
+
+std::string
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::None: return "none";
+      case Scheme::Periodic: return "periodic";
+      case Scheme::OnLowEnergy: return "on-low-energy";
+    }
+    support::panic("schemeName: bad scheme");
+}
+
+Scheme
+parseScheme(const std::string &name)
+{
+    if (name == "none")
+        return Scheme::None;
+    if (name == "periodic")
+        return Scheme::Periodic;
+    if (name == "on-low-energy")
+        return Scheme::OnLowEnergy;
+    support::fatal("unknown checkpoint scheme '", name,
+                   "' (none, periodic, on-low-energy)");
+}
+
+std::uint32_t
+GenSpec::sramBytes() const
+{
+    if (options.sram_end <= plat::kSramBase ||
+        (options.sram_end & 1) != 0) {
+        support::fatal("checkpoint SRAM end ", options.sram_end,
+                       " must be even and above the SRAM base");
+    }
+    return options.sram_end - plat::kSramBase;
+}
+
+std::uint32_t
+GenSpec::payloadBytes() const
+{
+    return meta_bytes + sramBytes() + round2(sections.data_bytes) +
+           round2(sections.bss_bytes);
+}
+
+void
+emitRegsCell(std::ostream &os)
+{
+    // Layout: +0 PC, +2 SP, +4 SR, +6..+28 R4..R15.
+    os << "__ckpt_regs:   .space " << kRegsBytes << "\n";
+}
+
+void
+emitConstCells(std::ostream &os, const GenSpec &spec)
+{
+    const std::uint32_t payload = spec.payloadBytes();
+    if (payload > 0xFFFF)
+        support::fatal("checkpoint payload too large: ", payload);
+    // The cursor and counters live outside the metadata bracket: a
+    // restore copies the bracket home, and these must not roll back
+    // with it (the cursor orders commits across restores; the counters
+    // are monotonic diagnostics the harness reads post-run).
+    os << "__ckpt_seq:     .word 0\n";
+    if (spec.options.scheme == Scheme::Periodic) {
+        // Initialised to the period so the cold first boot counts down
+        // like any other.
+        os << "__ckpt_ctr:     .word " << spec.options.period << "\n";
+    }
+    if (spec.options.scheme == Scheme::OnLowEnergy)
+        os << "__ckpt_low:     .word 0\n"; // hysteresis latch
+    os << "__ckpt_ncommit: .word 0\n"
+          "__ckpt_nrestore: .word 0\n";
+    for (const char *buf : {"__ckpt_buf0", "__ckpt_buf1"}) {
+        os << buf << ":\n"
+           << "        .word 0\n"  // seq
+           << "        .word 0\n"  // magic (0 = invalid)
+           << "        .space " << payload << "\n";
+    }
+}
+
+void
+emitHook(std::ostream &os, const GenSpec &spec)
+{
+    switch (spec.options.scheme) {
+      case Scheme::None:
+        break;
+      case Scheme::Periodic:
+        // Commit every Nth miss. The counter is reset *before* the
+        // commit and a persisted zero fires immediately, so a crash in
+        // the DEC-to-zero window cannot wrap the counter to 0xFFFF and
+        // postpone the next commit by 64 Ki misses.
+        if (spec.options.period < 1)
+            support::fatal("checkpoint period must be >= 1");
+        os << "        TST &__ckpt_ctr\n"
+              "        JZ __ckpt_hk_fire\n"
+              "        DEC &__ckpt_ctr\n"
+              "        JNZ __ckpt_hk_done\n"
+              "__ckpt_hk_fire:\n"
+              "        MOV #" << spec.options.period
+           << ", &__ckpt_ctr\n"
+              "        CALL #__ckpt_commit\n"
+              "__ckpt_hk_done:\n";
+        break;
+      case Scheme::OnLowEnergy:
+        // Commit once per low-energy episode: latch when the capacitor
+        // register first drops below the threshold, re-arm when it
+        // climbs back above (each boot starts at the power-on level,
+        // which re-arms the latch). The static MMIO operand also keeps
+        // the read on the single-step path under the superblock
+        // engine.
+        os << "        CMP #" << spec.options.low_threshold << ", &"
+           << plat::kMmioEnergy << "\n"
+           << "        JLO __ckpt_hk_low\n"
+              "        CLR &__ckpt_low\n"
+              "        JMP __ckpt_hk_done\n"
+              "__ckpt_hk_low:\n"
+              "        TST &__ckpt_low\n"
+              "        JNZ __ckpt_hk_done\n"
+              "        MOV #1, &__ckpt_low\n"
+              "        CALL #__ckpt_commit\n"
+              "__ckpt_hk_done:\n";
+        break;
+    }
+}
+
+void
+emitRoutines(std::ostream &os, const GenSpec &spec)
+{
+    const std::uint32_t sram = spec.sramBytes();
+    const std::uint32_t data = round2(spec.sections.data_bytes);
+    const std::uint32_t bss = round2(spec.sections.bss_bytes);
+    const std::string &mc = spec.memcpy_sym;
+
+    if (spec.emit_memcpy) {
+        // Same contract as swapram's __swp_memcpy: dst R12, src R13,
+        // even byte count R14; all three advance to their segment ends.
+        os << "        .func __ckpt_memcpy\n"
+              "__ckpt_mc_loop:\n"
+              "        TST R14\n"
+              "        JZ __ckpt_mc_done\n"
+              "        MOV @R13+, 0(R12)\n"
+              "        INCD R12\n"
+              "        DECD R14\n"
+              "        JMP __ckpt_mc_loop\n"
+              "__ckpt_mc_done:\n"
+              "        RET\n"
+              "        .endfunc\n";
+    }
+
+    // ---- Commit ----
+    os << "        .func __ckpt_commit\n";
+    // Stage the register file first: R4..R15 still hold the caller's
+    // live values. Slots: +0 PC, +2 SP, +4 SR, +6.. R4..R15.
+    for (int r = 4; r <= 15; ++r) {
+        os << "        MOV R" << r << ", &__ckpt_regs+"
+           << (6 + 2 * (r - 4)) << "\n";
+    }
+    os << "        MOV SR, &__ckpt_regs+4\n"
+          // DINT: an ISR firing mid-copy would tear the SRAM snapshot.
+          // SR (with GIE) is reloaded from the staging slot on exit.
+          "        BIC #8, SR\n"
+          // Resume point: our own return address, with the call frame
+          // unwound from the staged SP.
+          "        MOV 0(SP), &__ckpt_regs+0\n"
+          "        MOV SP, R15\n"
+          "        INCD R15\n"
+          "        MOV R15, &__ckpt_regs+2\n"
+          // Target = buffer (seq+1) & 1 — always the older one.
+          "        MOV &__ckpt_seq, R15\n"
+          "        INC R15\n"
+          "        MOV #__ckpt_buf0, R11\n"
+          "        BIT #1, R15\n"
+          "        JZ __ckpt_cm_pick\n"
+          "        MOV #__ckpt_buf1, R11\n"
+          "__ckpt_cm_pick:\n"
+          // Invalidate the target's magic before touching its payload.
+          "        CLR 2(R11)\n"
+          "        MOV R11, R12\n"
+          "        INCD R12\n"
+          "        INCD R12\n"
+          // Metadata bracket (includes the staged registers).
+          "        MOV #" << spec.meta_begin << ", R13\n"
+          "        MOV #" << spec.meta_bytes << ", R14\n"
+          "        CALL #" << mc << "\n"
+          // SRAM image (the copy routine left R12 at the segment end).
+          "        MOV #" << plat::kSramBase << ", R13\n"
+          "        MOV #" << sram << ", R14\n"
+          "        CALL #" << mc << "\n";
+    if (data) {
+        os << "        MOV #__sect_data_base, R13\n"
+              "        MOV #" << data << ", R14\n"
+              "        CALL #" << mc << "\n";
+    }
+    if (bss) {
+        os << "        MOV #__sect_bss_base, R13\n"
+              "        MOV #" << bss << ", R14\n"
+              "        CALL #" << mc << "\n";
+    }
+    // Seal: seq, then the magic (the commit point), then the cursor.
+    os << "        MOV R15, 0(R11)\n"
+          "        MOV #" << kMagic << ", 2(R11)\n"
+          "        MOV R15, &__ckpt_seq\n"
+          "        INC &__ckpt_ncommit\n"
+          // Reload scratch registers and SR from the staging area: the
+          // live path continues in exactly the state a resumed
+          // execution sees (and SR regains GIE after the DINT above).
+          "        MOV &__ckpt_regs+20, R11\n"
+          "        MOV &__ckpt_regs+22, R12\n"
+          "        MOV &__ckpt_regs+24, R13\n"
+          "        MOV &__ckpt_regs+26, R14\n"
+          "        MOV &__ckpt_regs+28, R15\n"
+          "        MOV &__ckpt_regs+4, SR\n"
+          "        RET\n"
+          "        .endfunc\n";
+
+    // ---- Restore ----
+    os << "        .func __ckpt_restore\n"
+          // Pick the newest valid buffer into R11. The cold path (no
+          // valid checkpoint) clobbers only R11..R13 and flags, which
+          // the recovery routine saves around this call.
+          "        MOV #__ckpt_buf0, R11\n"
+          "        MOV #__ckpt_buf1, R12\n"
+          "        CMP #" << kMagic << ", 2(R11)\n"
+          "        JEQ __ckpt_rs_b0\n"
+          "        CMP #" << kMagic << ", 2(R12)\n"
+          "        JNE __ckpt_rs_cold\n"
+          "        MOV R12, R11\n"
+          "        JMP __ckpt_rs_go\n"
+          "__ckpt_rs_b0:\n"
+          "        CMP #" << kMagic << ", 2(R12)\n"
+          "        JNE __ckpt_rs_go\n"
+          // Both valid: the signed seq difference names the newer one
+          // (they alternate, so the distance is exactly 1, wrap-safe).
+          "        MOV 0(R12), R13\n"
+          "        SUB 0(R11), R13\n"
+          "        JN __ckpt_rs_go\n"
+          "        MOV R12, R11\n"
+          "__ckpt_rs_go:\n"
+          // Recompute the cursor from the chosen header. Everything
+          // from here on is idempotent: a crash mid-restore reruns
+          // recovery + restore and redoes the same stores.
+          "        MOV 0(R11), R15\n"
+          "        MOV R15, &__ckpt_seq\n"
+          "        INC &__ckpt_nrestore\n"
+          "        MOV R11, R13\n"
+          "        INCD R13\n"
+          "        INCD R13\n"
+          // Metadata home (restores __ckpt_regs too).
+          "        MOV #" << spec.meta_begin << ", R12\n"
+          "        MOV #" << spec.meta_bytes << ", R14\n"
+          "        CALL #" << mc << "\n"
+          // Hold the SRAM segment's buffer address; it is copied last.
+          "        MOV R13, R11\n";
+    if (data) {
+        os << "        ADD #" << sram << ", R13\n"
+              "        MOV #__sect_data_base, R12\n"
+              "        MOV #" << data << ", R14\n"
+              "        CALL #" << mc << "\n";
+    }
+    if (bss) {
+        if (!data)
+            os << "        ADD #" << sram << ", R13\n";
+        os << "        MOV #__sect_bss_base, R12\n"
+              "        MOV #" << bss << ", R14\n"
+              "        CALL #" << mc << "\n";
+    }
+    // SRAM image, inline: this overwrites the live stack, so no calls
+    // or pushes from here on.
+    os << "        MOV R11, R13\n"
+          "        MOV #" << plat::kSramBase << ", R12\n"
+          "        MOV #" << sram << ", R14\n"
+          "__ckpt_rs_sram:\n"
+          "        TST R14\n"
+          "        JZ __ckpt_rs_regs\n"
+          "        MOV @R13+, 0(R12)\n"
+          "        INCD R12\n"
+          "        DECD R14\n"
+          "        JMP __ckpt_rs_sram\n"
+          "__ckpt_rs_regs:\n";
+    for (int r = 4; r <= 15; ++r) {
+        os << "        MOV &__ckpt_regs+" << (6 + 2 * (r - 4)) << ", R"
+           << r << "\n";
+    }
+    // SP before SR: if SR re-enables GIE with an interrupt pending,
+    // the ISR must push onto the resumed stack.
+    os << "        MOV &__ckpt_regs+2, SP\n"
+          "        MOV &__ckpt_regs+4, SR\n"
+          "        BR &__ckpt_regs\n"
+          "__ckpt_rs_cold:\n"
+          "        RET\n"
+          "        .endfunc\n";
+}
+
+SectionSizes
+measureSections(const masm::Image &image, const Options &options)
+{
+    SectionSizes sizes;
+    auto classify = [&](const char *name, const masm::Range &range)
+        -> std::uint32_t {
+        if (range.size == 0)
+            return 0;
+        const bool in_sram = range.base >= plat::kSramBase &&
+                             range.base < plat::kFramBase;
+        if (!in_sram)
+            return range.size;
+        if (range.end() > options.sram_end) {
+            support::fatal("checkpointing: ", name, " section [",
+                           support::hex16(range.base), ", ",
+                           range.end(), ") extends past the captured "
+                           "SRAM range end ", options.sram_end);
+        }
+        return 0; // covered by the SRAM segment
+    };
+    sizes.data_bytes = classify("data", image.data);
+    sizes.bss_bytes = classify("bss", image.bss);
+    return sizes;
+}
+
+void
+verifyLayout(const masm::AssembleResult &assembled, const GenSpec &spec,
+             const char *meta_end_sym)
+{
+    const std::uint32_t span =
+        static_cast<std::uint16_t>(assembled.symbol(meta_end_sym) -
+                                   assembled.symbol(spec.meta_begin));
+    if (span != spec.meta_bytes) {
+        support::panic("checkpoint bracket ", spec.meta_begin, "..",
+                       meta_end_sym, " spans ", span,
+                       " bytes but the generator accounted ",
+                       spec.meta_bytes,
+                       " (a metadata cell is missing from the count)");
+    }
+    const std::uint32_t stride =
+        static_cast<std::uint16_t>(assembled.symbol("__ckpt_buf1") -
+                                   assembled.symbol("__ckpt_buf0"));
+    if (stride != 4 + spec.payloadBytes()) {
+        support::panic("checkpoint buffer stride ", stride,
+                       " != header + payload ",
+                       4 + spec.payloadBytes());
+    }
+    // The emitter baked the probe-measured section sizes into the copy
+    // code; the final image must still match.
+    SectionSizes now = measureSections(assembled.image, spec.options);
+    if (now.data_bytes != spec.sections.data_bytes ||
+        now.bss_bytes != spec.sections.bss_bytes) {
+        support::panic("checkpoint section sizes moved between probe "
+                       "and final assembly: data ",
+                       spec.sections.data_bytes, " -> ", now.data_bytes,
+                       ", bss ", spec.sections.bss_bytes, " -> ",
+                       now.bss_bytes);
+    }
+}
+
+} // namespace swapram::ckpt

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared checkpoint assembly emitter, used by both caching runtimes'
+ * generators (swapram/runtime_gen, blockcache/runtime_gen).
+ *
+ * The commit/restore protocol (torn-write safe at every instruction
+ * boundary — the machine only faults between instructions, and every
+ * store here is a single word):
+ *
+ *   __ckpt_commit
+ *     1. Stage PC/SP/SR and R4..R15 into __ckpt_regs (inside the
+ *        runtime's metadata bracket, so the meta copy captures them).
+ *        The resume PC is the commit call's own return address; the
+ *        staged SP has that call unwound.
+ *     2. DINT, so no ISR mutates SRAM mid-snapshot.
+ *     3. Pick the target buffer by the parity of seq+1 — always the
+ *        *older* buffer — and clear its magic word first, so a crash
+ *        mid-copy can never leave a stale-but-valid-looking header
+ *        over a half-new payload.
+ *     4. Copy segments into the buffer: metadata bracket, SRAM image,
+ *        then any FRAM-resident .data/.bss.
+ *     5. Seal: write seq, then the magic word (the commit point), then
+ *        advance the __ckpt_seq cursor and the commit counter.
+ *     6. Reload R11..R15 and SR from the staging area and RET, so the
+ *        live path continues in exactly the state a resumed execution
+ *        would see.
+ *
+ *   __ckpt_restore (tail of the boot-recovery routine)
+ *     1. Pick the newest valid buffer (magic check; both valid → the
+ *        signed seq difference decides). Neither valid → plain RET,
+ *        preserving only R4..R10/R14 (callers save the scratch set).
+ *     2. Recompute __ckpt_seq from the chosen header (idempotent: a
+ *        crash mid-restore just reruns recovery + restore).
+ *     3. Copy the metadata and .data/.bss segments home, then the SRAM
+ *        segment with an inline loop — it overwrites the live stack,
+ *        so no calls or pushes may follow.
+ *     4. Load R4..R15, then SP, then SR (in that order, so a
+ *        GIE-deferred interrupt pushes onto the resumed stack), and
+ *        branch through the staged resume PC.
+ */
+
+#ifndef SWAPRAM_CKPT_GEN_HH
+#define SWAPRAM_CKPT_GEN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "ckpt/options.hh"
+#include "masm/assembler.hh"
+
+namespace swapram::ckpt {
+
+/** Bytes of the __ckpt_regs staging area: PC, SP, SR, R4..R15. */
+inline constexpr std::uint32_t kRegsBytes = 30;
+
+/** "Committed" marker; buffers are zero-initialised, so 0 is never a
+ *  valid magic. */
+inline constexpr std::uint16_t kMagic = 0x5AC3;
+
+/** Everything the emitter needs from the host runtime generator. */
+struct GenSpec {
+    Options options;
+    SectionSizes sections;
+
+    /** The runtime's word-copy routine (dst R12, src R13, byte count
+     *  R14; all three advanced). */
+    std::string memcpy_sym = "__swp_memcpy";
+    /** Emit a private __ckpt_memcpy (runtimes without a shared one). */
+    bool emit_memcpy = false;
+
+    /** Label bracketing the runtime's .const metadata block. */
+    std::string meta_begin = "__swp_meta_begin";
+    /** Size of the bracket in bytes, including __ckpt_regs. The
+     *  builder cross-checks this against the assembled symbols. */
+    std::uint32_t meta_bytes = 0;
+
+    /** Bytes of one buffer's payload (metadata + SRAM + sections). */
+    std::uint32_t payloadBytes() const;
+    /** SRAM segment size, [kSramBase, options.sram_end). */
+    std::uint32_t sramBytes() const;
+};
+
+/** The __ckpt_regs staging cell; emit inside the metadata bracket. */
+void emitRegsCell(std::ostream &os);
+
+/** Cursor, scheme cells, counters, and the two buffers; emit in
+ *  .const *outside* the metadata bracket (they must not roll back
+ *  when a restore copies the bracket home). */
+void emitConstCells(std::ostream &os, const GenSpec &spec);
+
+/** The scheme's commit trigger; emit at the miss-handler entry, after
+ *  the R11..R15 saves (the handler body reloads from its save area, so
+ *  clobbering scratch registers here is safe). */
+void emitHook(std::ostream &os, const GenSpec &spec);
+
+/** __ckpt_commit and __ckpt_restore (and __ckpt_memcpy when
+ *  requested); emit at the end of .text so the pair forms one
+ *  contiguous owner-attribution range. */
+void emitRoutines(std::ostream &os, const GenSpec &spec);
+
+/**
+ * Classify .data/.bss from a probe image (the application assembled
+ * without the runtime — appending the runtime never changes these
+ * sections' sizes): SRAM-placed sections must fit inside the captured
+ * SRAM range (fatal otherwise) and contribute 0; FRAM-placed sections
+ * contribute their size, since crt0 reinitialises them on every boot.
+ */
+SectionSizes measureSections(const masm::Image &image,
+                             const Options &options);
+
+/**
+ * Cross-check a final assembly against the generated layout: the
+ * bracket span and the buffer stride must agree with the sizes the
+ * emitter baked into the copy code, and the probe-measured sections
+ * must not have changed. Panics on mismatch.
+ */
+void verifyLayout(const masm::AssembleResult &assembled,
+                  const GenSpec &spec, const char *meta_end_sym);
+
+} // namespace swapram::ckpt
+
+#endif // SWAPRAM_CKPT_GEN_HH

@@ -105,6 +105,18 @@ geoMeanDelta(const std::vector<double> &ratios)
 
 namespace {
 
+const char *
+stopName(sim::RunResult::Stop stop)
+{
+    switch (stop) {
+      case sim::RunResult::Stop::Done: return "done";
+      case sim::RunResult::Stop::MaxCycles: return "max-cycles";
+      case sim::RunResult::Stop::Livelock: return "livelock";
+      case sim::RunResult::Stop::Exhausted: return "exhausted";
+    }
+    return "unknown";
+}
+
 json::Value
 accessJson(const sim::AccessCounts &a)
 {
@@ -334,6 +346,7 @@ RunReport::json() const
         {"sram_size", sram_size},
         {"fits", m.fits},
         {"done", m.done},
+        {"stop", stopName(m.stop)},
         {"checksum", m.checksum},
     };
     if (!m.fits) {
@@ -343,6 +356,10 @@ RunReport::json() const
     root.emplace("stats", statsJson(m.stats));
     root.emplace("energy_pj", m.energy_pj);
     root.emplace("seconds", m.seconds);
+    if (m.harvested_pj || m.wall_seconds) {
+        root.emplace("harvested_pj", m.harvested_pj);
+        root.emplace("wall_seconds", m.wall_seconds);
+    }
     if (!m.console.empty())
         root.emplace("console", m.console);
     root.emplace(
@@ -393,6 +410,8 @@ RunReport::json() const
                 {"peak_resident_bytes", sum.peak_resident_bytes},
                 {"power_failures", sum.power_failures},
                 {"recovery_cycles", sum.recovery_cycles},
+                {"ckpt_commits", sum.ckpt_commits},
+                {"ckpt_restores", sum.ckpt_restores},
                 {"events", std::move(events)},
                 {"occupancy", std::move(occupancy)},
             });
@@ -406,6 +425,11 @@ RunReport::json() const
                                   {"data_swap_ins", m.rt_data_in},
                                   {"data_swap_outs", m.rt_data_out},
                                   {"data_pool_full", m.rt_data_full}});
+    }
+    if (m.rt_ckpt_commits || m.rt_ckpt_restores) {
+        root.emplace("ckpt",
+                     json::Object{{"commits", m.rt_ckpt_commits},
+                                  {"restores", m.rt_ckpt_restores}});
     }
     if (m.trace_emitted || m.trace_dropped) {
         root.emplace("trace",
@@ -435,8 +459,20 @@ RunReport::text(std::size_t profile_rows) const
         "MHz repeats=", main_repeats, "\n");
     if (!m.fits)
         return out + "result: DNF (" + m.fit_note + ")\n";
+    const char *verdict = "done";
+    if (!m.done) {
+        switch (m.stop) {
+          case sim::RunResult::Stop::MaxCycles: verdict = "TIMEOUT";
+              break;
+          case sim::RunResult::Stop::Livelock: verdict = "LIVELOCK";
+              break;
+          case sim::RunResult::Stop::Exhausted: verdict = "EXHAUSTED";
+              break;
+          case sim::RunResult::Stop::Done: verdict = "TIMEOUT"; break;
+        }
+    }
     out += support::cat(
-        "result: ", m.done ? "done" : "TIMEOUT",
+        "result: ", verdict,
         " checksum=", support::hex16(m.checksum),
         " cycles=", withCommas(m.stats.totalCycles()),
         " (stall ", withCommas(m.stats.stall_cycles),
@@ -447,6 +483,17 @@ RunReport::text(std::size_t profile_rows) const
             "power: reboots=", withCommas(m.stats.reboots),
             " recovery_cycles=", withCommas(m.stats.recovery_cycles),
             "\n");
+    }
+    if (m.rt_ckpt_commits || m.rt_ckpt_restores) {
+        out += support::cat(
+            "ckpt: commits=", withCommas(m.rt_ckpt_commits),
+            " restores=", withCommas(m.rt_ckpt_restores), "\n");
+    }
+    if (m.harvested_pj) {
+        out += support::cat(
+            "harvest: energy=",
+            support::fixed(m.harvested_pj / 1e6, 3),
+            "uJ wall=", support::fixed(m.wall_seconds, 6), "s\n");
     }
     if (m.swap_summary.misses || m.swap_summary.copy_ins) {
         const trace::SwapSummary &s = m.swap_summary;

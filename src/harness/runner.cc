@@ -224,6 +224,40 @@ runOne(const RunSpec &spec)
              spec.block.boot_recovery)
         recover = "__bb_recover";
 
+    // Checkpointing preconditions. The restore rolls back SRAM, the
+    // runtime metadata, and FRAM .data/.bss — a stack living elsewhere
+    // in FRAM would survive un-rolled-back and desynchronise from the
+    // restored register file (the resumed routine returns into this
+    // boot's stack frames). And the restore itself runs from the
+    // recovery routine, so recovery must be on.
+    const bool ckpt_on =
+        (spec.system == System::SwapRam && spec.swap.ckpt.enabled()) ||
+        (spec.system == System::BlockCache &&
+         spec.block.ckpt.enabled());
+    if (ckpt_on) {
+        if (!plan.stack_in_sram) {
+            support::fatal("checkpointing requires the stack in "
+                           "captured SRAM, but placement '",
+                           placementName(spec.placement),
+                           "' keeps it in FRAM (restore cannot roll a "
+                           "live FRAM stack back)");
+        }
+        if (recover.empty()) {
+            support::fatal("checkpointing requires boot recovery "
+                           "(__ckpt_restore is invoked from the "
+                           "recovery routine)");
+        }
+    }
+
+    // An SRAM stack placed at the platform SRAM end must follow the
+    // configured SRAM size (capacity sweeps shrink the mapped region;
+    // a stack at the default 0x3000 would fault on the first push).
+    if (plan.stack_in_sram &&
+        plan.stack_top == static_cast<std::uint16_t>(plat::kSramEnd)) {
+        plan.stack_top = static_cast<std::uint16_t>(plat::kSramBase +
+                                                    spec.sram_size);
+    }
+
     std::string body = spec.workload->source;
     if (spec.include_lib)
         body += workloads::libSource();
@@ -246,6 +280,10 @@ runOne(const RunSpec &spec)
             swap.cache_end = static_cast<std::uint16_t>(sram_end);
         if (block.cache_end == plat::kSramEnd)
             block.cache_end = static_cast<std::uint16_t>(sram_end);
+        if (swap.ckpt.sram_end == plat::kSramEnd)
+            swap.ckpt.sram_end = static_cast<std::uint16_t>(sram_end);
+        if (block.ckpt.sram_end == plat::kSramEnd)
+            block.ckpt.sram_end = static_cast<std::uint16_t>(sram_end);
     }
     if (!swap.data_pool_bytes && spec.workload->data_pool_bytes)
         swap.data_pool_bytes = spec.workload->data_pool_bytes;
@@ -313,6 +351,7 @@ runOne(const RunSpec &spec)
     std::uint16_t memcpy_base = 0, memcpy_end = 0;
     std::uint16_t recover_base = 0, recover_end = 0;
     std::uint16_t datapool_base = 0, datapool_end = 0;
+    std::uint16_t ckpt_base = 0, ckpt_end = 0;
     cache::FuncIds swap_funcs; // kept for post-run invariant checks
     switch (spec.system) {
       case System::Baseline: {
@@ -337,6 +376,8 @@ runOne(const RunSpec &spec)
         recover_end = info.recover_end;
         datapool_base = info.datapool_addr;
         datapool_end = info.datapool_end;
+        ckpt_base = info.ckpt_addr;
+        ckpt_end = info.ckpt_end;
         swap_funcs = info.funcs;
         break;
       }
@@ -353,6 +394,8 @@ runOne(const RunSpec &spec)
         memcpy_end = info.memcpy_end;
         recover_base = info.recover_addr;
         recover_end = info.recover_end;
+        ckpt_base = info.ckpt_addr;
+        ckpt_end = info.ckpt_end;
         break;
       }
     }
@@ -401,6 +444,8 @@ runOne(const RunSpec &spec)
     config.predecode_enabled = spec.predecode;
     config.superblock_enabled = spec.superblock;
     config.sram_size = spec.sram_size;
+    if (spec.intermittent.livelock_boots)
+        config.livelock_boots = spec.intermittent.livelock_boots;
     sim::Machine machine(config);
     machine.load(image, stack_top);
     if (handler_end > handler_base) {
@@ -420,9 +465,48 @@ runOne(const RunSpec &spec)
     }
     if (recover_end > recover_base)
         machine.setRecoveryRange(recover_base, recover_end);
+    if (ckpt_end > ckpt_base) {
+        // The checkpoint routines are runtime overhead like the miss
+        // handler; probe their entry points for the trace stream.
+        machine.addOwnerRange(ckpt_base, ckpt_end,
+                              sim::CodeOwner::Handler);
+        auto entry = [&](const char *name) -> std::uint16_t {
+            auto it = assembled.symbols.find(name);
+            return it == assembled.symbols.end() ? 0 : it->second;
+        };
+        machine.setCkptProbe(entry("__ckpt_commit"),
+                             entry("__ckpt_restore"));
+    }
+    if (config.livelock_boots) {
+        // Persistent cells that change even on a zero-progress boot
+        // must not feed the livelock watermark: lifetime statistics
+        // counters and the checkpoint scheme's plumbing (sequence
+        // words, the periodic countdown, the low-energy latch). The
+        // sealed buffer payloads still hash, so committing *new*
+        // state resets the streak.
+        auto skipCell = [&](const char *name, std::uint16_t bytes) {
+            auto it = assembled.symbols.find(name);
+            if (it != assembled.symbols.end())
+                machine.addWatermarkSkip(it->second,
+                                         it->second + bytes);
+        };
+        for (const char *name :
+             {"__swp_nevict", "__swp_nretry", "__swp_dnin",
+              "__swp_dnout", "__swp_dnfull", "__ckpt_seq",
+              "__ckpt_ctr", "__ckpt_low", "__ckpt_ncommit",
+              "__ckpt_nrestore"})
+            skipCell(name, 2);
+        skipCell("__ckpt_buf0", 2); // buffer seq word; payload hashes
+        skipCell("__ckpt_buf1", 2);
+    }
     sim::FaultInjector injector(spec.intermittent.plan);
-    if (spec.intermittent.enabled())
+    if (spec.intermittent.enabled()) {
+        if (spec.intermittent.plan.kind == sim::FaultPlan::Kind::Trace) {
+            injector.bindEnergy(&machine.stats(), sim::EnergyModel{},
+                                spec.clock_hz);
+        }
         machine.setFaultInjector(&injector);
+    }
 
     // Observability wiring (the runner owns the engine's lifecycle;
     // none of this is constructed for plain runs).
@@ -549,21 +633,31 @@ runOne(const RunSpec &spec)
             .set(m.swap_summary.peak_resident_bytes);
     }
     m.done = result.done;
+    m.stop = result.stop;
     m.console = machine.mmio().console();
     m.stats = machine.stats();
     m.seconds = sim::EnergyModel::seconds(m.stats, spec.clock_hz);
     m.energy_pj = sim::EnergyModel{}.totalPj(m.stats, spec.clock_hz);
+    if (spec.intermittent.plan.kind == sim::FaultPlan::Kind::Trace) {
+        std::uint64_t cycles = m.stats.totalCycles();
+        m.harvested_pj = injector.harvestedPj(cycles);
+        m.wall_seconds = injector.wallSeconds(cycles);
+    }
     if (auto it = assembled.symbols.find("bench_result");
         it != assembled.symbols.end()) {
         m.checksum = machine.peek16(it->second);
     }
+    auto counter = [&](const char *name) -> std::uint16_t {
+        auto it = assembled.symbols.find(name);
+        return it == assembled.symbols.end()
+                   ? 0
+                   : machine.peek16(it->second);
+    };
+    // Both cache runtimes share the checkpoint counter cells (absent
+    // when the scheme is None — counter() then reads 0).
+    m.rt_ckpt_commits = counter("__ckpt_ncommit");
+    m.rt_ckpt_restores = counter("__ckpt_nrestore");
     if (spec.system == System::SwapRam) {
-        auto counter = [&](const char *name) -> std::uint16_t {
-            auto it = assembled.symbols.find(name);
-            return it == assembled.symbols.end()
-                       ? 0
-                       : machine.peek16(it->second);
-        };
         m.rt_evictions = counter("__swp_nevict");
         m.rt_retries = counter("__swp_nretry");
         m.rt_data_in = counter("__swp_dnin");

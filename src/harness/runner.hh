@@ -28,6 +28,7 @@
 #include "sim/config.hh"
 #include "sim/energy.hh"
 #include "sim/fault.hh"
+#include "sim/machine.hh"
 #include "sim/stats.hh"
 #include "swapram/options.hh"
 #include "trace/profile.hh"
@@ -94,6 +95,11 @@ struct IntermittentSpec {
     /** When power dies (Kind::None = uninterrupted run). */
     sim::FaultPlan plan;
 
+    /** Livelock watchdog: abort after this many consecutive boots
+     *  with an identical persistent-state watermark (0 = machine
+     *  default). */
+    std::uint32_t livelock_boots = 0;
+
     bool enabled() const { return plan.enabled(); }
 };
 
@@ -147,10 +153,18 @@ struct Metrics {
     bool fits = true;          ///< false = paper's "DNF"
     std::string fit_note;      ///< why it did not fit
     bool done = false;         ///< program ran to completion
+    /** Why the run loop returned (Done / MaxCycles / Livelock /
+     *  Exhausted) — distinguishes a livelocked intermittent run from a
+     *  merely slow one. */
+    sim::RunResult::Stop stop = sim::RunResult::Stop::Done;
     std::uint16_t checksum = 0;
     sim::Stats stats;
     double energy_pj = 0;
     double seconds = 0;
+
+    // Harvest-trace accounting (Trace fault plans only; 0 otherwise).
+    double harvested_pj = 0;  ///< energy drawn from the trace
+    double wall_seconds = 0;  ///< on-time + recharge (off) time
 
     // Static sizes (Figure 7 / Table 1).
     std::uint32_t text_bytes = 0;
@@ -197,6 +211,11 @@ struct Metrics {
     std::uint16_t rt_data_out = 0;  ///< __swp_dnout: pool write-backs
     std::uint16_t rt_data_full = 0; ///< __swp_dnfull: served from FRAM
 
+    // Checkpoint runtime counters (__ckpt_ncommit/__ckpt_nrestore;
+    // same cells in both cache runtimes, zero when ckpt is off).
+    std::uint16_t rt_ckpt_commits = 0;  ///< checkpoints sealed
+    std::uint16_t rt_ckpt_restores = 0; ///< boots resumed from one
+
     std::uint32_t
     totalNvmBytes() const
     {
@@ -223,11 +242,20 @@ struct IntermittentCheck {
     bool
     match() const
     {
+        return matchState() && reference.console == faulted.console;
+    }
+
+    /** Both completed with identical final persistent state. Console
+     *  output is exempt: a checkpoint-resumed run re-executes the span
+     *  since the last commit, so console writes in that span are
+     *  legitimately duplicated (UART output is not idempotent). */
+    bool
+    matchState() const
+    {
         return reference.fits && faulted.fits && reference.done &&
                faulted.done &&
                reference.checksum == faulted.checksum &&
-               reference.data_snapshot == faulted.data_snapshot &&
-               reference.console == faulted.console;
+               reference.data_snapshot == faulted.data_snapshot;
     }
 };
 

@@ -351,6 +351,16 @@ buildEnv(const WalkResult &walk, const Bases &bases,
     env.addrs["__PIN"] = plat::kMmioPin;
     env.addrs["__CYCLO"] = plat::kMmioCycleLo;
     env.addrs["__CYCHI"] = plat::kMmioCycleHi;
+    // Linker-style section-boundary symbols (resolved per relaxation
+    // pass, like labels): generated runtimes reference .data/.bss
+    // without knowing the layout — e.g. the checkpoint machinery
+    // snapshots the sections crt0 reinitialises on every boot.
+    env.addrs["__sect_data_base"] = bases.base[2];
+    env.addrs["__sect_data_size"] =
+        static_cast<std::uint16_t>(walk.sizes[2]);
+    env.addrs["__sect_bss_base"] = bases.base[3];
+    env.addrs["__sect_bss_size"] =
+        static_cast<std::uint16_t>(walk.sizes[3]);
     for (const auto &[name, value] : layout.predefined)
         env.addrs[name] = value;
     for (const auto &[name, place] : walk.labels) {

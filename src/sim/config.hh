@@ -83,6 +83,19 @@ struct MachineConfig {
     std::uint64_t timer_period_cycles = 0;
 
     /**
+     * Livelock watchdog for intermittent runs: stop the run when this
+     * many consecutive boots each end in an already-visited watermark
+     * — a failure PC plus FRAM contents (minus registered skip cells)
+     * seen at some earlier boot. Forward progress must eventually
+     * reach a *new* persistent state; a run orbiting a finite set of
+     * states, whether it repeats every boot or cycles with period k,
+     * can never finish. 0 (the default) disables the check; bounded
+     * plans (max_failures) should leave it off, since their final
+     * boot always runs to completion.
+     */
+    std::uint32_t livelock_boots = 0;
+
+    /**
      * Modelled SRAM size in bytes, starting at platform::kSramBase
      * (capacity-pressure experiments, ISSUE 7: {1,2,4,8} KiB). The
      * region [kSramBase, kSramBase + sram_size) classifies as SRAM;

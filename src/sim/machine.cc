@@ -225,6 +225,23 @@ Machine::step()
     }
     CodeOwner owner = classifyPc(cpu_.pc());
     ++stats_.instr_by_owner[static_cast<int>(owner)];
+    if (ckpt_commit_entry_ || ckpt_restore_entry_) {
+        // Entry-point probe: one event per call of the generated
+        // checkpoint routines (their first instruction executes exactly
+        // once per invocation).
+        std::uint16_t pc = cpu_.pc();
+        if (trace_ && trace_->wants(trace::kCatPower)) {
+            if (pc == ckpt_commit_entry_) {
+                trace_->emit({stats_.totalCycles(),
+                              trace::EventKind::CkptCommit, 0, pc, 0,
+                              0});
+            } else if (pc == ckpt_restore_entry_) {
+                trace_->emit({stats_.totalCycles(),
+                              trace::EventKind::CkptRestore, 0, pc, 0,
+                              0});
+            }
+        }
+    }
     if (recovery_end_) {
         std::uint16_t pc = cpu_.pc();
         bool in = pc >= recovery_base_ &&
@@ -300,14 +317,69 @@ Machine::trySuperblock()
     return true;
 }
 
+void
+Machine::addWatermarkSkip(std::uint16_t base, std::uint32_t end)
+{
+    if (end <= base)
+        return;
+    wm_skip_.push_back({base, end});
+    std::sort(wm_skip_.begin(), wm_skip_.end());
+}
+
+std::uint64_t
+Machine::bootWatermark() const
+{
+    // FNV-1a over the persistent state a reboot starts from: SRAM is
+    // zeroed and .data/.bss re-initialised at every boot, so boot-to-
+    // boot progress lives entirely in FRAM; the failure PC pins where
+    // the budget ran out. The machine is deterministic, so a repeated
+    // watermark under a repeating per-boot budget is an exact replay.
+    //
+    // Skip ranges hide persistent cells that advance without any real
+    // forward progress (lifetime statistics counters, checkpoint
+    // sequence numbers): hashing those would make every boot look
+    // distinct and blind the livelock watchdog.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint8_t byte) {
+        h ^= byte;
+        h *= 1099511628211ull;
+    };
+    std::size_t skip = 0;
+    for (std::uint32_t a = platform::kFramBase; a < platform::kFramEnd;
+         ++a) {
+        while (skip < wm_skip_.size() && wm_skip_[skip].second <= a)
+            ++skip;
+        if (skip < wm_skip_.size() && a >= wm_skip_[skip].first)
+            continue;
+        mix(memory_.read8(static_cast<std::uint16_t>(a)));
+    }
+    std::uint16_t pc = cpu_.pc();
+    mix(static_cast<std::uint8_t>(pc & 0xFF));
+    mix(static_cast<std::uint8_t>(pc >> 8));
+    return h;
+}
+
 RunResult
 Machine::run()
 {
     while (!mmio_.done()) {
         if (stats_.totalCycles() >= config_.max_cycles) {
-            return {false, 0};
+            return {false, 0, RunResult::Stop::MaxCycles};
         }
         if (fault_ && fault_->shouldFail(stats_.totalCycles())) {
+            if (fault_->exhausted())
+                return {false, 0, RunResult::Stop::Exhausted};
+            if (config_.livelock_boots) {
+                // Progress means reaching a state never seen before.
+                // A run stuck in a period-k orbit of old states (a
+                // torn commit restored every boot, a recovery walk
+                // alternating pool slots) revisits the set forever.
+                if (seen_watermarks_.insert(bootWatermark()).second) {
+                    livelock_streak_ = 0;
+                } else if (++livelock_streak_ >= config_.livelock_boots) {
+                    return {false, 0, RunResult::Stop::Livelock};
+                }
+            }
             powerCycle();
             continue;
         }
@@ -318,7 +390,7 @@ Machine::run()
             continue;
         step();
     }
-    return {true, mmio_.exitCode()};
+    return {true, mmio_.exitCode(), RunResult::Stop::Done};
 }
 
 } // namespace swapram::sim

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include <memory>
@@ -40,8 +41,17 @@ namespace swapram::sim {
 
 /** Outcome of Machine::run(). */
 struct RunResult {
+    /** Why the run loop returned. */
+    enum class Stop : std::uint8_t {
+        Done,      ///< program wrote __DONE
+        MaxCycles, ///< cycle budget exhausted
+        Livelock,  ///< livelock watchdog tripped (config.livelock_boots)
+        Exhausted, ///< harvest can never recharge the capacitor
+    };
+
     bool done = false;          ///< program wrote __DONE
     std::uint8_t exit_code = 0; ///< low byte of the __DONE write
+    Stop stop = Stop::Done;
 };
 
 /** A loaded, runnable system instance. */
@@ -86,11 +96,30 @@ class Machine
     }
 
     /** Attach a power-failure injector checked before every step of
-     *  run(); nullptr detaches. Not owned. */
+     *  run(); nullptr detaches. Not owned. The MMIO energy register
+     *  reads the injector's capacitor level. */
     void setFaultInjector(FaultInjector *injector)
     {
         fault_ = injector;
+        mmio_.setEnergyProbe(injector);
     }
+
+    /** Emit trace::CkptCommit / trace::CkptRestore whenever the PC
+     *  lands on the named entry points (the generated checkpoint
+     *  routines). 0 disables either probe. */
+    void setCkptProbe(std::uint16_t commit_entry,
+                      std::uint16_t restore_entry)
+    {
+        ckpt_commit_entry_ = commit_entry;
+        ckpt_restore_entry_ = restore_entry;
+    }
+
+    /** Exclude FRAM [base, end) from the livelock boot watermark.
+     *  Register ranges holding persistent counters that advance even
+     *  when a boot makes no real progress (runtime statistics cells,
+     *  checkpoint sequence numbers) — hashing them would make every
+     *  boot look distinct and blind the watchdog. */
+    void addWatermarkSkip(std::uint16_t base, std::uint32_t end);
 
     /** Attribute cycles spent with PC in [base, end) to
      *  Stats::recovery_cycles (the generated boot-recovery routine). */
@@ -138,6 +167,10 @@ class Machine
   private:
     CodeOwner classifyPc(std::uint16_t pc) const;
 
+    /** Boot-progress watermark for the livelock watchdog: the failure
+     *  PC folded into an FNV-1a hash of the persistent (FRAM) state. */
+    std::uint64_t bootWatermark() const;
+
     /** step()/interrupt with observability hooks engaged. */
     void stepObserved(std::uint16_t pc, CodeOwner owner);
     void interruptObserved(std::uint16_t pc);
@@ -179,10 +212,20 @@ class Machine
     masm::Image image_;
     std::uint16_t stack_top_ = 0;
 
+    /// Watermarks of every boot so far; a boot landing on a member
+    /// made no progress (8 bytes per reboot while the watchdog is on).
+    std::unordered_set<std::uint64_t> seen_watermarks_;
+    std::uint32_t livelock_streak_ = 0; ///< consecutive stale boots
+    /// Sorted [base, end) FRAM spans excluded from the watermark.
+    std::vector<std::pair<std::uint16_t, std::uint32_t>> wm_skip_;
+
     std::uint16_t recovery_base_ = 0;
     std::uint32_t recovery_end_ = 0; ///< 0 = no recovery range
     bool in_recovery_ = false;
     std::uint64_t recovery_enter_cycle_ = 0;
+
+    std::uint16_t ckpt_commit_entry_ = 0;  ///< 0 = probe disabled
+    std::uint16_t ckpt_restore_entry_ = 0; ///< 0 = probe disabled
 
     struct OwnerRange {
         std::uint16_t base;

@@ -1,5 +1,6 @@
 #include "sim/mmio.hh"
 
+#include "sim/fault.hh"
 #include "support/platform.hh"
 
 namespace swapram::sim {
@@ -49,6 +50,11 @@ Mmio::read(std::uint16_t addr, std::uint64_t cycles_now)
         return static_cast<std::uint16_t>(latched_cycles_ & 0xFFFF);
       case plat::kMmioCycleHi:
         return static_cast<std::uint16_t>((latched_cycles_ >> 16) & 0xFFFF);
+      case plat::kMmioEnergy:
+        // Capacitor level for on-low-energy checkpoint policies; with
+        // no harvest-driven injector attached the device reads as
+        // mains-powered (full).
+        return energy_ ? energy_->levelWord(cycles_now) : 0xFFFF;
       default:
         return 0;
     }

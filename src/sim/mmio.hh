@@ -12,10 +12,19 @@
 
 namespace swapram::sim {
 
+class FaultInjector;
+
 /** State of the harness MMIO devices. */
 class Mmio
 {
   public:
+    /** Wire the energy register to a fault injector's capacitor level
+     *  (nullptr detaches; reads then return 0xFFFF, "mains power"). */
+    void setEnergyProbe(const FaultInjector *injector)
+    {
+        energy_ = injector;
+    }
+
     /** Handle a write of @p value to MMIO @p addr.
      *  @param cycles_now total cycles, for the cycle-counter latch. */
     void write(std::uint16_t addr, std::uint16_t value,
@@ -35,6 +44,7 @@ class Mmio
     std::uint64_t pinToggles() const { return pin_toggles_; }
 
   private:
+    const FaultInjector *energy_ = nullptr; ///< not owned
     bool done_ = false;
     std::uint8_t exit_code_ = 0;
     std::string console_;

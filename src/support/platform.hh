@@ -33,7 +33,9 @@ inline constexpr std::uint16_t kMmioDone = 0x0102;    ///< write halts
 inline constexpr std::uint16_t kMmioPin = 0x0104;     ///< pin toggle
 inline constexpr std::uint16_t kMmioCycleLo = 0x0106; ///< latched on read
 inline constexpr std::uint16_t kMmioCycleHi = 0x0108;
-inline constexpr std::uint16_t kMmioEnd = 0x010A;     // exclusive
+/** Capacitor level, 0..0xFFFF of capacity (0xFFFF = mains powered). */
+inline constexpr std::uint16_t kMmioEnergy = 0x010A;
+inline constexpr std::uint16_t kMmioEnd = 0x010C;     // exclusive
 
 /** Timer interrupt vector (word holding the ISR address). */
 inline constexpr std::uint16_t kTimerVector = 0xFFF0;

@@ -1,5 +1,6 @@
 #include "swapram/builder.hh"
 
+#include "ckpt/gen.hh"
 #include "masm/parser.hh"
 #include "support/logging.hh"
 #include "swapram/runtime_gen.hh"
@@ -39,9 +40,17 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
     RelocResult relocs = relocateBranches(inter, info.funcs);
     info.reloc_count = static_cast<int>(relocs.entries.size());
 
+    // Checkpointing captures any FRAM-resident .data/.bss (crt0
+    // reinitialises them every boot); measure them from the
+    // intermediate image — appending the runtime never changes the
+    // application sections' sizes.
+    ckpt::SectionSizes sections;
+    if (options.ckpt.enabled())
+        sections = ckpt::measureSections(inter.image, options.ckpt);
+
     // 4. Generate and append the runtime + metadata tables.
-    masm::Program runtime =
-        masm::parse(generateRuntimeAsm(info.funcs, relocs, options));
+    masm::Program runtime = masm::parse(
+        generateRuntimeAsm(info.funcs, relocs, options, sections));
     masm::Program final_program = relocs.program;
     final_program.append(runtime);
 
@@ -89,6 +98,19 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
             static_cast<std::uint16_t>(dout.addr + dout.size);
         info.runtime_text_bytes += din.size + dout.size;
     }
+    if (options.ckpt.enabled()) {
+        // __ckpt_commit/__ckpt_restore are emitted last, back to back;
+        // the pair forms one owner-attribution range (Handler).
+        ckpt::GenSpec ckspec =
+            checkpointSpec(info.funcs, relocs, options, sections);
+        ckpt::verifyLayout(info.assembled, ckspec, "__swp_meta_end");
+        const auto &commit = info.assembled.function("__ckpt_commit");
+        const auto &restore = info.assembled.function("__ckpt_restore");
+        info.ckpt_addr = commit.addr;
+        info.ckpt_end =
+            static_cast<std::uint16_t>(restore.addr + restore.size);
+        info.runtime_text_bytes += commit.size + restore.size;
+    }
     info.app_text_bytes =
         info.assembled.image.text.size - info.runtime_text_bytes;
     // Metadata: the fixed cells and save area plus every table entry.
@@ -101,6 +123,14 @@ build(const masm::Program &app, const masm::LayoutSpec &layout,
         info.metadata_bytes += 6; // retry budget + two counters
     if (options.data_pool_bytes)
         info.metadata_bytes += 8 + 64; // bitmap, counters, home/len
+    if (options.ckpt.enabled()) {
+        const ckpt::GenSpec ckspec =
+            checkpointSpec(info.funcs, relocs, options, sections);
+        // Staged registers + cursor + scheme cell + both counters +
+        // two headed buffers.
+        info.metadata_bytes += ckpt::kRegsBytes + 2 + 2 + 4 +
+                               2 * (4 + ckspec.payloadBytes());
+    }
     return info;
 }
 

@@ -44,6 +44,10 @@ struct BuildInfo {
     // attributed to Handler like the miss path they parallel.
     std::uint16_t datapool_addr = 0, datapool_end = 0;
 
+    // Checkpoint routines __ckpt_commit/__ckpt_restore (zero when the
+    // scheme is None); attributed to Handler.
+    std::uint16_t ckpt_addr = 0, ckpt_end = 0;
+
     std::uint32_t
     totalNvmBytes() const
     {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/options.hh"
 #include "support/platform.hh"
 
 namespace swapram::cache {
@@ -102,6 +103,15 @@ struct Options {
      * 32 so slot sizes stay word-aligned.
      */
     std::uint16_t data_pool_bytes = 0;
+
+    /**
+     * Crash-atomic checkpointing (ISSUE 8): scheme None reproduces the
+     * pre-checkpoint runtime byte for byte; Periodic/OnLowEnergy
+     * generate __ckpt_commit/__ckpt_restore and hook the miss handler.
+     * Requires the stack (and everything else a resume needs) inside
+     * [kSramBase, ckpt.sram_end) — the runner enforces this.
+     */
+    ckpt::Options ckpt;
 
     /** Code-cache size (the pool, when configured, is carved out). */
     std::uint16_t cacheSize() const

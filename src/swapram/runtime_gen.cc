@@ -1,8 +1,10 @@
 #include "swapram/runtime_gen.hh"
 
+#include <algorithm>
 #include <functional>
 #include <sstream>
 
+#include "ckpt/gen.hh"
 #include "support/logging.hh"
 
 namespace swapram::cache {
@@ -23,9 +25,36 @@ emitTable(std::ostringstream &os, const char *label, const FuncIds &funcs,
 
 } // namespace
 
+ckpt::GenSpec
+checkpointSpec(const FuncIds &funcs, const RelocResult &relocs,
+               const Options &options,
+               const ckpt::SectionSizes &sections)
+{
+    ckpt::GenSpec spec;
+    spec.options = options.ckpt;
+    spec.sections = sections;
+    spec.memcpy_sym = "__swp_memcpy";
+    spec.meta_begin = "__swp_meta_begin";
+    // Byte size of the metadata bracket the generator emits: fixed
+    // cells + save area + boot flag (+ freeze cells), the seven
+    // per-function tables, both relocation tables, the gated eviction
+    // and data-pool cells, and the staged register file. The builder
+    // cross-checks this against the assembled
+    // __swp_meta_begin/__swp_meta_end span.
+    spec.meta_bytes =
+        10 + 10 + 2 + (options.freeze_threshold > 0 ? 4u : 0u) +
+        7u * 2u * static_cast<std::uint32_t>(std::max(funcs.count(), 1)) +
+        2u * 2u * static_cast<std::uint32_t>(std::max(
+                      static_cast<int>(relocs.entries.size()), 1)) +
+        (options.evict ? 6u : 0u) +
+        (options.data_pool_bytes ? 8u + 64u : 0u) + ckpt::kRegsBytes;
+    return spec;
+}
+
 std::string
 generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
-                   const Options &options)
+                   const Options &options,
+                   const ckpt::SectionSizes &sections)
 {
     std::ostringstream os;
     const int n = funcs.count();
@@ -62,9 +91,19 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
             os << "        RRA " << reg << "\n";
     };
 
+    const bool freeze = options.freeze_threshold > 0;
+
+    // Checkpointing (ISSUE 8): everything is gated on the scheme, so
+    // scheme None reproduces the pre-checkpoint runtime byte for byte.
+    const bool ck = options.ckpt.enabled();
+    ckpt::GenSpec ckspec = checkpointSpec(funcs, relocs, options,
+                                          sections);
+
     os << "; ---- SwapRAM generated runtime (" << n << " functions, "
        << relocs.entries.size() << " relocatable branches) ----\n";
     os << "        .const\n        .align 2\n";
+    if (ck)
+        os << "__swp_meta_begin:\n";
     os << "__swp_curid:   .word 0\n";
     os << "__swp_tmp:     .word 0\n";
     os << "__swp_cand:    .word 0\n";
@@ -72,7 +111,6 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
     os << "__swp_tail:    .word " << cache_base << "\n";
     os << "__swp_save:    .space 10\n";
     os << "__swp_boot:    .word 0\n"; // set once; reboots see 1
-    const bool freeze = options.freeze_threshold > 0;
     if (freeze) {
         os << "__swp_abort:   .word 0\n";
         os << "__swp_freeze:  .word 0\n";
@@ -124,6 +162,14 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
         os << "__swp_dhome:   .space 32\n"; // FRAM home per run start
         os << "__swp_dlen:    .space 32\n"; // byte length per run start
     }
+    if (ck) {
+        // The staged register file lives *inside* the bracket so the
+        // metadata copy captures it; the cursor, counters, and buffers
+        // live outside so a restore cannot roll them back.
+        ckpt::emitRegsCell(os);
+        os << "__swp_meta_end:\n";
+        ckpt::emitConstCells(os, ckspec);
+    }
 
     // ---- Miss handler ----
     os << "        .text\n";
@@ -135,6 +181,10 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
           "        MOV R13, &__swp_save+4\n"
           "        MOV R14, &__swp_save+6\n"
           "        MOV R15, &__swp_save+8\n";
+    // Checkpoint trigger: every swap passes through here, and with the
+    // app registers just saved the hook may clobber scratch freely.
+    if (ck)
+        ckpt::emitHook(os, ckspec);
     // Look up the target function.
     os << "        MOV &__swp_curid, R15\n"
           "        MOV __swp_fsize(R15), R13\n";
@@ -434,6 +484,14 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
     }
     if (options.evict)
         os << "        CLR &__swp_retry\n";
+    if (ck) {
+        // Resume from the newest committed checkpoint, if any: the
+        // cold-reset walk above still ran first, so a boot without a
+        // valid checkpoint keeps today's restart-from-clean-cache
+        // behaviour. On resume the call never returns; on the cold
+        // path it clobbers only registers the pushes above preserve.
+        os << "        CALL #__ckpt_restore\n";
+    }
     if (pool) {
         // Pool residency died with the SRAM: clear the bitmap and the
         // per-slot home/length cells so no stale mapping survives a
@@ -575,6 +633,13 @@ generateRuntimeAsm(const FuncIds &funcs, const RelocResult &relocs,
               "        RET\n"
               "        .endfunc\n";
     }
+
+    // ---- Checkpoint commit/restore (ISSUE 8) ----
+    // Emitted last so the pair forms one contiguous owner range
+    // (attributed to Handler by the harness) and every earlier
+    // routine keeps its address when the scheme is toggled on.
+    if (ck)
+        ckpt::emitRoutines(os, ckspec);
 
     return os.str();
 }

@@ -20,16 +20,34 @@
 
 #include <string>
 
+#include "ckpt/gen.hh"
+#include "ckpt/options.hh"
 #include "swapram/options.hh"
 #include "swapram/pass.hh"
 #include "swapram/reloc.hh"
 
 namespace swapram::cache {
 
-/** Generate the runtime assembly (text + tables) for @p funcs. */
+/**
+ * The checkpoint emitter parameters this runtime bakes into its
+ * generated assembly. The builder calls this again after the final
+ * assembly to cross-check the layout (ckpt::verifyLayout).
+ */
+ckpt::GenSpec checkpointSpec(const FuncIds &funcs,
+                             const RelocResult &relocs,
+                             const Options &options,
+                             const ckpt::SectionSizes &sections);
+
+/**
+ * Generate the runtime assembly (text + tables) for @p funcs.
+ * @p sections carries the FRAM-resident .data/.bss sizes the
+ * checkpoint machinery must capture (builder-measured; ignored when
+ * options.ckpt.scheme == None).
+ */
 std::string generateRuntimeAsm(const FuncIds &funcs,
                                const RelocResult &relocs,
-                               const Options &options);
+                               const Options &options,
+                               const ckpt::SectionSizes &sections = {});
 
 } // namespace swapram::cache
 

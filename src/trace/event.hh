@@ -60,6 +60,8 @@ enum class EventKind : std::uint8_t {
     PowerFail,     ///< addr = pc at failure, value = reboot ordinal
     RecoveryEnter, ///< addr = pc entering the boot-recovery routine
     RecoveryExit,  ///< addr = pc after recovery, extra = cycles spent
+    CkptCommit,    ///< addr = __ckpt_commit entry pc
+    CkptRestore,   ///< addr = __ckpt_restore entry pc
 };
 
 /** Category an event kind belongs to. */

@@ -87,6 +87,13 @@ TextSink::event(const Event &event)
       case EventKind::RecoveryExit:
         out_ << "  recovery-cycles=" << event.extra;
         break;
+      case EventKind::CkptCommit:
+      case EventKind::CkptRestore: {
+        std::string fn = symbol(event.addr);
+        if (!fn.empty())
+            out_ << "  func=" << fn;
+        break;
+      }
       default: break;
     }
     std::string note = annotation(event);

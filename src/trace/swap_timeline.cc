@@ -299,6 +299,12 @@ SwapTimeline::event(const Event &event)
         events_.push_back(std::move(record));
         return;
       }
+      case EventKind::CkptCommit:
+        ++summary_.ckpt_commits;
+        return;
+      case EventKind::CkptRestore:
+        ++summary_.ckpt_restores;
+        return;
       default:
         return; // derived kinds (our own re-emissions) and others
     }

@@ -58,6 +58,8 @@ struct SwapSummary {
     std::uint32_t peak_resident_bytes = 0;
     std::uint64_t power_failures = 0;  ///< injected power losses seen
     std::uint64_t recovery_cycles = 0; ///< cycles in boot recovery
+    std::uint64_t ckpt_commits = 0;    ///< __ckpt_commit entries seen
+    std::uint64_t ckpt_restores = 0;   ///< __ckpt_restore entries seen
 };
 
 /** Streaming analyzer; subscribe with

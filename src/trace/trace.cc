@@ -26,7 +26,9 @@ categoryOf(EventKind kind)
       case EventKind::DataSwapOut: return kCatSwap;
       case EventKind::PowerFail:
       case EventKind::RecoveryEnter:
-      case EventKind::RecoveryExit: return kCatPower;
+      case EventKind::RecoveryExit:
+      case EventKind::CkptCommit:
+      case EventKind::CkptRestore: return kCatPower;
     }
     support::panic("categoryOf: bad kind");
 }
@@ -53,6 +55,8 @@ kindName(EventKind kind)
       case EventKind::PowerFail: return "power-fail";
       case EventKind::RecoveryEnter: return "recovery-enter";
       case EventKind::RecoveryExit: return "recovery-exit";
+      case EventKind::CkptCommit: return "ckpt-commit";
+      case EventKind::CkptRestore: return "ckpt-restore";
     }
     support::panic("kindName: bad kind");
 }

@@ -75,7 +75,8 @@
  *                            (page,base,region,fetch,read,write,
  *                            stall_cycles)
  *
- * Fault-injection options (faults):
+ * Fault-injection options (faults; --harvest-trace and --ckpt-* also
+ * apply to run/profile/trace single runs):
  *   --fault-periods LIST     comma list of power-failure periods in
  *                            cycles (default: C/2,C/4,C/8,C/16 where C
  *                            is the uninterrupted run's cycle count)
@@ -85,6 +86,30 @@
  *                            of a fixed period
  *   --no-recovery            disable the generated boot-recovery call
  *                            (demonstrates the stale-metadata crash)
+ *   --harvest-trace F,F,...  energy-harvesting CSV profiles
+ *                            ("time_s,power_w" lines); fault timing
+ *                            becomes a deterministic consequence of the
+ *                            capacitor model instead of a synthetic
+ *                            period schedule. faults sweeps the
+ *                            scheme x trace x workload matrix and
+ *                            reports forward progress per harvested
+ *                            joule.
+ *   --ckpt-scheme LIST       checkpoint commit schemes (comma list of
+ *                            none|periodic|on-low-energy; default
+ *                            none). Non-none schemes generate the
+ *                            crash-atomic __ckpt_commit/__ckpt_restore
+ *                            runtime (cache systems only) and need an
+ *                            SRAM stack — the default unified placement
+ *                            auto-upgrades to standard.
+ *   --ckpt-period N          periodic: misses between commits (64)
+ *   --ckpt-threshold N       on-low-energy: commit below this MMIO
+ *                            capacitor level, 0..0xFFFF (0x4000)
+ *   --livelock-boots N       abort a run after N consecutive boots
+ *                            without persistent-state progress
+ *   --cap-capacity UJ        capacitor capacity in uJ (100)
+ *   --cap-power-on UJ        boot threshold in uJ (60)
+ *   --cap-brown-out UJ       power-fail threshold in uJ (20)
+ *   --cap-leak UW            parasitic leak in uW (10)
  *
  * Sweep options (sweep):
  *   --systems LIST           comma list of baseline,swapram,block or
@@ -109,7 +134,9 @@
 #include "metrics/run_metrics.hh"
 
 #include "blockcache/builder.hh"
+#include "ckpt/options.hh"
 #include "harness/engine.hh"
+#include "sim/harvest.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "masm/parser.hh"
@@ -155,6 +182,16 @@ struct Args {
     std::uint32_t fault_count = 8;
     std::uint32_t fault_seed = 0; ///< 0 = fixed-period schedule
     bool no_recovery = false;
+    bool placement_set = false; ///< explicit --placement given
+    std::vector<std::string> harvest_traces; ///< --harvest-trace files
+    std::string ckpt_schemes;     ///< --ckpt-scheme comma list
+    int ckpt_period = 0;          ///< --ckpt-period (0 = default 64)
+    std::uint32_t ckpt_threshold = 0; ///< --ckpt-threshold (0 = default)
+    std::uint32_t livelock_boots = 0; ///< --livelock-boots (0 = default)
+    double cap_capacity_uj = 0;   ///< --cap-capacity (0 = default 100)
+    double cap_power_on_uj = 0;   ///< --cap-power-on (0 = default 60)
+    double cap_brown_out_uj = 0;  ///< --cap-brown-out (0 = default 20)
+    double cap_leak_uw = -1;      ///< --cap-leak (<0 = default 10)
     unsigned jobs = 0; ///< engine workers; 0 = hardware concurrency
     std::string systems; ///< sweep: comma list or "all"
     bool update_golden = false;
@@ -185,7 +222,11 @@ usage()
         "         --trace-format text|csv|chrome   --trace-limit N\n"
         "         --disasm   --trace N (deprecated)\n"
         "         --fault-periods N,N,...   --fault-count N\n"
-        "         --fault-seed S   --no-recovery   (faults)\n");
+        "         --fault-seed S   --no-recovery   (faults)\n"
+        "         --harvest-trace F,F,...   --ckpt-scheme LIST\n"
+        "         --ckpt-period N   --ckpt-threshold N\n"
+        "         --livelock-boots N   --cap-capacity UJ\n"
+        "         --cap-power-on UJ --cap-brown-out UJ --cap-leak UW\n");
     std::exit(2);
 }
 
@@ -220,6 +261,7 @@ parseArgs(int argc, char **argv)
             else
                 usage();
         } else if (a == "--placement") {
+            args.placement_set = true;
             std::string v = next();
             if (v == "unified")
                 args.placement = harness::Placement::Unified;
@@ -300,6 +342,28 @@ parseArgs(int argc, char **argv)
                 std::stoul(next(), nullptr, 0));
         } else if (a == "--no-recovery") {
             args.no_recovery = true;
+        } else if (a == "--harvest-trace") {
+            for (const std::string &p : support::split(next(), ','))
+                args.harvest_traces.push_back(p);
+        } else if (a == "--ckpt-scheme") {
+            args.ckpt_schemes = next();
+        } else if (a == "--ckpt-period") {
+            args.ckpt_period =
+                static_cast<int>(std::stoul(next(), nullptr, 0));
+        } else if (a == "--ckpt-threshold") {
+            args.ckpt_threshold = static_cast<std::uint32_t>(
+                std::stoul(next(), nullptr, 0));
+        } else if (a == "--livelock-boots") {
+            args.livelock_boots =
+                static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (a == "--cap-capacity") {
+            args.cap_capacity_uj = std::stod(next());
+        } else if (a == "--cap-power-on") {
+            args.cap_power_on_uj = std::stod(next());
+        } else if (a == "--cap-brown-out") {
+            args.cap_brown_out_uj = std::stod(next());
+        } else if (a == "--cap-leak") {
+            args.cap_leak_uw = std::stod(next());
         } else if (a == "--jobs") {
             args.jobs =
                 static_cast<unsigned>(std::stoul(next()));
@@ -680,6 +744,86 @@ defaultGoldenPath()
 #endif
 }
 
+/** Capacitor model from the --cap-* flags (defaults: 100 uJ capacity,
+ *  60 uJ power-on, 20 uJ brown-out, 10 uW leak). */
+sim::CapacitorModel
+capacitorFrom(const Args &args)
+{
+    sim::CapacitorModel cap;
+    if (args.cap_capacity_uj > 0)
+        cap.capacity_pj = args.cap_capacity_uj * 1e6;
+    if (args.cap_power_on_uj > 0)
+        cap.power_on_pj = args.cap_power_on_uj * 1e6;
+    if (args.cap_brown_out_uj > 0)
+        cap.brown_out_pj = args.cap_brown_out_uj * 1e6;
+    if (args.cap_leak_uw >= 0)
+        cap.leak_watts = args.cap_leak_uw * 1e-6;
+    return cap;
+}
+
+/** Apply one checkpoint scheme (plus the --ckpt-* knobs) to both
+ *  runtimes' options in @p spec. */
+void
+applyCkptScheme(harness::RunSpec &spec, ckpt::Scheme scheme,
+                const Args &args)
+{
+    for (ckpt::Options *o : {&spec.swap.ckpt, &spec.block.ckpt}) {
+        o->scheme = scheme;
+        if (args.ckpt_period)
+            o->period = args.ckpt_period;
+        if (args.ckpt_threshold) {
+            o->low_threshold =
+                static_cast<std::uint16_t>(args.ckpt_threshold);
+        }
+    }
+}
+
+/**
+ * Checkpointing needs an SRAM stack (the restore rolls SRAM back, and
+ * an FRAM stack would survive the rollback). The default unified
+ * placement keeps the stack in FRAM, so auto-upgrade it to standard;
+ * an explicit incompatible --placement is an error.
+ */
+void
+fixPlacementForCkpt(Args &args, const char *what)
+{
+    if (args.system == harness::System::Baseline) {
+        support::fatal("--ckpt-scheme requires --system swapram|block "
+                       "(the checkpoint runtime rides the cache "
+                       "runtime's miss handler)");
+    }
+    if (harness::makePlacement(args.placement).stack_in_sram)
+        return;
+    if (args.placement_set) {
+        support::fatal("checkpointing requires the stack in SRAM; use "
+                       "--placement standard|sram-all|split");
+    }
+    args.placement = harness::Placement::Standard;
+    std::fprintf(stderr,
+                 "%s: checkpoint schemes need an SRAM stack; using "
+                 "--placement standard\n",
+                 what);
+}
+
+/** Load --harvest-trace files; names are basenames without .csv. */
+std::vector<std::shared_ptr<const sim::HarvestTrace>>
+loadTraces(const Args &args, std::vector<std::string> *names)
+{
+    std::vector<std::shared_ptr<const sim::HarvestTrace>> traces;
+    for (const std::string &path : args.harvest_traces) {
+        traces.push_back(std::make_shared<const sim::HarvestTrace>(
+            sim::HarvestTrace::load(path)));
+        std::string name = path;
+        if (std::size_t slash = name.find_last_of('/');
+            slash != std::string::npos)
+            name = name.substr(slash + 1);
+        if (name.size() > 4 && name.ends_with(".csv"))
+            name.resize(name.size() - 4);
+        names->push_back(name);
+    }
+    return traces;
+}
+
 /** Pick a stream-sink format from --trace-format or the extension. */
 harness::ObserveSpec::Format
 streamFormat(const Args &args)
@@ -862,14 +1006,25 @@ cmdSweep(const Args &args)
 
 /** Shared driver for run / profile / trace. */
 int
-cmdRun(const Args &args)
+cmdRun(const Args &args_in)
 {
+    Args args = args_in;
     // A workload list (or "all") fans out through the engine; the
     // single-workload / file path keeps the detailed report below.
     if (args.command == "run" && args.file.empty() &&
         (args.workload == "all" ||
          args.workload.find(',') != std::string::npos))
         return cmdRunMany(args);
+
+    // Single-run checkpointing: run/profile/trace take one scheme (the
+    // faults subcommand sweeps a scheme list).
+    ckpt::Scheme run_scheme = ckpt::Scheme::None;
+    if (!args.ckpt_schemes.empty()) {
+        run_scheme = ckpt::parseScheme(
+            support::split(args.ckpt_schemes, ',').front());
+        if (run_scheme != ckpt::Scheme::None)
+            fixPlacementForCkpt(args, args.command.c_str());
+    }
 
     const workloads::Workload *wl = nullptr;
     std::string source = loadSource(args, &wl);
@@ -893,9 +1048,17 @@ cmdRun(const Args &args)
     spec.swap.boot_recovery = !args.no_recovery;
     spec.block.boot_recovery = !args.no_recovery;
     spec.superblock = !args.no_superblock;
-    if (!args.fault_periods.empty()) {
-        // run/profile/trace take a single fault period (the faults
+    applyCkptScheme(spec, run_scheme, args);
+    spec.intermittent.livelock_boots = args.livelock_boots;
+    if (!args.harvest_traces.empty()) {
+        // run/profile/trace take a single harvest trace (the faults
         // subcommand sweeps all of them).
+        std::vector<std::string> names;
+        auto traces = loadTraces(args, &names);
+        spec.intermittent.plan = sim::FaultPlan::harvest(
+            traces.front(), capacitorFrom(args));
+    } else if (!args.fault_periods.empty()) {
+        // Likewise a single fault period.
         std::uint64_t period = args.fault_periods.front();
         spec.intermittent.plan =
             args.fault_seed
@@ -993,182 +1156,458 @@ cmdRun(const Args &args)
     if (!rm.fits)
         return 1;
     if (!rm.done) {
-        std::fprintf(stderr,
-                     "did not finish within the cycle budget\n");
+        switch (rm.stop) {
+          case sim::RunResult::Stop::Livelock:
+            std::fprintf(stderr,
+                         "livelocked: no persistent progress across "
+                         "consecutive boots\n");
+            break;
+          case sim::RunResult::Stop::Exhausted:
+            std::fprintf(stderr,
+                         "exhausted: the harvest can never recharge "
+                         "the capacitor\n");
+            break;
+          default:
+            std::fprintf(stderr,
+                         "did not finish within the cycle budget\n");
+            break;
+        }
         return 1;
     }
     return wl && rm.checksum != wl->expected ? 1 : 0;
 }
 
-/** Sweep power-failure periods and report recovery behaviour. */
+/**
+ * Sweep power-failure schedules and report recovery behaviour.
+ *
+ * Two fault sources: a synthetic period sweep (the v1 behaviour), or —
+ * with --harvest-trace — deterministic brown-outs from a capacitor
+ * charged by energy-harvesting profiles. The matrix is
+ * workload x checkpoint-scheme x fault-source; every (workload, scheme)
+ * pair gets its own uninterrupted reference run (the checkpoint
+ * machinery changes the binary, and data snapshots only compare within
+ * one binary). Each faulted run is classified:
+ *
+ *   converged  — completed; persistent state and console match
+ *   degraded   — completed; persistent state matches but the console
+ *                differs (a checkpoint resume legitimately replays
+ *                console writes made since the last commit)
+ *   diverged   — completed with wrong persistent state
+ *   livelocked — the watchdog saw no boot-to-boot progress
+ *   exhausted  — the harvest can never recharge the capacitor
+ *   timeout    — ran out of the cycle budget
+ *   crashed    — the simulator faulted (e.g. --no-recovery stale
+ *                metadata)
+ *
+ * Only converged and degraded count as success for the exit code.
+ */
 int
-cmdFaults(const Args &args)
+cmdFaults(const Args &args_in)
 {
-    const workloads::Workload *wl = nullptr;
-    std::string source = loadSource(args, &wl);
+    Args args = args_in;
 
+    // Workload set: a file is one scratch workload; --workload accepts
+    // a comma list or "all".
     workloads::Workload scratch;
-    scratch.name = args.file.empty() ? args.workload : args.file;
-    scratch.display = scratch.name;
-    scratch.source = source;
-    if (wl)
-        scratch.expected = wl->expected;
-
-    harness::RunSpec spec;
-    spec.workload = &scratch;
-    spec.system = args.system;
-    spec.placement = args.placement;
-    spec.clock_hz = args.clock_hz;
-    spec.swap = args.swap;
-    spec.block = args.block;
-    spec.sram_size = args.sram_size;
-    spec.include_lib = false; // already appended for workloads
-    spec.swap.boot_recovery = !args.no_recovery;
-    spec.block.boot_recovery = !args.no_recovery;
-    spec.superblock = !args.no_superblock;
-
-    harness::Metrics clean = harness::runOne(spec);
-    if (!clean.fits) {
-        std::printf("DNF: %s\n", clean.fit_note.c_str());
-        return 1;
-    }
-    if (!clean.done) {
-        std::fprintf(stderr, "uninterrupted run did not finish\n");
-        return 1;
-    }
-    const std::uint64_t c = clean.stats.totalCycles();
-
-    std::vector<std::uint64_t> periods = args.fault_periods;
-    if (periods.empty()) {
-        for (std::uint64_t div : {2, 4, 8, 16}) {
-            if (c / div >= 100)
-                periods.push_back(c / div);
-        }
-        if (periods.empty())
-            periods.push_back(std::max<std::uint64_t>(c / 2, 1));
+    std::vector<const workloads::Workload *> wls;
+    const bool from_file = !args.file.empty();
+    if (from_file) {
+        const workloads::Workload *wl = nullptr;
+        scratch.source = loadSource(args, &wl);
+        scratch.name = args.file;
+        scratch.display = scratch.name;
+        if (wl)
+            scratch.expected = wl->expected;
+        wls.push_back(&scratch);
+    } else {
+        wls = resolveWorkloads(args.workload);
     }
 
-    struct Sweep {
-        std::uint64_t period;
-        harness::Metrics m;
-        bool crashed = false;
-        bool converged = false;
+    // Checkpoint schemes (comma list; default none = v1 behaviour).
+    std::vector<ckpt::Scheme> schemes;
+    for (const std::string &name : support::split(
+             args.ckpt_schemes.empty() ? "none" : args.ckpt_schemes,
+             ','))
+        schemes.push_back(ckpt::parseScheme(name));
+    bool any_ckpt = false;
+    for (ckpt::Scheme s : schemes)
+        any_ckpt |= s != ckpt::Scheme::None;
+    if (any_ckpt)
+        fixPlacementForCkpt(args, "faults");
+
+    std::vector<std::string> trace_names;
+    auto traces = loadTraces(args, &trace_names);
+    const bool harvest = !traces.empty();
+    const sim::CapacitorModel cap = capacitorFrom(args);
+
+    auto baseSpec = [&](const workloads::Workload *w,
+                        ckpt::Scheme scheme) {
+        harness::RunSpec spec;
+        spec.workload = w;
+        spec.system = args.system;
+        spec.placement = args.placement;
+        spec.clock_hz = args.clock_hz;
+        spec.swap = args.swap;
+        spec.block = args.block;
+        spec.sram_size = args.sram_size;
+        spec.include_lib = !from_file; // files carry their own lib
+        spec.swap.boot_recovery = !args.no_recovery;
+        spec.block.boot_recovery = !args.no_recovery;
+        spec.superblock = !args.no_superblock;
+        applyCkptScheme(spec, scheme, args);
+        return spec;
     };
 
-    // All periods are independent: submit the whole sweep to the
-    // engine (a crash — e.g. the --no-recovery stale-metadata demo —
-    // is captured per-run, exactly like the old try/catch).
-    std::vector<harness::RunSpec> specs;
-    for (std::uint64_t period : periods) {
-        harness::RunSpec faulted = spec;
-        faulted.intermittent.plan =
-            args.fault_seed
-                ? sim::FaultPlan::random(
-                      std::max<std::uint64_t>(period / 2, 1),
-                      period + period / 2, args.fault_seed,
-                      args.fault_count)
-                : sim::FaultPlan::periodic(period, args.fault_count);
-        specs.push_back(std::move(faulted));
-    }
     harness::Engine engine(args.jobs);
-    std::vector<harness::RunOutcome> outcomes =
-        engine.runAll(specs, makeProgress(args.progress, "faults"));
 
-    std::vector<Sweep> sweeps;
-    for (std::size_t i = 0; i < periods.size(); ++i) {
-        Sweep s;
-        s.period = periods[i];
-        if (outcomes[i].error) {
-            s.crashed = true;
-            s.m.fit_note = outcomes[i].error_text;
-        } else {
-            s.m = std::move(outcomes[i].metrics);
-            s.converged = s.m.done &&
-                          s.m.checksum == clean.checksum &&
-                          s.m.data_snapshot == clean.data_snapshot &&
-                          s.m.console == clean.console;
+    // Phase 1: one uninterrupted reference per (workload, scheme).
+    std::vector<harness::RunSpec> clean_specs;
+    for (const workloads::Workload *w : wls)
+        for (ckpt::Scheme s : schemes)
+            clean_specs.push_back(baseSpec(w, s));
+    std::vector<harness::RunOutcome> cleans = engine.runAll(
+        clean_specs, makeProgress(args.progress, "faults(reference)"));
+    auto cleanOf = [&](std::size_t wi,
+                       std::size_t si) -> const harness::RunOutcome & {
+        return cleans[wi * schemes.size() + si];
+    };
+    for (std::size_t wi = 0; wi < wls.size(); ++wi) {
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            const harness::RunOutcome &c = cleanOf(wi, si);
+            if (c.error) {
+                std::fprintf(stderr, "faults: %s/%s reference run "
+                             "failed: %s\n",
+                             wls[wi]->name.c_str(),
+                             ckpt::schemeName(schemes[si]).c_str(),
+                             c.error_text.c_str());
+                return 1;
+            }
+            if (!c.metrics.fits) {
+                std::printf("DNF: %s\n", c.metrics.fit_note.c_str());
+                return 1;
+            }
+            if (!c.metrics.done) {
+                std::fprintf(stderr, "faults: %s/%s uninterrupted run "
+                             "did not finish\n",
+                             wls[wi]->name.c_str(),
+                             ckpt::schemeName(schemes[si]).c_str());
+                return 1;
+            }
         }
-        sweeps.push_back(std::move(s));
     }
+
+    // Phase 2: the fault matrix.
+    struct Cell {
+        std::size_t wi = 0, si = 0;
+        std::uint64_t period = 0;           ///< period mode
+        std::size_t trace = SIZE_MAX;       ///< harvest mode
+        harness::Metrics m;
+        bool crashed = false;
+        std::string verdict;
+        bool ok = false; ///< converged or degraded
+
+        std::string
+        faultName(const std::vector<std::string> &names) const
+        {
+            return trace != SIZE_MAX ? names[trace]
+                                     : harness::withCommas(period);
+        }
+    };
+    std::vector<Cell> cells;
+    std::vector<harness::RunSpec> specs;
+    for (std::size_t wi = 0; wi < wls.size(); ++wi) {
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            harness::RunSpec base = baseSpec(wls[wi], schemes[si]);
+            // Harvest plans fail forever, so a livelocked run would
+            // otherwise burn the whole cycle budget before reporting;
+            // arm the watchdog by default there.
+            base.intermittent.livelock_boots =
+                args.livelock_boots ? args.livelock_boots
+                                    : (harvest ? 8 : 0);
+            if (harvest) {
+                for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+                    Cell cell;
+                    cell.wi = wi;
+                    cell.si = si;
+                    cell.trace = ti;
+                    cells.push_back(cell);
+                    harness::RunSpec spec = base;
+                    spec.intermittent.plan =
+                        sim::FaultPlan::harvest(traces[ti], cap);
+                    specs.push_back(std::move(spec));
+                }
+                continue;
+            }
+            const std::uint64_t c =
+                cleanOf(wi, si).metrics.stats.totalCycles();
+            std::vector<std::uint64_t> periods = args.fault_periods;
+            if (periods.empty()) {
+                for (std::uint64_t div : {2, 4, 8, 16}) {
+                    if (c / div >= 100)
+                        periods.push_back(c / div);
+                }
+                if (periods.empty())
+                    periods.push_back(
+                        std::max<std::uint64_t>(c / 2, 1));
+            }
+            for (std::uint64_t period : periods) {
+                Cell cell;
+                cell.wi = wi;
+                cell.si = si;
+                cell.period = period;
+                cells.push_back(cell);
+                harness::RunSpec spec = base;
+                spec.intermittent.plan =
+                    args.fault_seed
+                        ? sim::FaultPlan::random(
+                              std::max<std::uint64_t>(period / 2, 1),
+                              period + period / 2, args.fault_seed,
+                              args.fault_count)
+                        : sim::FaultPlan::periodic(period,
+                                                   args.fault_count);
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+
+    // Progress with the per-run intermittent counters rolled up
+    // (callbacks are engine-serialized, so plain counters are safe).
+    harness::ProgressFn progress;
+    std::uint64_t prog_reboots = 0, prog_restores = 0;
+    std::size_t prog_livelocked = 0;
+    if (args.progress) {
+        progress = [&](const harness::Progress &p) {
+            if (p.outcome && p.outcome->error) {
+                std::fprintf(stderr, "\nfaults: run %zu failed: %s\n",
+                             p.index, p.outcome->error_text.c_str());
+            } else if (p.outcome) {
+                const harness::Metrics &m = p.outcome->metrics;
+                prog_reboots += m.stats.reboots;
+                prog_restores += m.rt_ckpt_restores;
+                if (m.stop == sim::RunResult::Stop::Livelock)
+                    ++prog_livelocked;
+            }
+            std::fprintf(
+                stderr,
+                "\rfaults: %zu/%zu done, %zu error%s, reboots=%llu "
+                "recoveries=%llu livelocked=%zu, %.1f runs/s%s",
+                p.done, p.total, p.errors, p.errors == 1 ? "" : "s",
+                static_cast<unsigned long long>(prog_reboots),
+                static_cast<unsigned long long>(prog_restores),
+                prog_livelocked, p.runs_per_sec,
+                p.done == p.total ? "\n" : "");
+            std::fflush(stderr);
+        };
+    }
+    std::vector<harness::RunOutcome> outcomes =
+        engine.runAll(specs, progress);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        Cell &cell = cells[i];
+        const harness::Metrics &clean =
+            cleanOf(cell.wi, cell.si).metrics;
+        if (outcomes[i].error) {
+            cell.crashed = true;
+            cell.m.fit_note = outcomes[i].error_text;
+            cell.verdict = "crashed";
+            continue;
+        }
+        cell.m = std::move(outcomes[i].metrics);
+        const bool ckpt_on =
+            schemes[cell.si] != ckpt::Scheme::None;
+        if (cell.m.done) {
+            bool state = cell.m.checksum == clean.checksum &&
+                         cell.m.data_snapshot == clean.data_snapshot;
+            if (!state) {
+                cell.verdict = "diverged";
+            } else if (cell.m.console == clean.console) {
+                cell.verdict = "converged";
+                cell.ok = true;
+            } else if (ckpt_on) {
+                cell.verdict = "degraded";
+                cell.ok = true;
+            } else {
+                // Without checkpointing every boot restarts main, so a
+                // console mismatch is real divergence.
+                cell.verdict = "diverged";
+            }
+        } else {
+            switch (cell.m.stop) {
+              case sim::RunResult::Stop::Livelock:
+                cell.verdict = "livelocked";
+                break;
+              case sim::RunResult::Stop::Exhausted:
+                cell.verdict = "exhausted";
+                break;
+              default: cell.verdict = "timeout"; break;
+            }
+        }
+    }
+
+    // Forward progress per harvested joule: useful work is the
+    // reference run's instruction count (re-executed spans between a
+    // crash and its last checkpoint do not count), credited only to
+    // runs that completed with correct state.
+    auto progressPerJoule = [&](const Cell &cell) -> double {
+        double joules = cell.m.harvested_pj * 1e-12;
+        if (joules <= 0 || !cell.ok)
+            return 0;
+        return static_cast<double>(
+                   cleanOf(cell.wi, cell.si)
+                       .metrics.stats.instructions) /
+               joules;
+    };
 
     if (args.json) {
+        support::json::Array refs;
+        for (std::size_t wi = 0; wi < wls.size(); ++wi) {
+            for (std::size_t si = 0; si < schemes.size(); ++si) {
+                const harness::Metrics &m = cleanOf(wi, si).metrics;
+                refs.push_back(support::json::Object{
+                    {"workload", wls[wi]->name},
+                    {"ckpt_scheme", ckpt::schemeName(schemes[si])},
+                    {"cycles", m.stats.totalCycles()},
+                    {"instructions", m.stats.instructions},
+                    {"checksum", m.checksum},
+                    {"ckpt_commits", m.rt_ckpt_commits},
+                });
+            }
+        }
         support::json::Array runs;
-        for (const Sweep &s : sweeps) {
-            harness::RunSpec faulted = spec;
-            auto report = harness::RunReport::make(faulted, s.m);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const Cell &cell = cells[i];
             support::json::Object o{
-                {"period", s.period},
-                {"fault_count", args.fault_count},
-                {"crashed", s.crashed},
-                {"converged", s.converged},
+                {"workload", wls[cell.wi]->name},
+                {"ckpt_scheme", ckpt::schemeName(schemes[cell.si])},
+                {"crashed", cell.crashed},
+                {"converged", cell.ok},
+                {"verdict", cell.verdict},
             };
-            if (args.fault_seed)
-                o.emplace("fault_seed", args.fault_seed);
-            if (s.crashed)
-                o.emplace("error", s.m.fit_note);
+            if (cell.trace != SIZE_MAX)
+                o.emplace("trace", trace_names[cell.trace]);
             else
+                o.emplace("period", cell.period);
+            if (!harvest) {
+                o.emplace("fault_count", args.fault_count);
+                if (args.fault_seed)
+                    o.emplace("fault_seed", args.fault_seed);
+            }
+            if (cell.crashed) {
+                o.emplace("error", cell.m.fit_note);
+            } else {
+                if (harvest) {
+                    o.emplace("harvested_pj", cell.m.harvested_pj);
+                    o.emplace("wall_seconds", cell.m.wall_seconds);
+                    double joules = cell.m.harvested_pj * 1e-12;
+                    o.emplace("instr_per_joule",
+                              joules > 0
+                                  ? static_cast<double>(
+                                        cell.m.stats.instructions) /
+                                        joules
+                                  : 0.0);
+                    o.emplace("progress_per_joule",
+                              progressPerJoule(cell));
+                }
+                auto report = harness::RunReport::make(
+                    specs[i], cell.m);
                 o.emplace("report", report.json());
+            }
             runs.push_back(std::move(o));
         }
         support::json::Object root{
-            {"schema", "swapram-fault-sweep/v1"},
-            {"workload", scratch.name},
+            {"schema", "swapram-fault-sweep/v2"},
+            {"mode", harvest ? "harvest" : "periods"},
             {"system", harness::systemName(args.system)},
+            {"placement", harness::placementName(args.placement)},
             {"recovery", !args.no_recovery},
-            {"clean_cycles", c},
-            {"clean_checksum", clean.checksum},
+            {"references", std::move(refs)},
             {"sweeps", std::move(runs)},
         };
+        if (harvest) {
+            support::json::Array tn;
+            for (const std::string &n : trace_names)
+                tn.push_back(n);
+            root.emplace("traces", std::move(tn));
+            root.emplace(
+                "capacitor",
+                support::json::Object{
+                    {"capacity_pj", cap.capacity_pj},
+                    {"power_on_pj", cap.power_on_pj},
+                    {"brown_out_pj", cap.brown_out_pj},
+                    {"leak_watts", cap.leak_watts}});
+        }
         std::printf("%s\n", support::json::Value(std::move(root))
                                 .dump(2)
                                 .c_str());
     } else {
-        std::printf("workload=%s system=%s recovery=%s clean_cycles=%s "
-                    "faults/run=%u%s\n",
-                    scratch.name.c_str(),
-                    harness::systemName(args.system).c_str(),
-                    args.no_recovery ? "off" : "on",
-                    harness::withCommas(c).c_str(), args.fault_count,
-                    args.fault_seed
-                        ? support::cat(" seed=", args.fault_seed).c_str()
-                        : "");
-        harness::Table table({"period", "reboots", "recovery_cyc",
-                              "total_cyc", "overhead", "result"});
-        for (const Sweep &s : sweeps) {
-            std::string result =
-                s.crashed ? "CRASH"
-                          : (s.converged ? "converged"
-                                         : (s.m.done ? "DIVERGED"
-                                                     : "timeout"));
-            table.addRow(
-                {harness::withCommas(s.period),
-                 s.crashed ? "-"
-                           : harness::withCommas(s.m.stats.reboots),
-                 s.crashed
-                     ? "-"
-                     : harness::withCommas(s.m.stats.recovery_cycles),
-                 s.crashed ? "-"
-                           : harness::withCommas(s.m.stats.totalCycles()),
-                 s.crashed ? "-"
-                           : harness::percentDelta(
-                                 static_cast<double>(
-                                     s.m.stats.totalCycles()),
-                                 static_cast<double>(c)),
-                 result});
+        std::printf(
+            "system=%s placement=%s recovery=%s mode=%s%s\n",
+            harness::systemName(args.system).c_str(),
+            harness::placementName(args.placement).c_str(),
+            args.no_recovery ? "off" : "on",
+            harvest ? "harvest" : "periods",
+            harvest ? ""
+                    : support::cat(" faults/run=", args.fault_count)
+                          .c_str());
+        std::vector<std::string> headers{
+            "workload", "scheme", harvest ? "trace" : "period",
+            "reboots", "commits", "restores", "total_cyc"};
+        if (harvest)
+            headers.push_back("prog/J");
+        headers.push_back("result");
+        harness::Table table(headers);
+        for (const Cell &cell : cells) {
+            std::vector<std::string> row{
+                wls[cell.wi]->name,
+                ckpt::schemeName(schemes[cell.si]),
+                cell.faultName(trace_names)};
+            if (cell.crashed) {
+                row.insert(row.end(), {"-", "-", "-", "-"});
+                if (harvest)
+                    row.push_back("-");
+            } else {
+                row.push_back(
+                    harness::withCommas(cell.m.stats.reboots));
+                row.push_back(
+                    harness::withCommas(cell.m.rt_ckpt_commits));
+                row.push_back(
+                    harness::withCommas(cell.m.rt_ckpt_restores));
+                row.push_back(
+                    harness::withCommas(cell.m.stats.totalCycles()));
+                if (harvest) {
+                    row.push_back(support::cat(
+                        support::fixed(progressPerJoule(cell) / 1e6,
+                                       2),
+                        "M"));
+                }
+            }
+            row.push_back(cell.crashed ? "CRASH" : cell.verdict);
+            table.addRow(row);
         }
         std::printf("%s", table.text().c_str());
     }
 
     bool any_bad = false;
-    for (const Sweep &s : sweeps) {
-        if (s.crashed) {
-            // The table says CRASH; the captured error text says why.
-            std::fprintf(stderr, "faults: period %s crashed: %s\n",
-                         harness::withCommas(s.period).c_str(),
-                         s.m.fit_note.c_str());
+    std::size_t livelocked = 0;
+    for (const Cell &cell : cells) {
+        if (cell.crashed) {
+            // The table says CRASH; the captured error says why.
+            std::fprintf(stderr, "faults: %s/%s/%s crashed: %s\n",
+                         wls[cell.wi]->name.c_str(),
+                         ckpt::schemeName(schemes[cell.si]).c_str(),
+                         cell.faultName(trace_names).c_str(),
+                         cell.m.fit_note.c_str());
         }
-        if (s.crashed || !s.converged)
+        if (cell.verdict == "livelocked")
+            ++livelocked;
+        if (!cell.ok)
             any_bad = true;
+    }
+    if (livelocked) {
+        std::fprintf(stderr,
+                     "faults: %zu run%s livelocked (no forward "
+                     "progress across boots)\n",
+                     livelocked, livelocked == 1 ? "" : "s");
     }
     return any_bad ? 1 : 0;
 }
