@@ -2,8 +2,8 @@
  * @file
  * google-benchmark microbenchmarks of the infrastructure itself:
  * simulator throughput (simulated instructions per wall second) across
- * the host-side execution tiers (oracle / predecode / superblock),
- * assembler speed, and the SwapRAM/block-cache build passes.
+ * the host-side execution tiers (oracle / predecode / superblock /
+ * threaded), assembler speed, and the SwapRAM/block-cache build passes.
  *
  * Benchmark hygiene: Machine construction and image loading happen
  * outside the timed region (PauseTiming/ResumeTiming) — only run() is
@@ -12,7 +12,7 @@
  *
  * Invoked as `bench_simperf --json[=PATH]` it skips google-benchmark
  * and emits a machine-readable `swapram-bench/v1` document comparing
- * the three tiers (see BENCH_PR5.json and the CI smoke check).
+ * the tiers (see BENCH_PR9.json and the CI smoke check).
  */
 
 #include <benchmark/benchmark.h>
@@ -56,13 +56,16 @@ crcAssembled()
     return assembled;
 }
 
-/** The three host-side execution tiers under measurement. */
+/** The four host-side execution tiers under measurement. The threaded
+ *  tier replaces superblock dispatch when enabled, so the superblock
+ *  variant pins it off to measure the block-stepped interpreter. */
 sim::MachineConfig
-tierConfig(bool predecode, bool superblock)
+tierConfig(bool predecode, bool superblock, bool threaded = false)
 {
     sim::MachineConfig config;
     config.predecode_enabled = predecode;
     config.superblock_enabled = superblock;
+    config.threaded_enabled = threaded;
     return config;
 }
 
@@ -85,9 +88,18 @@ runThroughput(benchmark::State &state, const sim::MachineConfig &config)
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 
-/** Full fast-path stack: predecode + superblock dispatch. */
+/** Full fast-path stack: predecode + threaded-code dispatch over hot
+ *  superblocks (falls back to block stepping where unavailable). */
 void
 BM_SimulatorThroughput(benchmark::State &state)
+{
+    runThroughput(state, tierConfig(true, true, true));
+}
+
+/** Block-stepped superblock dispatch with the threaded tier pinned
+ *  off — the interpreter the threaded tier is compared against. */
+void
+BM_SimulatorThroughputSuperblock(benchmark::State &state)
 {
     runThroughput(state, tierConfig(true, true));
 }
@@ -203,6 +215,8 @@ BM_BlockCacheBuild(benchmark::State &state)
 }
 
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatorThroughputSuperblock)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulatorThroughputNoSuperblock)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulatorThroughputNoPredecode)
@@ -266,6 +280,8 @@ emitJsonReport(const std::string &path)
     TierResult oracle = measureTier(tierConfig(false, false), repeats);
     TierResult predecode = measureTier(tierConfig(true, false), repeats);
     TierResult superblock = measureTier(tierConfig(true, true), repeats);
+    TierResult threaded =
+        measureTier(tierConfig(true, true, true), repeats);
     // Metrics attached force single-step, so the honest reference is
     // the predecode tier; disabled-metrics cost is the superblock
     // variant itself (the pointer is compiled in and null there).
@@ -293,6 +309,7 @@ emitJsonReport(const std::string &path)
                          variant("no_predecode", oracle),
                          variant("predecode", predecode),
                          variant("superblock", superblock),
+                         variant("threaded", threaded),
                          variant("metrics", with_metrics),
                      }},
         {"speedup",
@@ -300,6 +317,8 @@ emitJsonReport(const std::string &path)
              {"predecode_vs_no_predecode", ratio(predecode, oracle)},
              {"superblock_vs_predecode", ratio(superblock, predecode)},
              {"superblock_vs_no_predecode", ratio(superblock, oracle)},
+             {"threaded_vs_superblock", ratio(threaded, superblock)},
+             {"threaded_vs_no_predecode", ratio(threaded, oracle)},
              {"metrics_vs_predecode", ratio(with_metrics, predecode)},
          }},
     });

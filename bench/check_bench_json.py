@@ -1,52 +1,137 @@
 #!/usr/bin/env python3
-"""CI smoke: validate the `bench_simperf --json` swapram-bench/v1
-document — schema id, the three execution tiers plus the
-metrics-attached variant, internally consistent throughput and speedup
-numbers. Performance itself is not asserted (CI machines are noisy);
-BENCH_PR7.json records the reference run."""
+"""CI smoke: validate a `bench_simperf --json` swapram-bench/v1
+document — schema id, the execution-tier enum (every variant name must
+be a known tier, every expected tier must be present), internally
+consistent throughput and speedup numbers. Performance itself is not
+asserted (CI machines are noisy); BENCH_PR9.json records the reference
+run.
 
+Usage:
+  check_bench_json.py <bench_simperf>     run the binary, check stdout
+  check_bench_json.py --file <doc.json>   check a committed document
+  check_bench_json.py --self-test         negative tests of the checker
+"""
+
+import copy
 import json
 import subprocess
 import sys
 
+# The closed tier enum: a variant name outside this set is a report
+# bug (a renamed or misspelled tier would otherwise slip past CI).
+TIER_ENUM = frozenset(
+    ["no_predecode", "predecode", "superblock", "threaded", "metrics"])
 EXPECTED_VARIANTS = ["no_predecode", "predecode", "superblock",
-                     "metrics"]
+                     "threaded", "metrics"]
 EXPECTED_SPEEDUPS = [
     ("predecode_vs_no_predecode", "predecode", "no_predecode"),
     ("superblock_vs_predecode", "superblock", "predecode"),
     ("superblock_vs_no_predecode", "superblock", "no_predecode"),
+    ("threaded_vs_superblock", "threaded", "superblock"),
+    ("threaded_vs_no_predecode", "threaded", "no_predecode"),
     ("metrics_vs_predecode", "metrics", "predecode"),
 ]
 
 
-def main():
-    if len(sys.argv) != 2:
-        sys.exit("usage: check_bench_json.py <bench_simperf>")
-    out = subprocess.run([sys.argv[1], "--json"], check=True,
-                         capture_output=True, text=True).stdout
-    doc = json.loads(out)
+class CheckError(Exception):
+    pass
 
-    assert doc["schema"] == "swapram-bench/v1", doc.get("schema")
-    assert doc["benchmark"] == "BM_SimulatorThroughput"
-    assert doc["workload"]
-    assert doc["repeats"] >= 1
+
+def check(cond, message):
+    if not cond:
+        raise CheckError(message)
+
+
+def validate(doc):
+    check(doc.get("schema") == "swapram-bench/v1",
+          f"bad schema id: {doc.get('schema')!r}")
+    check(doc.get("benchmark") == "BM_SimulatorThroughput",
+          f"bad benchmark name: {doc.get('benchmark')!r}")
+    check(doc.get("workload"), "missing workload")
+    check(doc.get("repeats", 0) >= 1, "repeats must be >= 1")
 
     variants = {v["name"]: v for v in doc["variants"]}
-    assert sorted(variants) == sorted(EXPECTED_VARIANTS), list(variants)
+    unknown = sorted(set(variants) - TIER_ENUM)
+    check(not unknown, f"unrecognized tier(s) in report: {unknown}")
+    missing = sorted(set(EXPECTED_VARIANTS) - set(variants))
+    check(not missing, f"missing tier(s) in report: {missing}")
     instr = {v["instructions"] for v in variants.values()}
-    assert len(instr) == 1, f"tiers ran different programs: {instr}"
+    check(len(instr) == 1, f"tiers ran different programs: {instr}")
     for v in variants.values():
-        assert v["instructions"] > 0, v
-        assert v["best_seconds"] > 0, v
+        check(v["instructions"] > 0, f"no instructions: {v}")
+        check(v["best_seconds"] > 0, f"non-positive time: {v}")
         rate = v["instructions"] / v["best_seconds"]
-        assert abs(rate - v["instr_per_s"]) < 1e-6 * rate, v
+        check(abs(rate - v["instr_per_s"]) < 1e-6 * rate,
+              f"inconsistent instr_per_s: {v}")
 
     for key, num, den in EXPECTED_SPEEDUPS:
+        check(key in doc.get("speedup", {}), f"missing speedup: {key}")
         got = doc["speedup"][key]
         want = (variants[num]["instr_per_s"] /
                 variants[den]["instr_per_s"])
-        assert abs(got - want) < 1e-9 * max(want, 1.0), (key, got, want)
+        check(abs(got - want) < 1e-9 * max(want, 1.0),
+              f"inconsistent speedup {key}: {got} vs {want}")
+    return variants
 
+
+def self_test():
+    """The checker must reject each of these corruptions; a validator
+    that silently passes a bad report is worse than none."""
+    base = {
+        "schema": "swapram-bench/v1",
+        "benchmark": "BM_SimulatorThroughput",
+        "workload": "crc",
+        "repeats": 3,
+        "variants": [
+            {"name": n, "instructions": 1000, "best_seconds": 0.5,
+             "instr_per_s": 2000.0} for n in EXPECTED_VARIANTS
+        ],
+        "speedup": {k: 1.0 for k, _, _ in EXPECTED_SPEEDUPS},
+    }
+    validate(copy.deepcopy(base))  # the clean document must pass
+
+    def corrupt(mutate, label):
+        doc = copy.deepcopy(base)
+        mutate(doc)
+        try:
+            validate(doc)
+        except CheckError:
+            return
+        sys.exit(f"self-test: corruption not rejected: {label}")
+
+    corrupt(lambda d: d.update(schema="swapram-bench/v2"), "schema id")
+    corrupt(lambda d: d["variants"].append(
+        {"name": "turbo", "instructions": 1000, "best_seconds": 0.5,
+         "instr_per_s": 2000.0}), "unrecognized tier")
+    corrupt(lambda d: d["variants"].pop(), "missing tier")
+    corrupt(lambda d: d["variants"][0].update(instructions=999),
+            "tier instruction mismatch")
+    corrupt(lambda d: d["variants"][0].update(instr_per_s=1.0),
+            "inconsistent throughput")
+    corrupt(lambda d: d["speedup"].update(threaded_vs_superblock=9.0),
+            "inconsistent speedup")
+    corrupt(lambda d: d["speedup"].pop("threaded_vs_superblock"),
+            "missing speedup key")
+    print("self-test ok: all corrupted reports rejected")
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        self_test()
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "--file":
+        with open(sys.argv[2]) as f:
+            out = f.read()
+    elif len(sys.argv) == 2:
+        out = subprocess.run([sys.argv[1], "--json"], check=True,
+                             capture_output=True, text=True).stdout
+    else:
+        sys.exit("usage: check_bench_json.py <bench_simperf> | "
+                 "--file <doc.json> | --self-test")
+    try:
+        variants = validate(json.loads(out))
+    except CheckError as e:
+        sys.exit(f"swapram-bench/v1 invalid: {e}")
     print("swapram-bench/v1 ok:",
           ", ".join(f"{n} {variants[n]['instr_per_s'] / 1e6:.1f}M/s"
                     for n in EXPECTED_VARIANTS))

@@ -160,6 +160,12 @@ statsJson(const sim::Stats &s)
         {"superblock_bail_smc", s.superblock_bail_smc},
         {"superblock_bail_boundary", s.superblock_bail_boundary},
         {"superblock_invalidations", s.superblock_invalidations},
+        {"threaded_blocks_lowered", s.threaded_blocks_lowered},
+        {"threaded_dispatches", s.threaded_dispatches},
+        {"threaded_instructions", s.threaded_instructions},
+        {"threaded_bail_operand", s.threaded_bail_operand},
+        {"threaded_bail_smc", s.threaded_bail_smc},
+        {"threaded_bail_boundary", s.threaded_bail_boundary},
     };
 }
 

@@ -443,6 +443,7 @@ runOne(const RunSpec &spec)
     config.timer_period_cycles = spec.workload->timer_period_cycles;
     config.predecode_enabled = spec.predecode;
     config.superblock_enabled = spec.superblock;
+    config.threaded_enabled = spec.threaded;
     config.sram_size = spec.sram_size;
     if (spec.intermittent.livelock_boots)
         config.livelock_boots = spec.intermittent.livelock_boots;

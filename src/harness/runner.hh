@@ -134,6 +134,13 @@ struct RunSpec {
      *  build (-DSWAPRAM_NO_SUPERBLOCK flips it off). */
     bool superblock = sim::kSuperblockDefaultEnabled;
 
+    /** Threaded-code dispatch over hot superblocks (see
+     *  sim::MachineConfig). Only meaningful with superblock on; off
+     *  falls back to block-stepped dispatch. Simulated results must be
+     *  identical either way. The default follows the build
+     *  (-DSWAPRAM_NO_THREADED flips it off). */
+    bool threaded = sim::kThreadedDefaultEnabled;
+
     /**
      * How many times the startup stub calls main() (the paper runs
      * each benchmark 10 times so steady-state behaviour — after

@@ -24,6 +24,16 @@ inline constexpr bool kSuperblockDefaultEnabled =
     true;
 #endif
 
+/** Build-configured default for MachineConfig::threaded_enabled; the
+ *  -DSWAPRAM_NO_THREADED CI leg pins the block-stepped superblock
+ *  tier so the two dispatchers stay byte-identical. */
+inline constexpr bool kThreadedDefaultEnabled =
+#ifdef SWAPRAM_NO_THREADED
+    false;
+#else
+    true;
+#endif
+
 /** Configuration of one Machine instance. */
 struct MachineConfig {
     /** CPU clock (MCLK). The paper evaluates 8 MHz and 24 MHz. */
@@ -72,6 +82,18 @@ struct MachineConfig {
      * is flipped by -DSWAPRAM_NO_SUPERBLOCK (CI oracle leg).
      */
     bool superblock_enabled = kSuperblockDefaultEnabled;
+
+    /**
+     * Computed-goto threaded-code tier on top of the superblock
+     * engine: hot blocks are lowered once to specialized kernels with
+     * flattened operands and executed as an indirect-goto chain. Needs
+     * superblock_enabled (it shares the block table and every bail-out
+     * guard) and the GNU computed-goto extension; silently falls back
+     * to block-stepped dispatch otherwise. Simulated behaviour and
+     * timing are identical either way. The build-time default is
+     * flipped by -DSWAPRAM_NO_THREADED (CI differential leg).
+     */
+    bool threaded_enabled = kThreadedDefaultEnabled;
 
     /**
      * Periodic timer interrupt, in cycles (0 = disabled). When due and

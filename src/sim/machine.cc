@@ -58,6 +58,16 @@ Machine::Machine(const MachineConfig &config)
             return static_cast<std::uint8_t>(classifyPc(pc));
         });
         bus_.setPageGens(&superblock_->pageGens());
+        // Lowered ops carry per-probe stall costs in 16-bit fields;
+        // pathological wait-state configs fall back to block stepping.
+        bool stalls_fit = config_.effectiveWaitStates() <= 0xFFFF &&
+                          config_.contention_stall <= 0xFFFF;
+        if (config_.threaded_enabled && stalls_fit &&
+            ThreadedEngine::available()) {
+            threaded_ = std::make_unique<ThreadedEngine>(
+                cpu_, memory_, bus_, stats_, config_, *superblock_);
+            threaded_->setPredecode(predecode_.get());
+        }
     }
 }
 
@@ -307,7 +317,9 @@ Machine::trySuperblock()
         }
     }
 
-    SuperblockEngine::ChainResult res = superblock_->runChain(limits);
+    SuperblockEngine::ChainResult res =
+        threaded_ ? threaded_->runChain(limits)
+                  : superblock_->runChain(limits);
     if (!res.instructions)
         return false;
     // The chain never crosses the recovery boundary, so its whole

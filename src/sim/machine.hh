@@ -32,6 +32,7 @@
 #include "sim/predecode.hh"
 #include "sim/stats.hh"
 #include "sim/superblock.hh"
+#include "sim/threaded.hh"
 
 namespace swapram::trace {
 class FunctionProfiler;
@@ -130,6 +131,8 @@ class Machine
         // Superblocks must not span the attribution boundary.
         if (superblock_)
             superblock_->setRecoveryRange(base, end);
+        if (threaded_)
+            threaded_->setRecoveryRange(base, end);
     }
 
     /**
@@ -198,6 +201,7 @@ class Machine
     /** Superblock dispatch engine (null when config disables it); the
      *  bus's write paths share its page-generation table. */
     std::unique_ptr<SuperblockEngine> superblock_;
+    std::unique_ptr<ThreadedEngine> threaded_;
 
     std::uint64_t timer_next_fire_ = 0;
     bool timer_pending_ = false;

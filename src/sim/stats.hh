@@ -93,6 +93,21 @@ struct Stats {
     /** Cached block found stale (write generations moved) and rebuilt. */
     std::uint64_t superblock_invalidations = 0;
 
+    /**
+     * Threaded-code tier behaviour (host-side only, same contract as
+     * the superblock counters: simulated results are identical with
+     * the tier disabled). When the threaded tier is active it replaces
+     * superblock dispatch, so the two counter families are mutually
+     * exclusive per run; block builds/invalidations still land on the
+     * shared superblock_* counters (one block table serves both).
+     */
+    std::uint64_t threaded_blocks_lowered = 0; ///< blocks lowered
+    std::uint64_t threaded_dispatches = 0;     ///< blocks executed
+    std::uint64_t threaded_instructions = 0;   ///< retired threaded
+    std::uint64_t threaded_bail_operand = 0; ///< dyn operand to MMIO
+    std::uint64_t threaded_bail_smc = 0;     ///< store into own block
+    std::uint64_t threaded_bail_boundary = 0; ///< cycle-bound refusal
+
     std::uint64_t totalCycles() const { return base_cycles + stall_cycles; }
     std::uint64_t framAccesses() const { return fram.total(); }
 };

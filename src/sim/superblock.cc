@@ -20,15 +20,11 @@ namespace {
 /** Block-table geometry: one slot per word-aligned PC. */
 constexpr std::uint32_t kSlots = 32768;
 
-/** True when @p addr lies in plain memory (SRAM or FRAM) — the only
- *  space the fast path may touch directly. @p sram_size comes from
- *  MachineConfig (capacity-pressure runs shrink or grow the SRAM). */
+/** Shorthand for the shared mapped-space predicate. */
 inline bool
 addrMapped(std::uint16_t addr, std::uint32_t sram_size)
 {
-    return addr >= platform::kFramBase ||
-           static_cast<std::uint16_t>(addr - platform::kSramBase) <
-               sram_size;
+    return SuperblockEngine::addrMapped(addr, sram_size);
 }
 
 /** Build-time classification of one decoded instruction. */
@@ -111,22 +107,29 @@ analyze(const isa::Instr &in, std::uint32_t sram_size)
     return a;
 }
 
-/**
- * Pre-execution check of every register-dependent effective address
- * the instruction will touch, reproducing resolve()'s address
- * arithmetic (including @Rn+ post-increments feeding a later operand
- * through the same register, and PUSH/CALL's SP-2 stack slot). False
- * means some access would leave SRAM/FRAM — the caller bails to the
- * oracle with nothing committed, so MMIO device effects and unmapped
- * fatals happen exactly as a single step would produce them.
- */
+} // namespace
+
+/** MachineConfig's sram_size shapes the mapped window
+ *  (capacity-pressure runs shrink or grow the SRAM). */
 bool
-dynOperandsMapped(const isa::Instr &in,
-                  const std::array<std::uint16_t, 16> &regs,
-                  std::uint32_t sram_size)
+SuperblockEngine::addrMapped(std::uint16_t addr,
+                             std::uint32_t sram_size)
+{
+    return addr >= platform::kFramBase ||
+           static_cast<std::uint16_t>(addr - platform::kSramBase) <
+               sram_size;
+}
+
+/** MMIO device effects and unmapped fatals must happen exactly as a
+ *  single step would produce them, so any register-dependent address
+ *  that leaves SRAM/FRAM sends the whole instruction to the oracle. */
+bool
+SuperblockEngine::dynOperandsMapped(
+    const isa::Instr &in, const std::array<std::uint16_t, 16> &regs,
+    std::uint32_t sram_size)
 {
     auto addrMapped = [sram_size](std::uint16_t addr) {
-        return sim::addrMapped(addr, sram_size);
+        return SuperblockEngine::addrMapped(addr, sram_size);
     };
     switch (isa::opFormat(in.op)) {
       case isa::OpFormat::Jump:
@@ -199,6 +202,8 @@ dynOperandsMapped(const isa::Instr &in,
     }
     return true;
 }
+
+namespace {
 
 /** Block-local counter accumulator, flushed to Stats once per block. */
 struct Acc {
@@ -533,7 +538,7 @@ SuperblockEngine::valid(const Block &b) const
     return true;
 }
 
-const SuperblockEngine::Block *
+SuperblockEngine::Block *
 SuperblockEngine::lookup(std::uint16_t pc)
 {
     if (pc & 1)

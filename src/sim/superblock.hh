@@ -62,6 +62,11 @@
 
 namespace swapram::sim {
 
+/** Lowered (computed-goto) form of one block; owned by the block so
+ *  every invalidation path drops it together with the decode. Defined
+ *  by the threaded tier (sim/threaded.cc). */
+class ThreadedCode;
+
 /** Block-stepped dispatch over straight-line code. */
 class SuperblockEngine
 {
@@ -117,6 +122,10 @@ class SuperblockEngine
         std::uint16_t first_page = 0;
         std::uint16_t last_page = 0;
         std::array<std::uint64_t, kMaxBlockPages> page_gens{};
+
+        /** Lazily lowered threaded code (null until the threaded tier
+         *  first dispatches this block; dropped with the block). */
+        std::shared_ptr<ThreadedCode> threaded;
     };
 
     SuperblockEngine(Cpu &cpu, Memory &memory, Bus &bus, Stats &stats,
@@ -154,9 +163,28 @@ class SuperblockEngine
      * The valid block starting at @p pc, building one if needed.
      * Returns nullptr when no block can start here (odd PC, MMIO or
      * unmapped fetch region, undecodable word, or a leading
-     * instruction that must single-step).
+     * instruction that must single-step). Non-const so the threaded
+     * tier can attach lowered code to the block.
      */
-    const Block *lookup(std::uint16_t pc);
+    Block *lookup(std::uint16_t pc);
+
+    /** True when @p addr lies in plain memory (SRAM or FRAM) — the
+     *  only space the fast paths may touch directly. */
+    static bool addrMapped(std::uint16_t addr, std::uint32_t sram_size);
+
+    /**
+     * Pre-execution check of every register-dependent effective
+     * address @p in will touch, reproducing resolve()'s address
+     * arithmetic (including @Rn+ post-increments feeding a later
+     * operand through the same register, and PUSH/CALL's SP-2 stack
+     * slot). False means some access would leave SRAM/FRAM — the
+     * caller bails to the oracle with nothing committed. Shared with
+     * the threaded tier so both fast paths guard identically.
+     */
+    static bool
+    dynOperandsMapped(const isa::Instr &in,
+                      const std::array<std::uint16_t, 16> &regs,
+                      std::uint32_t sram_size);
 
     /** Cycle boundaries a chain must respect (Machine's per-step
      *  run-loop checks, precomputed once per chain). */

@@ -1,0 +1,1438 @@
+#include "sim/threaded.hh"
+
+#include "isa/cycles.hh"
+#include "sim/exec.hh"
+#include "support/logging.hh"
+#include "support/platform.hh"
+#include "support/strings.hh"
+
+#if SWAPRAM_THREADED_AVAILABLE
+
+#include <algorithm>
+#include <cstring>
+
+namespace swapram::sim {
+
+using isa::Mode;
+using isa::Op;
+using isa::Operand;
+
+/**
+ * One lowered instruction: a kernel label plus flattened operands and
+ * the static accounting it contributes. Fields are family-specific:
+ *   - sp/dp: source/destination cells. For register and immediate
+ *     operands these are native uint16_t cells (the register file, or
+ *     the op's own `a` field); for static memory operands they point
+ *     into the flat simulated memory (little-endian bytes).
+ *   - a/b: immediate value (the cell sp may point at), jump target,
+ *     or the static source/destination address.
+ *   - runs/fa0/fa1: dynamic FRAM fetch probes. Three sequential fetch
+ *     words span at most two 8-byte lines, so a fetch stream collapses
+ *     to at most two hardware-cache probes; same-line followers are
+ *     guaranteed hits with zero stall (a hit on the just-used way does
+ *     not move the LRU) and fold into the static totals.
+ *   - probe/d0_hit/d0_miss: one dynamic data-read probe for a static
+ *     FRAM address with the hardware cache on; the line-contention
+ *     component of the stall is static (the fetch stream's addresses
+ *     are fixed), so both outcomes' stalls are precomputed.
+ *   - d_*: this op's share of the block's static totals, subtracted
+ *     back on the rare bail-out walk over the unexecuted suffix.
+ */
+struct alignas(64) TOp {
+    const void *h = nullptr;
+    const std::uint8_t *sp = nullptr;
+    std::uint8_t *dp = nullptr;
+    std::uint16_t next_pc = 0;
+    std::uint16_t a = 0;
+    std::uint16_t b = 0; ///< static dst addr; instr index for generic
+    std::uint16_t mask = 0xFFFF;
+    std::uint16_t msb = 0x8000;
+    std::uint16_t fa0 = 0, fa1 = 0;
+    std::uint16_t fc0 = 0, fm0 = 0; ///< first fetch probe hit/miss stall
+    std::uint16_t d0_hit = 0, d0_miss = 0;
+    std::uint16_t lastline = 0;
+    std::uint8_t byte = 0;
+    std::uint8_t runs = 0;
+    std::uint8_t probe = 0;
+    std::uint8_t ra = 0;  ///< dyn src reg index / jump polarity
+    std::uint8_t rd = 0;  ///< dyn dst reg index
+    std::uint8_t inc = 0; ///< @Rn+ post-increment amount
+    std::uint8_t smc = 0; ///< static store into the block's own code
+    std::uint8_t chain = 0; ///< FRAM fetch words seeding data contention
+};
+static_assert(sizeof(TOp) == 64, "TOp must stay one cache line");
+
+/** Accumulator indices: one contiguous order shared by the dispatch
+ *  context's dynamic accumulators (u64) and each block's static totals
+ *  (u32), so block entry applies the totals with one vectorizable
+ *  loop. */
+enum AccIdx {
+    kAccBase = 0,
+    kAccStall,
+    kAccSramFetch,
+    kAccSramRead,
+    kAccSramWrite,
+    kAccFramFetch,
+    kAccFramRead,
+    kAccFramWrite,
+    kAccHits,
+    kAccMisses,
+    kAccCode,
+    kAccData,
+    kAccPreInval,
+    kAccOwner0, // + kNumOwners entries
+    kNumAcc = kAccOwner0 + kNumOwners
+};
+
+/** Per-op static accounting deltas, only touched on a mid-block
+ *  bail-out (the suffix walk) and at lowering time — kept out of TOp
+ *  so the dispatch loop streams one cache line per op. */
+struct TDelta {
+    std::uint32_t d_stall = 0;
+    std::uint8_t d_base = 0, d_fetch = 0, d_code = 0, d_data = 0;
+    std::uint8_t d_sram_r = 0, d_sram_w = 0;
+    std::uint8_t d_fram_r = 0, d_fram_w = 0;
+    std::uint8_t d_hits = 0, d_misses = 0, d_pre = 0;
+    std::uint8_t owner = 0;
+};
+
+/** Lowered form of one superblock: the op array (with a trailing
+ *  block-end sentinel) and the block's static accounting totals,
+ *  applied in one shot at block entry. */
+class ThreadedCode
+{
+  public:
+    std::vector<TOp> ops;
+    std::vector<TDelta> deltas;
+    bool fram_code = false;
+    /** Static block totals, indexed by AccIdx (the fetch count is
+     *  already in the fram/sram slot matching fetch_region). */
+    alignas(32) std::array<std::uint32_t, kNumAcc> tot{};
+};
+
+namespace {
+
+/** Kernel identifiers, in exact label-table order. The four Format I
+ *  families are contiguous runs indexed by (op - Op::Mov). */
+enum KernelId : int {
+    kNRBase = 0,    ///< imm/reg src -> reg dst, fully static accounting
+    kMRBase = 12,   ///< static mem src -> reg dst
+    kNMBase = 24,   ///< imm/reg src -> static mem dst
+    kDRBase = 36,   ///< dynamic mem src -> reg dst
+    kNDBase = 48,   ///< imm/reg src -> dynamic Indexed dst
+    kRrc = 60,
+    kRra,
+    kSwpb,
+    kSxt,
+    kPush,
+    kCallImm,
+    kJmp,
+    kJcc,
+    kJSigned,
+    kGeneric,
+    kBlockEnd,
+    kNumKernels,
+};
+
+#define SWAPRAM_FMT1_OPS(X)                                              \
+    X(Mov) X(Add) X(Addc) X(Subc) X(Sub) X(Cmp) X(Dadd) X(Bit) X(Bic)    \
+    X(Bis) X(Xor) X(And)
+
+/** Shared chain state + accumulators for one runChain invocation. */
+struct DCtx {
+    std::uint16_t *regs = nullptr;
+    std::array<std::uint16_t, 16> *regs_arr = nullptr;
+    std::uint8_t *bytes = nullptr;
+    HwCache *hw = nullptr;
+    PredecodeCache *pre = nullptr;
+    PageGenTable *gens = nullptr;
+
+    // Dynamic accumulators (AccIdx order), flushed to Stats once per
+    // chain. The static per-block totals are added here at block entry
+    // too, so a bail-out only has to subtract the unexecuted suffix.
+    alignas(32) std::array<std::uint64_t, kNumAcc> acc{};
+
+    // Timing-model constants.
+    std::uint32_t ws = 0, cstall = 0, ms = 0; ///< ms = max(ws, cstall)
+    std::uint32_t sram_size = 0;
+    std::uint16_t code_base = 0;
+    std::uint32_t code_end = 0;
+    bool hw_on = true;
+
+    // Per-block self-modification window.
+    std::uint16_t blk_start = 0;
+    std::uint32_t blk_end = 0;
+    bool smc = false;
+
+    /// The dispatched block's decoded instructions (generic kernel).
+    const SuperblockEngine::BlockInstr *instrs = nullptr;
+
+    // Chain state for block transitions inside the dispatch loop
+    // (ThreadedEngine::advanceChain).
+    ThreadedEngine *eng = nullptr;
+    const SuperblockEngine::ChainLimits *limits = nullptr;
+    ThreadedCode *cur_tc = nullptr; ///< dispatched block's lowered code
+    TOp *cur_ops = nullptr;
+    std::size_t cur_n = 0;
+    std::uint64_t total = 0;      ///< retired instructions this chain
+    std::uint64_t dispatches = 0; ///< blocks with progress this chain
+    bool first = true;
+    bool chain_in_recovery = false;
+
+    // Per-instruction FRAM line-contention chain (dynamic paths).
+    std::uint32_t fram_count = 0, last_line = 0;
+
+    // Bail-out report: the op the dispatch stopped at, and why.
+    TOp *bail_op = nullptr;
+    int bail_kind = 0; ///< 0 done, 1 operand (uncommitted), 2 SMC
+};
+
+inline bool
+mappedAddr(const DCtx *st, std::uint16_t addr)
+{
+    return addr >= platform::kFramBase ||
+           static_cast<std::uint16_t>(addr - platform::kSramBase) <
+               st->sram_size;
+}
+
+inline void
+setF(std::uint16_t *regs, bool n, bool z, bool c, bool v)
+{
+    namespace sr = isa::sr;
+    std::uint16_t s = regs[2];
+    s &= static_cast<std::uint16_t>(~(sr::kN | sr::kZ | sr::kC | sr::kV));
+    if (n)
+        s |= sr::kN;
+    if (z)
+        s |= sr::kZ;
+    if (c)
+        s |= sr::kC;
+    if (v)
+        s |= sr::kV;
+    regs[2] = s;
+}
+
+/** Format I ops that write the destination / that set flags. */
+template <Op OP>
+constexpr bool
+fmt1Writes()
+{
+    return OP != Op::Cmp && OP != Op::Bit;
+}
+template <Op OP>
+constexpr bool
+fmt1Flags()
+{
+    return OP != Op::Mov && OP != Op::Bic && OP != Op::Bis;
+}
+
+struct AluR {
+    std::uint32_t r;
+    bool n, z, c, v;
+};
+
+/** The Format I ALU, result + flags; mirrors ExecCore::executeFormatI
+ *  op by op (the kernels then store-before-set-flags in the same
+ *  order, which matters when the destination is SR). */
+template <Op OP>
+inline AluR
+fmt1Alu(std::uint32_t src, std::uint32_t dst, std::uint16_t sr_val,
+        std::uint32_t mask, std::uint32_t msb)
+{
+    namespace sr = isa::sr;
+    AluR o{0, false, false, false, false};
+    if constexpr (OP == Op::Mov) {
+        o.r = src & mask;
+        return o;
+    } else if constexpr (OP == Op::Add || OP == Op::Addc ||
+                         OP == Op::Sub || OP == Op::Subc ||
+                         OP == Op::Cmp) {
+        std::uint32_t a = src;
+        std::uint32_t cin = 0;
+        if constexpr (OP == Op::Add) {
+            cin = 0;
+        } else if constexpr (OP == Op::Addc) {
+            cin = (sr_val & sr::kC) ? 1 : 0;
+        } else if constexpr (OP == Op::Sub || OP == Op::Cmp) {
+            a = (~src) & mask;
+            cin = 1;
+        } else { // Subc
+            a = (~src) & mask;
+            cin = (sr_val & sr::kC) ? 1 : 0;
+        }
+        std::uint32_t sum = a + dst + cin;
+        o.r = sum & mask;
+        o.c = sum > mask;
+        o.z = o.r == 0;
+        o.n = (o.r & msb) != 0;
+        o.v = ((~(a ^ dst)) & (a ^ o.r) & msb) != 0;
+        return o;
+    } else if constexpr (OP == Op::Dadd) {
+        std::uint32_t carry = (sr_val & sr::kC) ? 1 : 0;
+        std::uint32_t r = 0;
+        int nibbles = mask == 0xFF ? 2 : 4;
+        for (int i = 0; i < nibbles; ++i) {
+            std::uint32_t a = (src >> (4 * i)) & 0xF;
+            std::uint32_t b = (dst >> (4 * i)) & 0xF;
+            std::uint32_t d = a + b + carry;
+            carry = d >= 10 ? 1 : 0;
+            if (carry)
+                d -= 10;
+            r |= (d & 0xF) << (4 * i);
+        }
+        o.r = r;
+        o.n = (r & msb) != 0;
+        o.z = r == 0;
+        o.c = carry != 0;
+        return o;
+    } else if constexpr (OP == Op::Bit || OP == Op::And) {
+        o.r = src & dst;
+        o.n = (o.r & msb) != 0;
+        o.z = o.r == 0;
+        o.c = o.r != 0;
+        return o;
+    } else if constexpr (OP == Op::Bic) {
+        o.r = dst & ~src & mask;
+        return o;
+    } else if constexpr (OP == Op::Bis) {
+        o.r = dst | src;
+        return o;
+    } else { // Xor
+        o.r = (dst ^ src) & mask;
+        o.n = (o.r & msb) != 0;
+        o.z = o.r == 0;
+        o.c = o.r != 0;
+        o.v = ((src & msb) != 0) && ((dst & msb) != 0);
+        return o;
+    }
+}
+
+/** Native u16 cell load (register file or the op's immediate cell). */
+inline std::uint32_t
+cellLoad(const std::uint8_t *sp, std::uint32_t mask)
+{
+    std::uint16_t v;
+    std::memcpy(&v, sp, 2);
+    return v & mask;
+}
+
+/** Native u16 cell store (register file); byte ops clear the upper
+ *  byte, exactly storeLoc's register rule, because mask is 0xFF. */
+inline void
+cellStore(std::uint8_t *dp, std::uint32_t r, std::uint32_t mask)
+{
+    std::uint16_t v = static_cast<std::uint16_t>(r & mask);
+    std::memcpy(dp, &v, 2);
+}
+
+/** Simulated-memory load (little-endian flat array). */
+inline std::uint32_t
+simLoad(const std::uint8_t *sp, std::uint32_t mask)
+{
+    if (mask == 0xFF)
+        return sp[0];
+    return static_cast<std::uint32_t>(sp[0]) |
+           (static_cast<std::uint32_t>(sp[1]) << 8);
+}
+
+inline void
+simStore(std::uint8_t *dp, std::uint32_t r, std::uint32_t mask)
+{
+    dp[0] = static_cast<std::uint8_t>(r & 0xFF);
+    if (mask != 0xFF)
+        dp[1] = static_cast<std::uint8_t>((r >> 8) & 0xFF);
+}
+
+
+/** The bus's FRAM read timing model for one dynamic data access;
+ *  returns after updating the contention chain and the dynamic
+ *  counters. Mirrors superblock FastMem::framStall(is_write=false). */
+inline void
+dynFramRead(DCtx *st, std::uint16_t addr)
+{
+    std::uint32_t line = addr >> 3;
+    bool contends = st->fram_count > 0 && line != st->last_line;
+    st->last_line = line;
+    ++st->fram_count;
+    std::uint32_t contention = contends ? st->cstall : 0;
+    std::uint32_t stall;
+    if (st->hw_on) {
+        if (st->hw->access(addr)) {
+            ++st->acc[kAccHits];
+            stall = contention;
+        } else {
+            ++st->acc[kAccMisses];
+            stall = std::max(st->ws, contention);
+        }
+    } else {
+        ++st->acc[kAccMisses];
+        stall = std::max(st->ws, contention);
+    }
+    st->acc[kAccStall] += stall;
+}
+
+/** FastMem::framStall(is_write=true). */
+inline void
+dynFramWrite(DCtx *st, std::uint16_t addr)
+{
+    std::uint32_t line = addr >> 3;
+    bool contends = st->fram_count > 0 && line != st->last_line;
+    st->last_line = line;
+    ++st->fram_count;
+    st->acc[kAccStall] += std::max(st->ws, contends ? st->cstall : 0u);
+}
+
+inline void
+dynClassify(DCtx *st, std::uint16_t addr)
+{
+    if (addr >= st->code_base &&
+        static_cast<std::uint32_t>(addr) < st->code_end)
+        ++st->acc[kAccCode];
+    else
+        ++st->acc[kAccData];
+}
+
+/** Dynamic-address load with full accounting (FastMem::read8/read16;
+ *  the caller pre-checked the address lies in SRAM/FRAM). */
+inline std::uint32_t
+dynLoad(DCtx *st, std::uint16_t addr, bool byte)
+{
+    if (!byte && (addr & 1))
+        support::fatal("unaligned word read at ", support::hex16(addr));
+    dynClassify(st, addr);
+    if (addr >= platform::kFramBase) {
+        ++st->acc[kAccFramRead];
+        dynFramRead(st, addr);
+    } else {
+        ++st->acc[kAccSramRead];
+    }
+    if (byte)
+        return st->bytes[addr];
+    return static_cast<std::uint32_t>(st->bytes[addr]) |
+           (static_cast<std::uint32_t>(
+                st->bytes[static_cast<std::uint16_t>(addr + 1)])
+            << 8);
+}
+
+/** Store-side invalidation duties (FastMem::noteStore): predecode
+ *  3-slot drop, page-generation bump, own-block SMC detection. */
+inline void
+dynNoteStore(DCtx *st, std::uint16_t addr, unsigned nbytes)
+{
+    if (st->pre) {
+        st->pre->invalidateWrite(addr);
+        ++st->acc[kAccPreInval];
+    }
+    st->gens->noteWrite(addr, nbytes);
+    std::uint32_t lo = addr;
+    if (lo < st->blk_end && lo + nbytes > st->blk_start)
+        st->smc = true;
+}
+
+/** Dynamic-address store with full accounting (FastMem::write8/16). */
+inline void
+dynStore(DCtx *st, std::uint16_t addr, std::uint32_t value, bool byte)
+{
+    if (!byte && (addr & 1))
+        support::fatal("unaligned word write at ", support::hex16(addr));
+    dynClassify(st, addr);
+    if (addr >= platform::kFramBase) {
+        ++st->acc[kAccFramWrite];
+        dynFramWrite(st, addr);
+    } else {
+        ++st->acc[kAccSramWrite];
+    }
+    st->bytes[addr] = static_cast<std::uint8_t>(value & 0xFF);
+    if (!byte)
+        st->bytes[static_cast<std::uint16_t>(addr + 1)] =
+            static_cast<std::uint8_t>((value >> 8) & 0xFF);
+    dynNoteStore(st, addr, byte ? 1 : 2);
+}
+
+/**
+ * FastMem-equivalent memory policy over DCtx for the generic kernel's
+ * ExecCore, so instructions with no specialized kernel still run the
+ * single-sourced semantics with identical accounting.
+ */
+class ShimMem
+{
+  public:
+    explicit ShimMem(DCtx &st) : st_(&st) {}
+
+    std::uint16_t
+    read16(std::uint16_t addr, AccessKind)
+    {
+        return static_cast<std::uint16_t>(dynLoad(st_, addr, false));
+    }
+
+    std::uint8_t
+    read8(std::uint16_t addr, AccessKind)
+    {
+        return static_cast<std::uint8_t>(dynLoad(st_, addr, true));
+    }
+
+    void
+    write16(std::uint16_t addr, std::uint16_t value)
+    {
+        dynStore(st_, addr, value, false);
+    }
+
+    void
+    write8(std::uint16_t addr, std::uint8_t value)
+    {
+        dynStore(st_, addr, value, true);
+    }
+
+  private:
+    DCtx *st_;
+};
+
+#define SWAPRAM_INLINE inline __attribute__((always_inline))
+
+/** Replay the fetch stream's dynamic hardware-cache probes (at most
+ *  two line runs; same-line followers are folded statically). The
+ *  first probe's stall contributions are per-op (fc0/fm0): normally
+ *  0/ws (a leading run never contends), but when cross-op folding
+ *  removed the leading run, the surviving probe is a contending line
+ *  change and carries cstall/ms instead. */
+SWAPRAM_INLINE void
+tFetch(DCtx *st, const TOp *op)
+{
+    if (op->runs) {
+        if (st->hw->access(op->fa0)) {
+            ++st->acc[kAccHits];
+            st->acc[kAccStall] += op->fc0;
+        } else {
+            ++st->acc[kAccMisses];
+            st->acc[kAccStall] += op->fm0;
+        }
+        if (op->runs > 1) {
+            if (st->hw->access(op->fa1)) {
+                ++st->acc[kAccHits];
+                st->acc[kAccStall] += st->cstall;
+            } else {
+                ++st->acc[kAccMisses];
+                st->acc[kAccStall] += st->ms;
+            }
+        }
+    }
+}
+
+/** One dynamic data-read probe of a static FRAM address. */
+SWAPRAM_INLINE void
+tProbe(DCtx *st, const TOp *op, std::uint16_t addr)
+{
+    if (op->probe) {
+        if (st->hw->access(addr)) {
+            ++st->acc[kAccHits];
+            st->acc[kAccStall] += op->d0_hit;
+        } else {
+            ++st->acc[kAccMisses];
+            st->acc[kAccStall] += op->d0_miss;
+        }
+    }
+}
+
+/** imm/reg src -> reg dst: no memory, fully static accounting. */
+template <Op OP>
+SWAPRAM_INLINE int
+kernNR(DCtx *st, TOp *op)
+{
+    tFetch(st, op);
+    std::uint16_t *regs = st->regs;
+    regs[0] = op->next_pc;
+    std::uint32_t src = cellLoad(op->sp, op->mask);
+    std::uint32_t dst = 0;
+    if constexpr (OP != Op::Mov)
+        dst = cellLoad(op->dp, op->mask);
+    AluR o = fmt1Alu<OP>(src, dst, regs[2], op->mask, op->msb);
+    if constexpr (fmt1Writes<OP>())
+        cellStore(op->dp, o.r, op->mask);
+    if constexpr (fmt1Flags<OP>())
+        setF(regs, o.n, o.z, o.c, o.v);
+    return 0;
+}
+
+/** Static mem src -> reg dst: at most one dynamic probe. */
+template <Op OP>
+SWAPRAM_INLINE int
+kernMR(DCtx *st, TOp *op)
+{
+    tFetch(st, op);
+    tProbe(st, op, op->a);
+    std::uint16_t *regs = st->regs;
+    regs[0] = op->next_pc;
+    std::uint32_t src = simLoad(op->sp, op->mask);
+    std::uint32_t dst = 0;
+    if constexpr (OP != Op::Mov)
+        dst = cellLoad(op->dp, op->mask);
+    AluR o = fmt1Alu<OP>(src, dst, regs[2], op->mask, op->msb);
+    if constexpr (fmt1Writes<OP>())
+        cellStore(op->dp, o.r, op->mask);
+    if constexpr (fmt1Flags<OP>())
+        setF(regs, o.n, o.z, o.c, o.v);
+    return 0;
+}
+
+/** imm/reg src -> static mem dst: probe covers the non-Mov dst read;
+ *  the write's stall and the SMC outcome are static. Invalidation
+ *  side effects (predecode, page generations) stay dynamic. */
+template <Op OP>
+SWAPRAM_INLINE int
+kernNM(DCtx *st, TOp *op)
+{
+    tFetch(st, op);
+    if constexpr (OP != Op::Mov)
+        tProbe(st, op, op->b);
+    std::uint16_t *regs = st->regs;
+    regs[0] = op->next_pc;
+    std::uint32_t src = cellLoad(op->sp, op->mask);
+    std::uint32_t dst = 0;
+    if constexpr (OP != Op::Mov)
+        dst = simLoad(op->dp, op->mask);
+    AluR o = fmt1Alu<OP>(src, dst, regs[2], op->mask, op->msb);
+    if constexpr (fmt1Writes<OP>()) {
+        simStore(op->dp, o.r, op->mask);
+        if (st->pre)
+            st->pre->invalidateWrite(op->b);
+        st->gens->noteWrite(op->b, op->byte ? 1 : 2);
+    }
+    if constexpr (fmt1Flags<OP>())
+        setF(regs, o.n, o.z, o.c, o.v);
+    if constexpr (fmt1Writes<OP>()) {
+        if (op->smc)
+            return 2;
+    }
+    return 0;
+}
+
+/** Dynamic mem src -> reg dst: mapped pre-check, then fully dynamic
+ *  source accounting (the contention chain seeds from the fetch). */
+template <Op OP>
+SWAPRAM_INLINE int
+kernDR(DCtx *st, TOp *op)
+{
+    std::uint16_t *regs = st->regs;
+    std::uint16_t addr =
+        static_cast<std::uint16_t>(regs[op->ra] + op->a);
+    if (!mappedAddr(st, addr))
+        return 1;
+    tFetch(st, op);
+    st->fram_count = op->chain;
+    st->last_line = op->lastline;
+    regs[0] = op->next_pc;
+    regs[op->ra] = static_cast<std::uint16_t>(regs[op->ra] + op->inc);
+    std::uint32_t src = dynLoad(st, addr, op->byte != 0);
+    std::uint32_t dst = 0;
+    if constexpr (OP != Op::Mov)
+        dst = cellLoad(op->dp, op->mask);
+    AluR o = fmt1Alu<OP>(src, dst, regs[2], op->mask, op->msb);
+    if constexpr (fmt1Writes<OP>())
+        cellStore(op->dp, o.r, op->mask);
+    if constexpr (fmt1Flags<OP>())
+        setF(regs, o.n, o.z, o.c, o.v);
+    return 0;
+}
+
+/** imm/reg src -> dynamic Indexed dst: mapped pre-check on the
+ *  destination, fully dynamic read-modify-write accounting. */
+template <Op OP>
+SWAPRAM_INLINE int
+kernND(DCtx *st, TOp *op)
+{
+    std::uint16_t *regs = st->regs;
+    std::uint16_t addr =
+        static_cast<std::uint16_t>(regs[op->rd] + op->b);
+    if (!mappedAddr(st, addr))
+        return 1;
+    tFetch(st, op);
+    st->fram_count = op->chain;
+    st->last_line = op->lastline;
+    regs[0] = op->next_pc;
+    std::uint32_t src = cellLoad(op->sp, op->mask);
+    std::uint32_t dst = 0;
+    if constexpr (OP != Op::Mov)
+        dst = dynLoad(st, addr, op->byte != 0);
+    AluR o = fmt1Alu<OP>(src, dst, regs[2], op->mask, op->msb);
+    if constexpr (fmt1Writes<OP>())
+        dynStore(st, addr, o.r, op->byte != 0);
+    if constexpr (fmt1Flags<OP>())
+        setF(regs, o.n, o.z, o.c, o.v);
+    if constexpr (fmt1Writes<OP>()) {
+        if (st->smc)
+            return 2;
+    }
+    return 0;
+}
+
+/** RRC/RRA on a register destination (mask distinguishes .B). */
+template <bool RRC>
+SWAPRAM_INLINE int
+kernRot(DCtx *st, TOp *op)
+{
+    namespace sr = isa::sr;
+    tFetch(st, op);
+    std::uint16_t *regs = st->regs;
+    regs[0] = op->next_pc;
+    std::uint32_t v = cellLoad(op->dp, op->mask);
+    std::uint32_t r;
+    if constexpr (RRC)
+        r = ((v >> 1) | ((regs[2] & sr::kC) ? op->msb : 0)) & op->mask;
+    else
+        r = ((v >> 1) | (v & op->msb)) & op->mask;
+    cellStore(op->dp, r, op->mask);
+    setF(regs, (r & op->msb) != 0, r == 0, (v & 1) != 0, false);
+    return 0;
+}
+
+/** PUSH of a register/immediate source: one dynamic stack write. */
+SWAPRAM_INLINE int
+kernPush(DCtx *st, TOp *op)
+{
+    std::uint16_t *regs = st->regs;
+    std::uint16_t nsp = static_cast<std::uint16_t>(regs[1] - 2);
+    if (!mappedAddr(st, nsp))
+        return 1;
+    tFetch(st, op);
+    st->fram_count = op->chain;
+    st->last_line = op->lastline;
+    regs[0] = op->next_pc;
+    std::uint32_t v = cellLoad(op->sp, op->mask);
+    regs[1] = nsp;
+    dynStore(st, nsp, v, op->byte != 0);
+    return st->smc ? 2 : 0;
+}
+
+/** CALL #imm: static target, one dynamic stack write. Terminator. */
+SWAPRAM_INLINE int
+kernCallImm(DCtx *st, TOp *op)
+{
+    std::uint16_t *regs = st->regs;
+    std::uint16_t nsp = static_cast<std::uint16_t>(regs[1] - 2);
+    if (!mappedAddr(st, nsp))
+        return 1;
+    tFetch(st, op);
+    st->fram_count = op->chain;
+    st->last_line = op->lastline;
+    regs[0] = op->next_pc;
+    regs[1] = nsp;
+    dynStore(st, nsp, op->next_pc, false);
+    regs[0] = op->a;
+    return st->smc ? 2 : 0;
+}
+
+/** Everything else: the shared ExecCore over the FastMem-equivalent
+ *  shim, with the superblock tier's exact per-instruction protocol. */
+SWAPRAM_INLINE int
+kernGeneric(DCtx *st, TOp *op, ExecCore<ShimMem> &core)
+{
+    const SuperblockEngine::BlockInstr *bi = &st->instrs[op->b];
+    if ((bi->flags & SuperblockEngine::kFlagDynMem) &&
+        !SuperblockEngine::dynOperandsMapped(bi->instr, *st->regs_arr,
+                                             st->sram_size))
+        return 1;
+    tFetch(st, op);
+    st->fram_count = op->chain;
+    st->last_line = op->lastline;
+    st->regs[0] = op->next_pc;
+    core.execute(bi->instr);
+    return st->smc ? 2 : 0;
+}
+
+/**
+ * The dispatch loop: a computed-goto chain over a lowered block.
+ * Called with st == nullptr it returns the kernel label table (indexed
+ * by KernelId) so lowering can resolve handlers; otherwise it runs ops
+ * from @p op until a bail-out or the block-end sentinel, recording the
+ * stop point and reason in the context.
+ */
+const void *const *
+dispatchRun(DCtx *st, TOp *op)
+{
+    static const void *const kLabels[kNumKernels] = {
+#define X(N) &&L_nr_##N,
+        SWAPRAM_FMT1_OPS(X)
+#undef X
+#define X(N) &&L_mr_##N,
+        SWAPRAM_FMT1_OPS(X)
+#undef X
+#define X(N) &&L_nm_##N,
+        SWAPRAM_FMT1_OPS(X)
+#undef X
+#define X(N) &&L_dr_##N,
+        SWAPRAM_FMT1_OPS(X)
+#undef X
+#define X(N) &&L_nd_##N,
+        SWAPRAM_FMT1_OPS(X)
+#undef X
+        &&L_rrc,     &&L_rra, &&L_swpb, &&L_sxt,     &&L_push,
+        &&L_callimm, &&L_jmp, &&L_jcc,  &&L_jsigned, &&L_generic,
+        &&L_end,
+    };
+    if (!st)
+        return kLabels;
+
+    ShimMem shim(*st);
+    ExecCore<ShimMem> core(*st->regs_arr, shim);
+
+#define SWAPRAM_NEXT                                                     \
+    do {                                                                 \
+        ++op;                                                            \
+        goto *op->h;                                                     \
+    } while (0)
+#define SWAPRAM_RUN(call)                                                \
+    do {                                                                 \
+        int k_ = (call);                                                 \
+        if (k_ != 0) {                                                   \
+            if (k_ == 1)                                                 \
+                goto L_bail_operand;                                     \
+            goto L_bail_smc;                                             \
+        }                                                                \
+    } while (0)
+
+    goto *op->h;
+
+#define X(N)                                                             \
+    L_nr_##N : SWAPRAM_RUN(kernNR<Op::N>(st, op));                       \
+    SWAPRAM_NEXT;
+    SWAPRAM_FMT1_OPS(X)
+#undef X
+#define X(N)                                                             \
+    L_mr_##N : SWAPRAM_RUN(kernMR<Op::N>(st, op));                       \
+    SWAPRAM_NEXT;
+    SWAPRAM_FMT1_OPS(X)
+#undef X
+#define X(N)                                                             \
+    L_nm_##N : SWAPRAM_RUN(kernNM<Op::N>(st, op));                       \
+    SWAPRAM_NEXT;
+    SWAPRAM_FMT1_OPS(X)
+#undef X
+#define X(N)                                                             \
+    L_dr_##N : SWAPRAM_RUN(kernDR<Op::N>(st, op));                       \
+    SWAPRAM_NEXT;
+    SWAPRAM_FMT1_OPS(X)
+#undef X
+#define X(N)                                                             \
+    L_nd_##N : SWAPRAM_RUN(kernND<Op::N>(st, op));                       \
+    SWAPRAM_NEXT;
+    SWAPRAM_FMT1_OPS(X)
+#undef X
+
+L_rrc:
+    SWAPRAM_RUN(kernRot<true>(st, op));
+    SWAPRAM_NEXT;
+L_rra:
+    SWAPRAM_RUN(kernRot<false>(st, op));
+    SWAPRAM_NEXT;
+L_swpb : {
+    tFetch(st, op);
+    st->regs[0] = op->next_pc;
+    std::uint32_t v = cellLoad(op->dp, 0xFFFF);
+    cellStore(op->dp, ((v >> 8) | (v << 8)) & 0xFFFF, 0xFFFF);
+    SWAPRAM_NEXT;
+}
+L_sxt : {
+    tFetch(st, op);
+    st->regs[0] = op->next_pc;
+    std::uint32_t v = cellLoad(op->dp, 0xFF);
+    std::uint32_t r = (v & 0x80) ? (v | 0xFF00) : v;
+    cellStore(op->dp, r, 0xFFFF);
+    setF(st->regs, (r & 0x8000) != 0, r == 0, r != 0, false);
+    SWAPRAM_NEXT;
+}
+L_push:
+    SWAPRAM_RUN(kernPush(st, op));
+    SWAPRAM_NEXT;
+L_callimm:
+    SWAPRAM_RUN(kernCallImm(st, op));
+    SWAPRAM_NEXT;
+L_jmp:
+    tFetch(st, op);
+    st->regs[0] = op->a;
+    SWAPRAM_NEXT;
+L_jcc : {
+    tFetch(st, op);
+    bool taken =
+        ((st->regs[2] & op->mask) != 0) == (op->ra != 0);
+    st->regs[0] = taken ? op->a : op->next_pc;
+    SWAPRAM_NEXT;
+}
+L_jsigned : {
+    namespace sr = isa::sr;
+    tFetch(st, op);
+    bool n = (st->regs[2] & sr::kN) != 0;
+    bool v = (st->regs[2] & sr::kV) != 0;
+    st->regs[0] = ((n == v) == (op->ra != 0)) ? op->a : op->next_pc;
+    SWAPRAM_NEXT;
+}
+L_generic:
+    SWAPRAM_RUN(kernGeneric(st, op, core));
+    SWAPRAM_NEXT;
+
+L_bail_operand:
+    st->bail_op = op;
+    st->bail_kind = 1;
+    return kLabels;
+L_bail_smc:
+    st->bail_op = op;
+    st->bail_kind = 2;
+    return kLabels;
+L_end:
+    // Block completed: hand over to the chain-advance helper, which
+    // accounts it and enters the next block (guards, lazy lowering,
+    // static totals) — the dispatch function itself is entered once
+    // per chain, not once per block.
+    op = static_cast<TOp *>(st->eng->advanceChain(st));
+    if (op)
+        goto *op->h;
+    st->bail_op = nullptr;
+    st->bail_kind = 0;
+    return kLabels;
+
+#undef SWAPRAM_NEXT
+#undef SWAPRAM_RUN
+}
+
+} // namespace
+
+ThreadedEngine::ThreadedEngine(Cpu &cpu, Memory &memory, Bus &bus,
+                               Stats &stats, const MachineConfig &config,
+                               SuperblockEngine &sb)
+    : cpu_(cpu), memory_(memory), bus_(bus), stats_(stats),
+      config_(config), sb_(sb)
+{
+    labels_ = dispatchRun(nullptr, nullptr);
+}
+
+void
+ThreadedEngine::lower(SuperblockEngine::Block &block)
+{
+    auto tc = std::make_shared<ThreadedCode>();
+    const bool fram_code = block.fetch_region == RegionKind::Fram;
+    const bool hw_on = config_.hw_cache_enabled;
+    const std::uint32_t ws = config_.effectiveWaitStates();
+    const std::uint32_t cstall = config_.contention_stall;
+    const std::uint32_t ms = std::max(ws, cstall);
+    const std::uint16_t code_base = bus_.codeBase();
+    const std::uint32_t code_end = bus_.codeEnd();
+    std::uint16_t *regs = cpu_.regs().data();
+    std::uint8_t *bytes = memory_.bytes();
+    tc->fram_code = fram_code;
+
+    const std::size_t n = block.instrs.size();
+    // Sized once up front: ops never reallocate afterwards, so an
+    // immediate's source cell may point into its own TOp.
+    tc->ops.resize(n + 1);
+    tc->deltas.resize(n);
+
+    auto regCell = [regs](isa::Reg r) {
+        return reinterpret_cast<std::uint8_t *>(regs + isa::regIndex(r));
+    };
+    // Fold one static-address data read into op statics. The fetch
+    // stream's addresses are fixed, so the line-contention component
+    // is static; with the hardware cache on, only the hit/miss
+    // outcome stays a runtime probe.
+    auto staticRead = [&](std::uint16_t addr, TOp &t, TDelta &dl) {
+        if (addr >= code_base && static_cast<std::uint32_t>(addr) <
+                                     code_end)
+            ++dl.d_code;
+        else
+            ++dl.d_data;
+        if (addr >= platform::kFramBase) {
+            ++dl.d_fram_r;
+            std::uint32_t line = addr >> 3;
+            bool contends = t.chain > 0 && line != t.lastline;
+            std::uint32_t cont = contends ? cstall : 0;
+            if (hw_on) {
+                t.probe = 1;
+                t.d0_hit = static_cast<std::uint16_t>(cont);
+                t.d0_miss = static_cast<std::uint16_t>(std::max(ws, cont));
+            } else {
+                ++dl.d_misses;
+                dl.d_stall += std::max(ws, cont);
+            }
+        } else {
+            ++dl.d_sram_r;
+        }
+    };
+    // Fold one static-address data write: the stall is fully static
+    // (after_read: the preceding read of the same cell already seeded
+    // the contention chain with this line, so the write never
+    // contends). The SMC outcome is static too — both the address and
+    // the block's code window are fixed.
+    auto staticWrite = [&](std::uint16_t addr, TOp &t, TDelta &dl,
+                           bool after_read, unsigned nbytes) {
+        if (addr >= code_base && static_cast<std::uint32_t>(addr) <
+                                     code_end)
+            ++dl.d_code;
+        else
+            ++dl.d_data;
+        if (addr >= platform::kFramBase) {
+            ++dl.d_fram_w;
+            std::uint32_t cont = 0;
+            if (!after_read) {
+                std::uint32_t line = addr >> 3;
+                cont = (t.chain > 0 && line != t.lastline) ? cstall : 0;
+            }
+            dl.d_stall += std::max(ws, cont);
+        } else {
+            ++dl.d_sram_w;
+        }
+        if (predecode_)
+            ++dl.d_pre;
+        if (static_cast<std::uint32_t>(addr) < block.end_addr &&
+            static_cast<std::uint32_t>(addr) + nbytes > block.start_pc)
+            t.smc = 1;
+    };
+
+    // Cross-op fetch-run folding. After an instruction's fetch stream,
+    // its last line is the most-recently-used way of its set; if the
+    // next instruction starts on that same line and nothing in between
+    // could have touched the hardware cache (no data-read probe — FRAM
+    // data writes never probe), its leading fetch probe is a guaranteed
+    // hit on the MRU way: hits += 1, stall 0, LRU unchanged. Fold it
+    // into the statics and drop the runtime probe.
+    std::uint32_t fold_line = 0xFFFFFFFF;
+    bool fold_clean = false;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const SuperblockEngine::BlockInstr &bi = block.instrs[i];
+        const isa::Instr &in = bi.instr;
+        TOp &t = tc->ops[i];
+        TDelta &dl = tc->deltas[i];
+        t.next_pc = bi.next_pc;
+        dl.owner = bi.owner;
+        dl.d_base = bi.base_cycles;
+        t.byte = in.byte ? 1 : 0;
+        t.mask = in.byte ? 0xFF : 0xFFFF;
+        t.msb = in.byte ? 0x80 : 0x8000;
+
+        // Fetch statics: collapse the FRAM stream to its line runs.
+        dl.d_fetch = bi.n_words;
+        if (fram_code) {
+            t.chain = bi.n_words;
+            t.lastline = static_cast<std::uint16_t>(bi.last_fetch_line);
+            if (hw_on) {
+                int runs = 0;
+                for (int w = 0; w < bi.n_words; ++w) {
+                    if (w == 0 || bi.fetch_contends[w]) {
+                        std::uint16_t wa = static_cast<std::uint16_t>(
+                            bi.pc + 2 * w);
+                        if (runs == 0)
+                            t.fa0 = wa;
+                        else
+                            t.fa1 = wa;
+                        ++runs;
+                    }
+                }
+                t.fm0 = static_cast<std::uint16_t>(ws);
+                if (runs > 0 && fold_clean &&
+                    (static_cast<std::uint32_t>(bi.pc) >> 3) ==
+                        fold_line) {
+                    // The surviving probe (if any) is the old second
+                    // run — a contending line change, not a leading
+                    // run — so it keeps run-1 stall contributions.
+                    t.fa0 = t.fa1;
+                    t.fc0 = static_cast<std::uint16_t>(cstall);
+                    t.fm0 = static_cast<std::uint16_t>(ms);
+                    --runs;
+                }
+                t.runs = static_cast<std::uint8_t>(runs);
+                dl.d_hits = static_cast<std::uint8_t>(bi.n_words - runs);
+            } else {
+                for (int w = 0; w < bi.n_words; ++w)
+                    dl.d_stall += bi.fetch_contends[w] ? ms : ws;
+                dl.d_misses = bi.n_words;
+            }
+        }
+        dl.d_code = bi.code_words;
+        dl.d_data = static_cast<std::uint8_t>(bi.n_words - bi.code_words);
+
+        // Kernel selection.
+        int kid = kGeneric;
+        const Op o = in.op;
+        switch (isa::opFormat(o)) {
+          case isa::OpFormat::Jump: {
+            namespace sr = isa::sr;
+            t.a = in.jump_target;
+            if (o == Op::Jmp) {
+                kid = kJmp;
+            } else if (o == Op::Jge || o == Op::Jl) {
+                kid = kJSigned;
+                t.ra = o == Op::Jge ? 1 : 0;
+            } else {
+                kid = kJcc;
+                switch (o) {
+                  case Op::Jne: t.mask = sr::kZ; t.ra = 0; break;
+                  case Op::Jeq: t.mask = sr::kZ; t.ra = 1; break;
+                  case Op::Jnc: t.mask = sr::kC; t.ra = 0; break;
+                  case Op::Jc: t.mask = sr::kC; t.ra = 1; break;
+                  case Op::Jn: t.mask = sr::kN; t.ra = 1; break;
+                  default: kid = kGeneric; break;
+                }
+            }
+            break;
+          }
+          case isa::OpFormat::DoubleOperand: {
+            const Operand &s = in.src;
+            const Operand &d = in.dst;
+            const int op_off = static_cast<int>(o) -
+                               static_cast<int>(Op::Mov);
+            const bool src_nonmem = s.mode == Mode::Register ||
+                                    s.mode == Mode::Immediate;
+            const bool src_static = s.mode == Mode::Symbolic ||
+                                    s.mode == Mode::Absolute;
+            const bool dst_reg = d.mode == Mode::Register &&
+                                 d.reg != isa::Reg::CG2;
+            const bool dst_static = d.mode == Mode::Symbolic ||
+                                    d.mode == Mode::Absolute;
+            const bool word_ok_src = in.byte || !(s.value & 1);
+            const bool word_ok_dst = in.byte || !(d.value & 1);
+            if (s.mode == Mode::Immediate) {
+                t.a = s.value;
+                t.sp = reinterpret_cast<const std::uint8_t *>(&t.a);
+            } else if (s.mode == Mode::Register) {
+                t.sp = regCell(s.reg);
+            }
+            if (src_nonmem && dst_reg) {
+                kid = kNRBase + op_off;
+                t.dp = regCell(d.reg);
+            } else if (src_static && dst_reg && word_ok_src) {
+                kid = kMRBase + op_off;
+                t.a = s.value;
+                t.sp = bytes + s.value;
+                t.dp = regCell(d.reg);
+                staticRead(s.value, t, dl);
+            } else if (src_nonmem && dst_static && word_ok_dst) {
+                kid = kNMBase + op_off;
+                t.b = d.value;
+                t.dp = bytes + d.value;
+                const bool reads_dst = o != Op::Mov;
+                if (reads_dst)
+                    staticRead(d.value, t, dl);
+                if (o != Op::Cmp && o != Op::Bit)
+                    staticWrite(d.value, t, dl, reads_dst,
+                                in.byte ? 1 : 2);
+            } else if ((s.mode == Mode::Indexed ||
+                        s.mode == Mode::Indirect ||
+                        s.mode == Mode::IndirectInc) &&
+                       dst_reg) {
+                kid = kDRBase + op_off;
+                t.ra = isa::regIndex(s.reg);
+                t.a = s.mode == Mode::Indexed ? s.value : 0;
+                t.inc = s.mode == Mode::IndirectInc
+                            ? (in.byte ? 1 : 2)
+                            : 0;
+                t.dp = regCell(d.reg);
+            } else if (src_nonmem && d.mode == Mode::Indexed) {
+                kid = kNDBase + op_off;
+                t.rd = isa::regIndex(d.reg);
+                t.b = d.value;
+            }
+            break;
+          }
+          case isa::OpFormat::SingleOperand: {
+            const Operand &d = in.dst;
+            const bool d_reg = d.mode == Mode::Register &&
+                               d.reg != isa::Reg::CG2;
+            switch (o) {
+              case Op::Rrc:
+                if (d_reg) {
+                    kid = kRrc;
+                    t.dp = regCell(d.reg);
+                }
+                break;
+              case Op::Rra:
+                if (d_reg) {
+                    kid = kRra;
+                    t.dp = regCell(d.reg);
+                }
+                break;
+              case Op::Swpb:
+                if (d_reg) {
+                    kid = kSwpb;
+                    t.dp = regCell(d.reg);
+                }
+                break;
+              case Op::Sxt:
+                if (d_reg) {
+                    kid = kSxt;
+                    t.dp = regCell(d.reg);
+                }
+                break;
+              case Op::Push:
+                if (d.mode == Mode::Register) {
+                    kid = kPush;
+                    t.sp = regCell(d.reg);
+                } else if (d.mode == Mode::Immediate) {
+                    kid = kPush;
+                    t.a = d.value;
+                    t.sp =
+                        reinterpret_cast<const std::uint8_t *>(&t.a);
+                }
+                break;
+              case Op::Call:
+                if (d.mode == Mode::Immediate) {
+                    kid = kCallImm;
+                    t.a = d.value;
+                }
+                break;
+              default:
+                break; // RETI and memory-destination forms: generic
+            }
+            break;
+          }
+        }
+        if (kid == kGeneric)
+            t.b = static_cast<std::uint16_t>(i);
+        t.h = labels_[kid];
+
+        // Fold state for the next instruction's leading fetch run:
+        // dirty when this op can issue a data-read probe (static FRAM
+        // read, dynamic-address read, or anything via the generic
+        // core). Dynamic and generic writes go through framStall's
+        // write path, which never probes, but a dynamic *read* might
+        // land in FRAM, so DR / read-modify-write ND / generic all
+        // invalidate the MRU assumption.
+        fold_line = bi.last_fetch_line;
+        const bool may_probe =
+            t.probe != 0 || (kid >= kDRBase && kid < kDRBase + 12) ||
+            (kid >= kNDBase && kid < kNDBase + 12 && o != Op::Mov) ||
+            kid == kGeneric;
+        fold_clean = !may_probe;
+
+        tc->tot[kAccBase] += dl.d_base;
+        tc->tot[kAccStall] += dl.d_stall;
+        tc->tot[fram_code ? kAccFramFetch : kAccSramFetch] += dl.d_fetch;
+        tc->tot[kAccCode] += dl.d_code;
+        tc->tot[kAccData] += dl.d_data;
+        tc->tot[kAccSramRead] += dl.d_sram_r;
+        tc->tot[kAccSramWrite] += dl.d_sram_w;
+        tc->tot[kAccFramRead] += dl.d_fram_r;
+        tc->tot[kAccFramWrite] += dl.d_fram_w;
+        tc->tot[kAccHits] += dl.d_hits;
+        tc->tot[kAccMisses] += dl.d_misses;
+        tc->tot[kAccPreInval] += dl.d_pre;
+        ++tc->tot[kAccOwner0 + dl.owner];
+    }
+    tc->ops[n].h = labels_[kBlockEnd];
+
+    block.threaded = std::move(tc);
+    ++stats_.threaded_blocks_lowered;
+}
+
+void *
+ThreadedEngine::advanceChain(void *p)
+{
+    DCtx &st = *static_cast<DCtx *>(p);
+    const SuperblockEngine::ChainLimits &limits = *st.limits;
+
+    // Account the block that just ran to completion (mid-block
+    // bail-outs are accounted by runChain's suffix walk instead).
+    if (st.cur_tc) {
+        ++st.dispatches;
+        st.total += st.cur_n;
+        st.cur_tc = nullptr;
+    }
+
+    const std::uint16_t pc = st.regs[0];
+    SuperblockEngine::Block *block = sb_.lookup(pc);
+    if (!block)
+        return nullptr;
+
+    // Same boundary discipline as the superblock tier: a block only
+    // runs when its worst-case cycle bound provably keeps every
+    // intermediate step short of the run loop's per-step checks
+    // (max_cycles, fault injection, timer delivery).
+    const std::uint64_t now = limits.now + st.acc[kAccBase] + st.acc[kAccStall];
+    const std::uint64_t bound = block->worst_case_cycles;
+    if (now + bound >= limits.limit_cycles) {
+        ++stats_.threaded_bail_boundary;
+        return nullptr;
+    }
+    if (limits.timer_period) {
+        bool gie = cpu_.interruptsEnabled();
+        bool pending = limits.timer_pending || now >= limits.timer_fire;
+        if (gie) {
+            if (pending)
+                return nullptr; // interrupt entry happens this step
+            if (now + bound >= limits.timer_fire) {
+                ++stats_.threaded_bail_boundary;
+                return nullptr;
+            }
+        } else if (block->writes_sr &&
+                   (pending || now + bound >= limits.timer_fire)) {
+            ++stats_.threaded_bail_boundary;
+            return nullptr;
+        }
+    }
+    if (recovery_end_) {
+        bool in = pc >= recovery_base_ &&
+                  static_cast<std::uint32_t>(pc) < recovery_end_;
+        if (st.first)
+            st.chain_in_recovery = in;
+        else if (in != st.chain_in_recovery)
+            return nullptr;
+    }
+    st.first = false;
+
+    if (!block->threaded)
+        lower(*block);
+    ThreadedCode &tc = *block->threaded;
+
+    // Static totals up front; a bail-out subtracts the suffix.
+    // One vectorizable pass: both sides share AccIdx order, and the
+    // fetch count was routed to the right region slot at lowering.
+    const std::uint32_t *tot = tc.tot.data();
+    std::uint64_t *acc = st.acc.data();
+    for (int i = 0; i < kNumAcc; ++i)
+        acc[i] += tot[i];
+
+    st.blk_start = block->start_pc;
+    st.blk_end = block->end_addr;
+    st.smc = false;
+    st.instrs = block->instrs.data();
+    st.cur_tc = &tc;
+    st.cur_ops = tc.ops.data();
+    st.cur_n = block->instrs.size();
+    return st.cur_ops;
+}
+
+SuperblockEngine::ChainResult
+ThreadedEngine::runChain(const SuperblockEngine::ChainLimits &limits)
+{
+    DCtx st;
+    st.regs_arr = &cpu_.regs();
+    st.regs = cpu_.regs().data();
+    st.bytes = memory_.bytes();
+    st.hw = &bus_.hwCache();
+    st.pre = predecode_;
+    st.gens = &sb_.pageGens();
+    st.ws = config_.effectiveWaitStates();
+    st.cstall = config_.contention_stall;
+    st.ms = std::max(st.ws, st.cstall);
+    st.sram_size = config_.sram_size;
+    st.code_base = bus_.codeBase();
+    st.code_end = bus_.codeEnd();
+    st.hw_on = config_.hw_cache_enabled;
+
+    st.eng = this;
+    st.limits = &limits;
+
+    // Enter the first block; dispatchRun then chains block-to-block
+    // through advanceChain until a bail-out or chain end.
+    TOp *op0 = static_cast<TOp *>(advanceChain(&st));
+    while (op0) {
+        dispatchRun(&st, op0);
+        if (st.bail_kind == 0)
+            break; // chain ended at a block boundary (advanceChain)
+
+        // Mid-block bail-out (dyn operand or own-block SMC): subtract
+        // the unexecuted suffix and account what retired.
+        ThreadedCode &tc = *st.cur_tc;
+        const std::size_t n = st.cur_n;
+        const std::size_t idx =
+            static_cast<std::size_t>(st.bail_op - st.cur_ops);
+        const std::size_t executed = st.bail_kind == 2 ? idx + 1 : idx;
+        if (executed < n) {
+            for (std::size_t i = executed; i < n; ++i) {
+                const TDelta &t = tc.deltas[i];
+                st.acc[kAccBase] -= t.d_base;
+                st.acc[kAccStall] -= t.d_stall;
+                if (tc.fram_code)
+                    st.acc[kAccFramFetch] -= t.d_fetch;
+                else
+                    st.acc[kAccSramFetch] -= t.d_fetch;
+                st.acc[kAccCode] -= t.d_code;
+                st.acc[kAccData] -= t.d_data;
+                st.acc[kAccSramRead] -= t.d_sram_r;
+                st.acc[kAccSramWrite] -= t.d_sram_w;
+                st.acc[kAccFramRead] -= t.d_fram_r;
+                st.acc[kAccFramWrite] -= t.d_fram_w;
+                st.acc[kAccHits] -= t.d_hits;
+                st.acc[kAccMisses] -= t.d_misses;
+                st.acc[kAccPreInval] -= t.d_pre;
+                --st.acc[kAccOwner0 + t.owner];
+            }
+        }
+        if (st.bail_kind == 1)
+            ++stats_.threaded_bail_operand;
+        else
+            ++stats_.threaded_bail_smc;
+        if (executed) {
+            ++st.dispatches;
+            st.total += executed;
+        }
+        st.cur_tc = nullptr; // accounted here, not by advanceChain
+        if (executed < n)
+            break; // bailed mid-block: the oracle decides what's next
+        // Committed own-block SMC on the block's last instruction:
+        // the block completed, so the chain may continue (the next
+        // lookup sees the bumped generations and rebuilds).
+        op0 = static_cast<TOp *>(advanceChain(&st));
+    }
+
+    const std::uint64_t total = st.total;
+    stats_.threaded_dispatches += st.dispatches;
+    if (total) {
+        stats_.instructions += total;
+        stats_.base_cycles += st.acc[kAccBase];
+        stats_.stall_cycles += st.acc[kAccStall];
+        stats_.sram.fetch += st.acc[kAccSramFetch];
+        stats_.sram.read += st.acc[kAccSramRead];
+        stats_.sram.write += st.acc[kAccSramWrite];
+        stats_.fram.fetch += st.acc[kAccFramFetch];
+        stats_.fram.read += st.acc[kAccFramRead];
+        stats_.fram.write += st.acc[kAccFramWrite];
+        stats_.fram_cache_hits += st.acc[kAccHits];
+        stats_.fram_cache_misses += st.acc[kAccMisses];
+        stats_.code_space_accesses += st.acc[kAccCode];
+        stats_.data_space_accesses += st.acc[kAccData];
+        stats_.predecode_invalidations += st.acc[kAccPreInval];
+        for (int i = 0; i < kNumOwners; ++i)
+            stats_.instr_by_owner[i] += st.acc[kAccOwner0 + i];
+        stats_.threaded_instructions += total;
+    }
+    return {total, st.acc[kAccBase] + st.acc[kAccStall]};
+}
+
+} // namespace swapram::sim
+
+#else // !SWAPRAM_THREADED_AVAILABLE
+
+namespace swapram::sim {
+
+/** Placeholder so Block's shared_ptr<ThreadedCode> has a complete
+ *  deleter on toolchains without computed goto. */
+class ThreadedCode
+{
+};
+
+ThreadedEngine::ThreadedEngine(Cpu &cpu, Memory &memory, Bus &bus,
+                               Stats &stats, const MachineConfig &config,
+                               SuperblockEngine &sb)
+    : cpu_(cpu), memory_(memory), bus_(bus), stats_(stats),
+      config_(config), sb_(sb)
+{
+}
+
+void
+ThreadedEngine::lower(SuperblockEngine::Block &)
+{
+}
+
+SuperblockEngine::ChainResult
+ThreadedEngine::runChain(const SuperblockEngine::ChainLimits &)
+{
+    return {0, 0};
+}
+
+void *
+ThreadedEngine::advanceChain(void *)
+{
+    return nullptr;
+}
+
+} // namespace swapram::sim
+
+#endif // SWAPRAM_THREADED_AVAILABLE

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "fuzz_programs.hh"
@@ -29,9 +30,37 @@ class FuzzSystems : public ::testing::TestWithParam<std::uint32_t>
 {
 };
 
-TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
+/** Execution-tier twin comparison: every simulated observable must be
+ *  bit-identical across the host-side dispatch tiers. */
+void
+expectTierStatsEqual(const harness::Metrics &a,
+                     const harness::Metrics &b, const std::string &ctx)
 {
-    std::uint32_t seed = GetParam();
+    ASSERT_EQ(a.done, b.done) << ctx;
+    EXPECT_EQ(a.checksum, b.checksum) << ctx;
+    EXPECT_EQ(a.data_snapshot, b.data_snapshot) << ctx;
+    EXPECT_EQ(a.console, b.console) << ctx;
+    EXPECT_EQ(a.stats.instructions, b.stats.instructions) << ctx;
+    EXPECT_EQ(a.stats.base_cycles, b.stats.base_cycles) << ctx;
+    EXPECT_EQ(a.stats.stall_cycles, b.stats.stall_cycles) << ctx;
+    EXPECT_EQ(a.stats.fram.total(), b.stats.fram.total()) << ctx;
+    EXPECT_EQ(a.stats.sram.total(), b.stats.sram.total()) << ctx;
+    EXPECT_EQ(a.stats.fram_cache_hits, b.stats.fram_cache_hits) << ctx;
+    EXPECT_EQ(a.stats.fram_cache_misses, b.stats.fram_cache_misses)
+        << ctx;
+    EXPECT_EQ(a.stats.code_space_accesses, b.stats.code_space_accesses)
+        << ctx;
+    EXPECT_EQ(a.stats.data_space_accesses, b.stats.data_space_accesses)
+        << ctx;
+    EXPECT_EQ(a.stats.interrupts, b.stats.interrupts) << ctx;
+}
+
+/** One fuzz seed across all systems/geometries, each run three ways:
+ *  threaded-code dispatch, block-stepped superblock dispatch, and the
+ *  always-decode single-step oracle (predecode off too). */
+void
+fuzzSystemsSeed(std::uint32_t seed)
+{
     auto w = test::randomProgram(seed);
     support::Rng rng(seed ^ 0xDECAF);
 
@@ -77,15 +106,25 @@ TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
         notes.push_back("block slots " + std::to_string(slots));
     }
 
-    // Superblock differential: every run again with block dispatch
-    // off. The single-step oracle must produce byte-identical results
-    // on code shapes the curated workloads never exercise.
+    // Tier differential: every run three ways — threaded-code
+    // dispatch, block-stepped superblock dispatch, and the
+    // always-decode single-step oracle. All three must produce
+    // byte-identical results on code shapes the curated workloads
+    // never exercise.
     const std::size_t n = specs.size();
     for (std::size_t i = 0; i < n; ++i) {
-        harness::RunSpec twin = specs[i];
         specs[i].superblock = true;
-        twin.superblock = false;
-        specs.push_back(twin);
+        specs[i].threaded = true;
+        harness::RunSpec blockstep = specs[i];
+        blockstep.threaded = false;
+        specs.push_back(blockstep);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        harness::RunSpec oracle = specs[i];
+        oracle.superblock = false;
+        oracle.threaded = false;
+        oracle.predecode = false;
+        specs.push_back(oracle);
     }
 
     std::vector<harness::RunOutcome> outcomes =
@@ -108,25 +147,38 @@ TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
     }
 
     for (std::size_t i = 0; i < n; ++i) {
-        std::string ctx = "seed " + std::to_string(seed) + " " +
-                          notes[i] + " superblock-off twin";
+        std::string base_ctx =
+            "seed " + std::to_string(seed) + " " + notes[i];
         ASSERT_TRUE(outcomes[n + i].ok())
-            << ctx << ": " << outcomes[n + i].error_text;
-        const harness::Metrics &on = outcomes[i].metrics;
-        const harness::Metrics &off = outcomes[n + i].metrics;
-        ASSERT_EQ(on.done, off.done) << ctx;
-        EXPECT_EQ(on.checksum, off.checksum) << ctx;
-        EXPECT_EQ(on.data_snapshot, off.data_snapshot) << ctx;
-        EXPECT_EQ(on.console, off.console) << ctx;
-        EXPECT_EQ(on.stats.instructions, off.stats.instructions) << ctx;
-        EXPECT_EQ(on.stats.base_cycles, off.stats.base_cycles) << ctx;
-        EXPECT_EQ(on.stats.stall_cycles, off.stats.stall_cycles) << ctx;
-        EXPECT_EQ(on.stats.fram.total(), off.stats.fram.total()) << ctx;
-        EXPECT_EQ(on.stats.sram.total(), off.stats.sram.total()) << ctx;
+            << base_ctx << ": " << outcomes[n + i].error_text;
+        ASSERT_TRUE(outcomes[2 * n + i].ok())
+            << base_ctx << ": " << outcomes[2 * n + i].error_text;
+        const harness::Metrics &threaded = outcomes[i].metrics;
+        const harness::Metrics &blockstep = outcomes[n + i].metrics;
+        const harness::Metrics &oracle = outcomes[2 * n + i].metrics;
+        expectTierStatsEqual(threaded, blockstep,
+                             base_ctx + " threaded vs block-stepped");
+        expectTierStatsEqual(threaded, oracle,
+                             base_ctx + " threaded vs oracle");
     }
+}
+
+TEST_P(FuzzSystems, CachingSystemsMatchBaseline)
+{
+    fuzzSystemsSeed(GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, FuzzSystems,
                          ::testing::Range(1u, 25u));
+
+TEST(FuzzSystemsExtended, ThreadedTierWideSeedShard)
+{
+    const char *flag = std::getenv("SWAPRAM_FUZZ_EXTENDED");
+    if (!flag || flag[0] == '\0' || flag[0] == '0')
+        GTEST_SKIP()
+            << "set SWAPRAM_FUZZ_EXTENDED=1 for the wide tier sweep";
+    for (std::uint32_t seed = 400; seed < 440; ++seed)
+        fuzzSystemsSeed(seed);
+}
 
 } // namespace

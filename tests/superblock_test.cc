@@ -29,6 +29,10 @@ withSuperblock(bool enabled)
 {
     sim::MachineConfig config;
     config.superblock_enabled = enabled;
+    // This suite pins the *block-stepped* dispatcher and its counter
+    // family; the threaded tier (which replaces it when enabled) has
+    // its own suite in threaded_test.cc.
+    config.threaded_enabled = false;
     return config;
 }
 

@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Threaded-code tier tests. Like the superblock engine it lowers, the
+ * tier is a host-side optimization only: every simulated observable —
+ * registers, memory, checksums, cycle/stall counts, per-region access
+ * counts, interrupt and reboot cycles — must be bit-identical with
+ * threaded dispatch on or off (block-stepped superblock dispatch, and
+ * transitively the single-step oracle, is the reference). The
+ * host-side threaded_* and superblock_* counter families are the only
+ * permitted divergence.
+ *
+ * Coverage concentrates on the bail-out guards: register-dependent
+ * MMIO operands, stores into the executing block, fault/timer cycle
+ * boundaries, mid-eviction and data-pool swap windows under capacity
+ * pressure, harvest brown-outs landing mid-chain, and the full golden
+ * workload×system×sram_size matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/engine.hh"
+#include "harness/report.hh"
+#include "sim/fault.hh"
+#include "sim/harvest.hh"
+#include "support/platform.hh"
+#include "testutil.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace swapram;
+using isa::Reg;
+
+sim::MachineConfig
+withThreaded(bool enabled)
+{
+    sim::MachineConfig config;
+    // The tier only exists on top of the superblock engine's block
+    // table; off means block-stepped dispatch of the same blocks.
+    config.superblock_enabled = true;
+    config.threaded_enabled = enabled;
+    return config;
+}
+
+/** Every simulated Stats field (host-side fast-path counters — the
+ *  predecode hit/miss, superblock_*, and threaded_* families —
+ *  excluded; the predecode *invalidation* count tracks the write
+ *  stream, which is identical in both modes, so it is compared). */
+void
+expectSimStatsEqual(const sim::Stats &a, const sim::Stats &b,
+                    const std::string &ctx)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << ctx;
+    EXPECT_EQ(a.base_cycles, b.base_cycles) << ctx;
+    EXPECT_EQ(a.stall_cycles, b.stall_cycles) << ctx;
+    EXPECT_EQ(a.sram.fetch, b.sram.fetch) << ctx;
+    EXPECT_EQ(a.sram.read, b.sram.read) << ctx;
+    EXPECT_EQ(a.sram.write, b.sram.write) << ctx;
+    EXPECT_EQ(a.fram.fetch, b.fram.fetch) << ctx;
+    EXPECT_EQ(a.fram.read, b.fram.read) << ctx;
+    EXPECT_EQ(a.fram.write, b.fram.write) << ctx;
+    EXPECT_EQ(a.mmio.fetch, b.mmio.fetch) << ctx;
+    EXPECT_EQ(a.mmio.read, b.mmio.read) << ctx;
+    EXPECT_EQ(a.mmio.write, b.mmio.write) << ctx;
+    EXPECT_EQ(a.fram_cache_hits, b.fram_cache_hits) << ctx;
+    EXPECT_EQ(a.fram_cache_misses, b.fram_cache_misses) << ctx;
+    EXPECT_EQ(a.code_space_accesses, b.code_space_accesses) << ctx;
+    EXPECT_EQ(a.data_space_accesses, b.data_space_accesses) << ctx;
+    for (int i = 0; i < sim::kNumOwners; ++i)
+        EXPECT_EQ(a.instr_by_owner[i], b.instr_by_owner[i])
+            << ctx << " owner " << i;
+    EXPECT_EQ(a.interrupts, b.interrupts) << ctx;
+    EXPECT_EQ(a.reboots, b.reboots) << ctx;
+    EXPECT_EQ(a.recovery_cycles, b.recovery_cycles) << ctx;
+    EXPECT_EQ(a.predecode_invalidations, b.predecode_invalidations)
+        << ctx;
+}
+
+/** The host-side counters exist, are coherent, and the tier actually
+ *  replaces block-stepped dispatch (not runs alongside it). */
+TEST(Threaded, CountersAccountForBlockCoverage)
+{
+    const char body[] =
+        "        MOV #50, R10\n"
+        "cloop:  ADD #3, R11\n"
+        "        XOR R11, R12\n"
+        "        DEC R10\n"
+        "        JNZ cloop\n";
+    test::MiniRun on = test::runBody(body, withThreaded(true));
+    ASSERT_TRUE(on.result.done);
+    const sim::Stats &s = on.stats();
+    EXPECT_GT(s.threaded_blocks_lowered, 0u);
+    EXPECT_GT(s.threaded_dispatches, 0u);
+    EXPECT_GT(s.threaded_instructions, 0u);
+    EXPECT_LE(s.threaded_instructions, s.instructions);
+    // The loop dominates: most instructions retire in threaded mode.
+    EXPECT_GT(s.threaded_instructions, s.instructions / 2);
+    // The tier replaces the block-stepped dispatcher entirely.
+    EXPECT_EQ(s.superblock_dispatches, 0u);
+
+    test::MiniRun off = test::runBody(body, withThreaded(false));
+    ASSERT_TRUE(off.result.done);
+    EXPECT_EQ(off.stats().threaded_dispatches, 0u);
+    EXPECT_GT(off.stats().superblock_dispatches, 0u);
+    expectSimStatsEqual(on.stats(), off.stats(), "counters");
+}
+
+/** A register-dependent store into MMIO space: the inline mapped-space
+ *  pre-check must bail to the oracle with nothing committed, so the
+ *  device sees exactly one write per loop iteration. */
+const char kDynMmioBody[] =
+    "        MOV #0x0100, R7\n" // console register, via register
+    "        MOV #65, R6\n"
+    "        MOV #3, R10\n"
+    "loop:   MOV.B R6, 0(R7)\n"
+    "        ADD #1, R6\n"
+    "        DEC R10\n"
+    "        JNZ loop\n";
+
+TEST(Threaded, DynamicMmioOperandBailsToOracle)
+{
+    test::MiniRun on = test::runBody(kDynMmioBody, withThreaded(true));
+    test::MiniRun off = test::runBody(kDynMmioBody, withThreaded(false));
+    ASSERT_TRUE(on.result.done);
+    EXPECT_EQ(on.machine->mmio().console(), "ABC");
+    EXPECT_EQ(off.machine->mmio().console(), "ABC");
+    expectSimStatsEqual(on.stats(), off.stats(), "dyn-mmio");
+    EXPECT_GT(on.stats().threaded_bail_operand, 0u);
+}
+
+/** Within-block self-modification: the store lands on the *next*
+ *  instruction of the same straight-line block (patching ADD #1 into
+ *  ADD #2 before it executes). The page-generation check after the
+ *  committed store must stop the chain, not execute the stale lowered
+ *  kernel. */
+const char kSmcBody[] =
+    "        MOV #0, R12\n"
+    "        MOV &alt, &patch\n"
+    "patch:  ADD #1, R12\n"
+    "        JMP fin\n"
+    "alt:    ADD #2, R12\n"
+    "fin:\n";
+
+TEST(Threaded, SelfModifyingStoreInOwnBlockMatchesOracle)
+{
+    test::MiniRun on = test::runBody(kSmcBody, withThreaded(true));
+    test::MiniRun off = test::runBody(kSmcBody, withThreaded(false));
+    ASSERT_TRUE(on.result.done);
+    ASSERT_TRUE(off.result.done);
+    EXPECT_EQ(on.reg(Reg::R12), 2) << "stale lowered kernel executed";
+    EXPECT_EQ(off.reg(Reg::R12), 2);
+    expectSimStatsEqual(on.stats(), off.stats(), "smc");
+    EXPECT_GT(on.stats().threaded_bail_smc, 0u);
+}
+
+/** Timer interrupts must land on exactly the same cycle: the chain
+ *  must refuse any block whose worst-case bound could reach the fire
+ *  cycle, handing back to the single-stepping machine loop. */
+const char *kTimerProgram = R"(
+        .text
+__start:
+        MOV #0x3000, SP
+        MOV #tick_isr, &0xFFF0
+        EINT
+        MOV #400, R10
+fg_loop:
+        MOV #13, R12
+        ADD #29, R12
+        XOR R12, &fg_acc
+        DEC R10
+        JNZ fg_loop
+        DINT
+        MOV &tick_count, R12
+        MOV.B #0, &__DONE
+__halt: JMP __halt
+
+        .func tick_isr
+        ADD #1, &tick_count
+        RETI
+        .endfunc
+
+        .data
+        .align 2
+tick_count: .word 0
+fg_acc:     .word 0
+)";
+
+TEST(Threaded, TimerInterruptsLandOnSameCycle)
+{
+    for (std::uint64_t period : {97ull, 500ull, 1024ull}) {
+        sim::MachineConfig on_cfg = withThreaded(true);
+        sim::MachineConfig off_cfg = withThreaded(false);
+        on_cfg.timer_period_cycles = period;
+        off_cfg.timer_period_cycles = period;
+        test::MiniRun on = test::runSource(kTimerProgram, on_cfg);
+        test::MiniRun off = test::runSource(kTimerProgram, off_cfg);
+        ASSERT_TRUE(on.result.done);
+        ASSERT_TRUE(off.result.done);
+        std::string ctx = "timer period " + std::to_string(period);
+        EXPECT_GT(on.stats().interrupts, 0u) << ctx;
+        EXPECT_EQ(on.reg(Reg::R12), off.reg(Reg::R12)) << ctx;
+        expectSimStatsEqual(on.stats(), off.stats(), ctx);
+    }
+}
+
+/** Power failures must hit on exactly the same cycle — the injector's
+ *  next-failure cycle bounds every dispatched chain link. Data lives
+ *  in FRAM so progress survives the reboots. */
+const char *kFaultProgram = R"(
+        .text
+__start:
+        MOV #0x3000, SP
+        MOV #300, R10
+floop:  ADD #7, &acc
+        XOR &acc, &mix
+        DEC R10
+        JNZ floop
+        MOV.B #0, &__DONE
+__halt: JMP __halt
+
+        .data
+        .align 2
+acc:    .word 0
+mix:    .word 0
+)";
+
+struct FaultRun {
+    sim::Stats stats;
+    std::uint16_t acc = 0;
+    std::uint16_t mix = 0;
+};
+
+FaultRun
+runFaulted(bool threaded)
+{
+    masm::LayoutSpec layout;
+    layout.data_base = 0x9000;
+    auto assembled = masm::assemble(masm::parse(kFaultProgram), layout);
+    sim::Machine machine(withThreaded(threaded));
+    machine.load(assembled.image, 0x3000);
+    sim::FaultPlan plan = sim::FaultPlan::periodic(900, 5);
+    sim::FaultInjector injector(plan);
+    machine.setFaultInjector(&injector);
+    auto result = machine.run();
+    EXPECT_TRUE(result.done);
+    return {machine.stats(), machine.peek16(assembled.symbol("acc")),
+            machine.peek16(assembled.symbol("mix"))};
+}
+
+TEST(Threaded, InjectedFaultsLandOnSameCycle)
+{
+    FaultRun on = runFaulted(true);
+    FaultRun off = runFaulted(false);
+    EXPECT_EQ(on.stats.reboots, 5u);
+    EXPECT_GT(on.stats.threaded_dispatches, 0u);
+    expectSimStatsEqual(on.stats, off.stats, "fault");
+    EXPECT_EQ(on.acc, off.acc);
+    EXPECT_EQ(on.mix, off.mix);
+}
+
+/** Capacity pressure: SRAM sizes where the SwapRAM runtime constantly
+ *  evicts (arith_big/crc_big/pingpong) or tiles data through the pool
+ *  (rc4_big). Chains repeatedly cross miss-handler entries,
+ *  mid-eviction scans, and __swp_din/__swp_dout copy windows; the
+ *  lowered code and the block-stepped dispatcher must account every
+ *  one of them identically. */
+TEST(Threaded, EvictionAndDataSwapWindowsMatch)
+{
+    std::vector<harness::RunSpec> specs;
+    std::vector<std::string> names;
+    for (const workloads::Workload &w : workloads::capacity()) {
+        for (std::uint32_t sram : {1024u, 4096u}) {
+            harness::RunSpec spec = harness::capacitySpec(
+                w, harness::System::SwapRam, sram);
+            names.push_back(w.name + "@" + std::to_string(sram));
+            spec.threaded = true;
+            specs.push_back(spec);
+            spec.threaded = false;
+            specs.push_back(spec);
+        }
+    }
+    std::vector<harness::RunOutcome> outcomes =
+        harness::Engine().runAll(specs);
+    for (std::size_t i = 0; i < outcomes.size(); i += 2) {
+        const std::string &key = names[i / 2];
+        ASSERT_TRUE(outcomes[i].ok()) << key;
+        ASSERT_TRUE(outcomes[i + 1].ok()) << key;
+        const harness::Metrics &on = outcomes[i].metrics;
+        const harness::Metrics &off = outcomes[i + 1].metrics;
+        ASSERT_TRUE(on.fits) << key;
+        ASSERT_TRUE(on.done) << key;
+        EXPECT_EQ(on.checksum, off.checksum) << key;
+        EXPECT_EQ(on.data_snapshot, off.data_snapshot) << key;
+        EXPECT_EQ(on.swap_summary.copy_ins, off.swap_summary.copy_ins)
+            << key;
+        EXPECT_EQ(on.swap_summary.evictions, off.swap_summary.evictions)
+            << key;
+        expectSimStatsEqual(on.stats, off.stats, key);
+    }
+}
+
+/** Harvest-driven brown-outs land mid-chain: the capacitor model
+ *  decides the failure cycle from live consumption, so any divergence
+ *  in accounting order would shift every subsequent reboot. Both runs
+ *  must brown out, checkpoint, and converge (or honestly livelock)
+ *  identically. */
+TEST(Threaded, HarvestBrownOutMidChainMatches)
+{
+    workloads::Workload w = workloads::makeCrc();
+    harness::RunSpec spec;
+    spec.workload = &w;
+    spec.system = harness::System::SwapRam;
+    spec.placement = harness::Placement::Standard;
+    spec.sram_size = 1024; // starve the cache: misses keep committing
+    spec.swap.ckpt.scheme = ckpt::Scheme::Periodic;
+    spec.swap.ckpt.period = 1;
+
+    harness::Engine engine;
+    harness::RunOutcome ref = engine.runAll({spec}).front();
+    ASSERT_TRUE(ref.ok()) << ref.error_text;
+    ASSERT_TRUE(ref.metrics.fits) << ref.metrics.fit_note;
+    ASSERT_TRUE(ref.metrics.done);
+
+    auto trace = std::make_shared<sim::HarvestTrace>(
+        sim::HarvestTrace::fromPoints(
+            {{0.0, 30e-6}, {0.002, 80e-6}, {0.004, 20e-6}}));
+    sim::CapacitorModel cap;
+    cap.brown_out_pj = ref.metrics.energy_pj / 4;
+    cap.power_on_pj = cap.brown_out_pj + ref.metrics.energy_pj / 6;
+    cap.capacity_pj = cap.power_on_pj * 1.25;
+    cap.initial_pj = cap.power_on_pj;
+    cap.leak_watts = 1e-6;
+
+    harness::RunSpec faulted = spec;
+    faulted.intermittent.plan = sim::FaultPlan::harvest(trace, cap);
+    faulted.intermittent.livelock_boots = 16;
+    faulted.threaded = true;
+    harness::RunSpec twin = faulted;
+    twin.threaded = false;
+
+    std::vector<harness::RunOutcome> outcomes =
+        engine.runAll({faulted, twin});
+    ASSERT_TRUE(outcomes[0].ok()) << outcomes[0].error_text;
+    ASSERT_TRUE(outcomes[1].ok()) << outcomes[1].error_text;
+    const harness::Metrics &on = outcomes[0].metrics;
+    const harness::Metrics &off = outcomes[1].metrics;
+    // The schedule must actually interrupt the run.
+    EXPECT_GT(on.stats.reboots, 0u);
+    ASSERT_EQ(on.stop, off.stop);
+    ASSERT_EQ(on.done, off.done);
+    EXPECT_EQ(on.checksum, off.checksum);
+    EXPECT_EQ(on.data_snapshot, off.data_snapshot);
+    EXPECT_EQ(on.energy_pj, off.energy_pj);
+    EXPECT_EQ(on.harvested_pj, off.harvested_pj);
+    expectSimStatsEqual(on.stats, off.stats, "harvest");
+}
+
+/** The full golden matrix — the classic nine workloads × three systems
+ *  at the platform default plus every capacity-pressure cell — with
+ *  the tier on vs off. Every simulated observable must agree on all
+ *  47 keys; golden_test.cc separately pins the absolute numbers. */
+TEST(Threaded, GoldenMatrixStatsEqualAcrossTiers)
+{
+    const harness::System systems[] = {harness::System::Baseline,
+                                       harness::System::SwapRam,
+                                       harness::System::BlockCache};
+    std::vector<harness::RunSpec> specs;
+    std::vector<std::string> names;
+    auto push = [&](harness::RunSpec spec, const std::string &name) {
+        names.push_back(name);
+        spec.superblock = true;
+        spec.threaded = true;
+        specs.push_back(spec);
+        spec.threaded = false;
+        specs.push_back(spec);
+    };
+    for (const workloads::Workload &w : workloads::all()) {
+        for (harness::System system : systems) {
+            push(harness::sweepSpec(w, system),
+                 w.name + "/" + harness::systemName(system) + "@" +
+                     std::to_string(platform::kSramSize));
+        }
+    }
+    for (const harness::MatrixCell &mc : harness::capacityMatrix()) {
+        push(harness::capacitySpec(*mc.workload, mc.system,
+                                   mc.sram_size),
+             mc.workload->name + "/" +
+                 harness::systemName(mc.system) + "@" +
+                 std::to_string(mc.sram_size));
+    }
+
+    std::vector<harness::RunOutcome> outcomes =
+        harness::Engine().runAll(specs);
+    for (std::size_t i = 0; i < outcomes.size(); i += 2) {
+        const std::string &key = names[i / 2];
+        ASSERT_TRUE(outcomes[i].ok()) << key;
+        ASSERT_TRUE(outcomes[i + 1].ok()) << key;
+        const harness::Metrics &on = outcomes[i].metrics;
+        const harness::Metrics &off = outcomes[i + 1].metrics;
+        ASSERT_EQ(on.fits, off.fits) << key;
+        if (!on.fits)
+            continue;
+        ASSERT_EQ(on.done, off.done) << key;
+        EXPECT_EQ(on.checksum, off.checksum) << key;
+        EXPECT_EQ(on.data_snapshot, off.data_snapshot) << key;
+        EXPECT_EQ(on.console, off.console) << key;
+        EXPECT_EQ(on.energy_pj, off.energy_pj) << key;
+        expectSimStatsEqual(on.stats, off.stats, key);
+    }
+}
+
+/** Drop the lines carrying host-side fast-path counters (the permitted
+ *  tier divergence) from a dumped RunReport. */
+std::string
+maskHostCounters(const std::string &json_text)
+{
+    static const char *kMasked[] = {
+        "\"predecode_hits\"",         "\"predecode_misses\"",
+        "\"superblock_blocks_built\"", "\"superblock_dispatches\"",
+        "\"superblock_instructions\"", "\"superblock_bail_",
+        "\"threaded_",
+    };
+    std::istringstream in(json_text);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        bool masked = false;
+        for (const char *key : kMasked)
+            if (line.find(key) != std::string::npos)
+                masked = true;
+        if (!masked) {
+            out += line;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+/** The machine-readable RunReport must be byte-identical with the
+ *  tier on vs off once the host-side counter lines are dropped —
+ *  nothing else in the document (stats, profile-free metrics, swap
+ *  summary, energy) may move. */
+TEST(Threaded, RunReportByteIdenticalWithHostCountersMasked)
+{
+    workloads::Workload w = workloads::makeCrc();
+    harness::RunSpec on_spec =
+        harness::sweepSpec(w, harness::System::SwapRam);
+    // The sweep spec attaches the swap-timeline trace, which forces
+    // single-step on both runs; drop it so the tiers actually engage.
+    on_spec.observe = {};
+    on_spec.threaded = true;
+    harness::RunSpec off_spec = on_spec;
+    off_spec.threaded = false;
+
+    std::vector<harness::RunOutcome> outcomes =
+        harness::Engine().runAll({on_spec, off_spec});
+    ASSERT_TRUE(outcomes[0].ok()) << outcomes[0].error_text;
+    ASSERT_TRUE(outcomes[1].ok()) << outcomes[1].error_text;
+
+    std::string on_text =
+        harness::RunReport::make(on_spec, outcomes[0].metrics)
+            .json()
+            .dump(2);
+    std::string off_text =
+        harness::RunReport::make(off_spec, outcomes[1].metrics)
+            .json()
+            .dump(2);
+    EXPECT_NE(on_text, off_text)
+        << "host counters should differ across tiers";
+    EXPECT_EQ(maskHostCounters(on_text), maskHostCounters(off_text));
+}
+
+} // namespace

@@ -326,6 +326,10 @@ TEST(RunReport, JsonRoundTripsAndMatchesMetrics)
               static_cast<std::int64_t>(m.stats.superblock_dispatches));
     EXPECT_EQ(doc["stats"]["superblock_instructions"].asInt(),
               static_cast<std::int64_t>(m.stats.superblock_instructions));
+    EXPECT_EQ(doc["stats"]["threaded_dispatches"].asInt(),
+              static_cast<std::int64_t>(m.stats.threaded_dispatches));
+    EXPECT_EQ(doc["stats"]["threaded_instructions"].asInt(),
+              static_cast<std::int64_t>(m.stats.threaded_instructions));
 
     const json::Array &profile = doc["profile"].asArray();
     ASSERT_EQ(profile.size(), m.profile.size());

@@ -40,6 +40,9 @@
  *                            Simulated results are identical either
  *                            way — this exists for conformance runs
  *                            and host-performance comparisons.
+ *   --no-threaded            disable threaded-code dispatch; hot
+ *                            blocks stay on block-stepped superblock
+ *                            dispatch (same conformance contract)
  *
  * Observability options (run/profile/trace):
  *   --json                   emit a swapram-run-report/v1 JSON document
@@ -168,6 +171,7 @@ struct Args {
     bool listing = false;
     bool json = false;
     bool no_superblock = false; ///< force single-step/predecode path
+    bool no_threaded = false;   ///< force block-stepped dispatch
     bool disasm = false;
     std::uint32_t trace_categories = trace::kCatNone;
     std::string trace_out;
@@ -218,6 +222,7 @@ usage()
         "         --policy queue|stack   --blacklist f1,f2\n"
         "         --func NAME (disasm)   --listing   --json\n"
         "         --no-superblock (single-step execution engine)\n"
+        "         --no-threaded (block-stepped superblock dispatch)\n"
         "         --trace-categories LIST   --trace-out FILE\n"
         "         --trace-format text|csv|chrome   --trace-limit N\n"
         "         --disasm   --trace N (deprecated)\n"
@@ -311,6 +316,8 @@ parseArgs(int argc, char **argv)
             args.json = true;
         } else if (a == "--no-superblock") {
             args.no_superblock = true;
+        } else if (a == "--no-threaded") {
+            args.no_threaded = true;
         } else if (a == "--disasm") {
             args.disasm = true;
         } else if (a == "--trace-categories") {
@@ -608,6 +615,7 @@ runMatrix(const std::vector<harness::MatrixCell> &matrix,
         spec.swap = args.swap;
         spec.block = args.block;
         spec.superblock = !args.no_superblock;
+        spec.threaded = !args.no_threaded && spec.threaded;
         spec.observe.metrics = args.metrics;
         specs.push_back(spec);
     }
@@ -867,6 +875,7 @@ cmdRunMany(const Args &args)
         spec.swap.boot_recovery = !args.no_recovery;
         spec.block.boot_recovery = !args.no_recovery;
         spec.superblock = !args.no_superblock;
+        spec.threaded = !args.no_threaded && spec.threaded;
         spec.observe.swap_timeline =
             args.system != harness::System::Baseline;
         spec.observe.metrics = args.metrics;
@@ -1048,6 +1057,7 @@ cmdRun(const Args &args_in)
     spec.swap.boot_recovery = !args.no_recovery;
     spec.block.boot_recovery = !args.no_recovery;
     spec.superblock = !args.no_superblock;
+    spec.threaded = !args.no_threaded && spec.threaded;
     applyCkptScheme(spec, run_scheme, args);
     spec.intermittent.livelock_boots = args.livelock_boots;
     if (!args.harvest_traces.empty()) {
@@ -1254,6 +1264,7 @@ cmdFaults(const Args &args_in)
         spec.swap.boot_recovery = !args.no_recovery;
         spec.block.boot_recovery = !args.no_recovery;
         spec.superblock = !args.no_superblock;
+        spec.threaded = !args.no_threaded && spec.threaded;
         applyCkptScheme(spec, scheme, args);
         return spec;
     };
@@ -1644,6 +1655,7 @@ cmdHeatmap(const Args &args)
     spec.swap.boot_recovery = !args.no_recovery;
     spec.block.boot_recovery = !args.no_recovery;
     spec.superblock = !args.no_superblock;
+    spec.threaded = !args.no_threaded && spec.threaded;
     spec.observe.metrics = true;
 
     harness::Metrics m = harness::runOne(spec);
